@@ -1,0 +1,151 @@
+// Ablation bench for the design choices DESIGN.md calls out (not a paper
+// figure): pipeline chunk size, coalescing on/off, dynamic stage scaling
+// limits, and compression thread count.
+//
+//  - Chunk size trades PCIe/network amortisation against pipeline latency:
+//    too small and per-chunk overheads dominate; too large and the pipeline
+//    loses overlap (and fsync tail latency grows).
+//  - Coalescing removes temporarily durable writes before publication
+//    (write-amplification win, extra scan cost).
+//  - Stage scaling lets validation keep up with the fetch stage on wimpy
+//    cores.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+#include "src/core/nicfs.h"
+#include "src/workloads/microbench.h"
+
+namespace linefs::bench {
+namespace {
+
+constexpr uint64_t kBytes = 192ULL << 20;
+
+double RunThroughput(core::DfsConfig config) {
+  Experiment exp(config);
+  core::LibFs* fs = exp.cluster().CreateClient(0);
+  sim::Time start = exp.engine().Now();
+  std::vector<sim::Task<>> tasks;
+  tasks.push_back([](core::LibFs* fs) -> sim::Task<> {
+    workloads::BenchResult r = co_await workloads::SeqWrite(fs, "/abl.dat", kBytes, 16 << 10);
+    (void)r;
+  }(fs));
+  exp.RunAll(std::move(tasks));
+  return static_cast<double>(kBytes) / sim::ToSeconds(exp.engine().Now() - start);
+}
+
+std::map<int, double> g_chunk;
+std::map<int, double> g_scaling;
+std::map<int, std::pair<double, uint64_t>> g_coalesce;
+
+void BM_ChunkSize(benchmark::State& state) {
+  uint64_t chunk_kb = static_cast<uint64_t>(state.range(0));
+  core::DfsConfig config = BenchConfig(core::DfsMode::kLineFS);
+  config.chunk_size = chunk_kb << 10;
+  double tput = 0;
+  for (auto _ : state) {
+    tput = RunThroughput(config);
+  }
+  g_chunk[static_cast<int>(state.range(0))] = tput;
+  state.counters["GB/s"] = tput / 1e9;
+}
+
+void BM_StageScaling(benchmark::State& state) {
+  int max_workers = static_cast<int>(state.range(0));
+  core::DfsConfig config = BenchConfig(core::DfsMode::kLineFS);
+  config.max_stage_workers = max_workers;
+  double tput = 0;
+  for (auto _ : state) {
+    tput = RunThroughput(config);
+  }
+  g_scaling[max_workers] = tput;
+  state.counters["GB/s"] = tput / 1e9;
+}
+
+void BM_Coalescing(benchmark::State& state) {
+  bool coalesce = state.range(0) != 0;
+  core::DfsConfig config = BenchConfig(core::DfsMode::kLineFS, /*materialize=*/true);
+  config.coalescing = coalesce;
+  double kops = 0;
+  uint64_t pm_writes = 0;
+  for (auto _ : state) {
+    Experiment exp(config);
+    core::LibFs* fs = exp.cluster().CreateClient(0);
+    std::vector<sim::Task<>> tasks;
+    // Temp-file churn: the coalescing-friendly pattern (create/write/delete).
+    tasks.push_back([](core::LibFs* fs) -> sim::Task<> {
+      for (int i = 0; i < 400; ++i) {
+        std::string path = "/tmp" + std::to_string(i);
+        Result<int> fd = co_await fs->Open(path, fslib::kOpenCreate | fslib::kOpenWrite);
+        if (fd.ok()) {
+          Result<uint64_t> w = co_await fs->PwriteGen(*fd, 64 << 10, 0, 1);
+          (void)w;
+          co_await fs->Close(*fd);
+        }
+        Status st = co_await fs->Unlink(path);
+        (void)st;
+      }
+      Result<int> keeper = co_await fs->Open("/keep", fslib::kOpenCreate | fslib::kOpenWrite);
+      if (keeper.ok()) {
+        Status st = co_await fs->Fsync(*keeper);
+        (void)st;
+      }
+    }(fs));
+    sim::Time start = exp.engine().Now();
+    exp.RunAll(std::move(tasks));
+    exp.Drain(5 * sim::kSecond);
+    kops = 800.0 / sim::ToSeconds(exp.engine().Now() - start) / 1000.0;
+    // Write amplification proxy: bytes the publication path moved into PM.
+    pm_writes = exp.cluster().dfs_node(0).fs().published_bytes();
+  }
+  g_coalesce[coalesce ? 1 : 0] = {kops, pm_writes};
+  state.counters["kops_s"] = kops;
+  state.counters["published_MB"] = static_cast<double>(pm_writes) / 1e6;
+}
+
+void PrintTables() {
+  std::printf("\n=== Ablation: pipeline chunk size (LineFS seq-write throughput) ===\n");
+  std::printf("%-12s %10s\n", "chunk", "GB/s");
+  for (auto& [kb, tput] : g_chunk) {
+    std::printf("%6d KB   %10.2f\n", kb, tput / 1e9);
+  }
+  std::printf("\n=== Ablation: dynamic stage scaling (max workers per stage) ===\n");
+  std::printf("%-12s %10s\n", "max workers", "GB/s");
+  for (auto& [w, tput] : g_scaling) {
+    std::printf("%-12d %10.2f\n", w, tput / 1e9);
+  }
+  std::printf("\n=== Ablation: publication coalescing (temp-file churn) ===\n");
+  std::printf("%-12s %10s %16s\n", "coalescing", "kops/s", "published MB");
+  for (auto& [on, v] : g_coalesce) {
+    std::printf("%-12s %10.1f %16.1f\n", on ? "on" : "off", v.first, v.second / 1e6);
+  }
+}
+
+}  // namespace
+}  // namespace linefs::bench
+
+BENCHMARK(linefs::bench::BM_ChunkSize)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(linefs::bench::BM_StageScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(linefs::bench::BM_Coalescing)->Arg(0)->Arg(1)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  linefs::bench::PrintTables();
+  return 0;
+}

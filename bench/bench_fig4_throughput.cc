@@ -1,0 +1,111 @@
+// Figure 4: write throughput scalability when replicas are idle and busy.
+//
+// Each client writes a private file sequentially (16KB IOs) and calls fsync
+// at the end (§5.2.1); throughput is aggregate bytes over the makespan.
+// "Busy" runs streamcluster on both replicas with the DFS prioritised above
+// it, exactly as in the paper.
+//
+// Paper shapes to reproduce: idle — Assise worst at 1 client (~0.65 GB/s),
+// LineFS ~2.3x Assise at 1 client, network saturation (~2.2 GB/s) at 2
+// clients for LineFS vs 4 for Assise, LineFS-NotParallel >= 60% below LineFS;
+// busy — nobody saturates, LineFS degrades least.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+#include "src/workloads/microbench.h"
+
+namespace linefs::bench {
+namespace {
+
+constexpr uint64_t kBytesPerClient = 192ULL << 20;  // Scaled from 12GB.
+constexpr uint64_t kIoSize = 16 << 10;
+
+const core::DfsMode kModes[] = {
+    core::DfsMode::kAssise,     core::DfsMode::kAssiseBgRepl,
+    core::DfsMode::kAssiseHyperloop, core::DfsMode::kLineFSNotParallel,
+    core::DfsMode::kLineFS,
+};
+
+struct Key {
+  int mode;
+  bool busy;
+  int clients;
+  bool operator<(const Key& o) const {
+    return std::tie(mode, busy, clients) < std::tie(o.mode, o.busy, o.clients);
+  }
+};
+std::map<Key, double> g_results;
+
+double RunConfig(core::DfsMode mode, bool busy, int clients) {
+  core::DfsConfig config = BenchConfig(mode);
+  config.max_clients = 8;
+  // Busy runs give the DFS higher scheduling priority (§5.2.1).
+  config.host_fs_priority = busy ? sim::Priority::kHigh : sim::Priority::kNormal;
+  Experiment exp(config);
+  if (busy) {
+    exp.StartStreamcluster({1, 2}, CoRunnerOptions());
+  }
+  std::vector<core::LibFs*> fss;
+  for (int c = 0; c < clients; ++c) {
+    fss.push_back(exp.cluster().CreateClient(0));
+  }
+  sim::Time start = exp.engine().Now();
+  std::vector<sim::Task<>> tasks;
+  for (int c = 0; c < clients; ++c) {
+    tasks.push_back([](core::LibFs* fs, int c) -> sim::Task<> {
+      workloads::BenchResult r = co_await workloads::SeqWrite(
+          fs, "/w" + std::to_string(c) + ".dat", kBytesPerClient, kIoSize);
+      (void)r;
+    }(fss[c], c));
+  }
+  exp.RunAll(std::move(tasks));
+  sim::Time elapsed = exp.engine().Now() - start;
+  return static_cast<double>(kBytesPerClient) * clients / sim::ToSeconds(elapsed);
+}
+
+void BM_Fig4(benchmark::State& state) {
+  core::DfsMode mode = kModes[state.range(0)];
+  bool busy = state.range(1) != 0;
+  int clients = static_cast<int>(state.range(2));
+  double tput = 0;
+  for (auto _ : state) {
+    tput = RunConfig(mode, busy, clients);
+  }
+  g_results[Key{static_cast<int>(state.range(0)), busy, clients}] = tput;
+  state.counters["GB/s"] = tput / 1e9;
+  state.SetLabel(std::string(core::DfsModeName(mode)) + (busy ? "/busy" : "/idle"));
+}
+
+void PrintTable() {
+  for (int busy = 0; busy <= 1; ++busy) {
+    std::printf("\n=== Figure 4: write throughput (GB/s), replicas %s ===\n",
+                busy ? "busy" : "idle");
+    std::printf("%-22s %8s %8s %8s %8s\n", "system", "1", "2", "4", "8");
+    for (int m = 0; m < 5; ++m) {
+      std::printf("%-22s", core::DfsModeName(kModes[m]));
+      for (int clients : {1, 2, 4, 8}) {
+        auto it = g_results.find(Key{m, busy != 0, clients});
+        std::printf(" %8.2f", it != g_results.end() ? it->second / 1e9 : 0.0);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace linefs::bench
+
+BENCHMARK(linefs::bench::BM_Fig4)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}, {1, 2, 4, 8}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  linefs::bench::PrintTable();
+  return 0;
+}

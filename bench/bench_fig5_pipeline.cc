@@ -1,0 +1,83 @@
+// Figure 5: publish and replication pipeline latency breakdown for one 4MB
+// chunk (fetching / validation / publication-or-transfer / ack).
+//
+// Paper shape: fetching and publication/transfer dominate (they cross the
+// high-latency interconnects: PCIe ~1ms for 4MB, network ~1.5-1.8ms);
+// validation is hundreds of microseconds of wimpy-core compute; acks are
+// tens of microseconds. Publish and replication share fetch+validate, so
+// those stage latencies are identical by construction.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+#include "src/workloads/microbench.h"
+
+namespace linefs::bench {
+namespace {
+
+struct Breakdown {
+  double fetch_us = 0;
+  double validate_us = 0;
+  double publish_us = 0;
+  double transfer_us = 0;
+  double ack_us = 0;
+};
+Breakdown g_result;
+
+Breakdown Run() {
+  Experiment exp(BenchConfig(core::DfsMode::kLineFS));
+  core::LibFs* fs = exp.cluster().CreateClient(0);
+  std::vector<sim::Task<>> tasks;
+  tasks.push_back([](core::LibFs* fs) -> sim::Task<> {
+    // Write exactly 16 chunks' worth so stage recorders average over several.
+    workloads::BenchResult r = co_await workloads::SeqWrite(fs, "/p.dat", 64ULL << 20, 1 << 20);
+    (void)r;
+  }(fs));
+  exp.RunAll(std::move(tasks));
+  exp.Drain(10 * sim::kSecond);
+
+  core::NicFs::Stats& stats = exp.cluster().nicfs(0)->stats();
+  Breakdown b;
+  b.fetch_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_fetch.Mean()));
+  b.validate_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_validate.Mean()));
+  b.publish_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_publish.Mean()));
+  b.transfer_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_transfer.Mean()));
+  b.ack_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_ack.Mean()));
+  return b;
+}
+
+void BM_Fig5(benchmark::State& state) {
+  for (auto _ : state) {
+    g_result = Run();
+  }
+  state.counters["fetch_us"] = g_result.fetch_us;
+  state.counters["validate_us"] = g_result.validate_us;
+  state.counters["publish_us"] = g_result.publish_us;
+  state.counters["transfer_us"] = g_result.transfer_us;
+  state.counters["ack_us"] = g_result.ack_us;
+}
+
+void PrintTable() {
+  const Breakdown& b = g_result;
+  std::printf("\n=== Figure 5: pipeline latency breakdown per 4MB chunk (us) ===\n");
+  std::printf("%-12s %9s %10s %18s %8s %9s\n", "pipeline", "fetch", "validate",
+              "publish/transfer", "ack", "total");
+  std::printf("%-12s %9.0f %10.0f %18.0f %8.0f %9.0f\n", "publish", b.fetch_us, b.validate_us,
+              b.publish_us, b.ack_us, b.fetch_us + b.validate_us + b.publish_us + b.ack_us);
+  std::printf("%-12s %9.0f %10.0f %18.0f %8.0f %9.0f\n", "replication", b.fetch_us,
+              b.validate_us, b.transfer_us, b.ack_us,
+              b.fetch_us + b.validate_us + b.transfer_us + b.ack_us);
+  std::printf("(fetch and validation are shared between the two pipelines)\n");
+}
+
+}  // namespace
+}  // namespace linefs::bench
+
+BENCHMARK(linefs::bench::BM_Fig5)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  linefs::bench::PrintTable();
+  return 0;
+}

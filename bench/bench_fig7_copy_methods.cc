@@ -1,0 +1,93 @@
+// Figure 7: impact of the kernel worker's publication copy method on
+// streamcluster execution time and LineFS throughput, co-running at equal
+// priority with 4 DFS clients.
+//
+// Paper shape: streamcluster degrades monotonically with heavier host-side
+// publication (No copy ~= solo; DMA interrupt+batch ~ -23%; CPU memcpy
+// ~ -61%), while LineFS throughput is best with DMA interrupt+batch among
+// the realistic methods (+40% vs CPU memcpy).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+#include "src/workloads/microbench.h"
+
+namespace linefs::bench {
+namespace {
+
+constexpr uint64_t kBytesPerClient = 128ULL << 20;
+
+const core::PublishMethod kMethods[] = {
+    core::PublishMethod::kCpuMemcpy,        core::PublishMethod::kDmaPolling,
+    core::PublishMethod::kDmaPollingBatch,  core::PublishMethod::kDmaInterruptBatch,
+    core::PublishMethod::kNoCopy,
+};
+
+struct Row {
+  double sc_s = 0;
+  double tput = 0;
+};
+std::map<int, Row> g_rows;
+
+Row RunConfig(core::PublishMethod method) {
+  core::DfsConfig config = BenchConfig(core::DfsMode::kLineFS);
+  config.publish_method = method;
+  config.host_fs_priority = sim::Priority::kNormal;  // Equal priority (§5.2.4).
+  Experiment exp(config);
+  std::vector<workloads::Streamcluster*> jobs =
+      exp.StartStreamcluster({0, 1, 2}, CoRunnerOptions());
+  std::vector<core::LibFs*> fss;
+  for (int c = 0; c < 4; ++c) {
+    fss.push_back(exp.cluster().CreateClient(0));
+  }
+  sim::Time start = exp.engine().Now();
+  std::vector<sim::Task<>> tasks;
+  for (int c = 0; c < 4; ++c) {
+    tasks.push_back([](core::LibFs* fs, int c) -> sim::Task<> {
+      workloads::BenchResult r = co_await workloads::SeqWrite(
+          fs, "/f7_" + std::to_string(c), kBytesPerClient, 16 << 10);
+      (void)r;
+    }(fss[c], c));
+  }
+  exp.RunAll(std::move(tasks));
+  sim::Time dfs_elapsed = exp.engine().Now() - start;
+  exp.Drain(60 * sim::kSecond);
+  Row row;
+  row.tput = 4.0 * kBytesPerClient / sim::ToSeconds(dfs_elapsed);
+  row.sc_s = sim::ToSeconds(jobs[0]->elapsed());  // Primary-node co-runner.
+  return row;
+}
+
+void BM_Fig7(benchmark::State& state) {
+  Row row;
+  for (auto _ : state) {
+    row = RunConfig(kMethods[state.range(0)]);
+  }
+  g_rows[static_cast<int>(state.range(0))] = row;
+  state.counters["sc_s"] = row.sc_s;
+  state.counters["MB/s"] = row.tput / 1e6;
+  state.SetLabel(core::PublishMethodName(kMethods[state.range(0)]));
+}
+
+void PrintTable() {
+  std::printf("\n=== Figure 7: copy method vs streamcluster time and LineFS throughput ===\n");
+  std::printf("%-24s %16s %14s\n", "method", "streamcluster(s)", "LineFS MB/s");
+  for (int m = 0; m < 5; ++m) {
+    std::printf("%-24s %16.1f %14.0f\n", core::PublishMethodName(kMethods[m]), g_rows[m].sc_s,
+                g_rows[m].tput / 1e6);
+  }
+}
+
+}  // namespace
+}  // namespace linefs::bench
+
+BENCHMARK(linefs::bench::BM_Fig7)->DenseRange(0, 4)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  linefs::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 8a: LevelDB (MiniKv) db_bench average latency per op, with busy
+// replicas: fillseq, fillrandom, fillsync, readseq, readrandom, readhot.
+// 16B keys, 1KB values.
+//
+// Paper shape (log scale): LineFS ~80% better sequential-insert latency and
+// ~27% better random-insert; synchronous insert ~27% better; reads equal.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+#include "src/workloads/minikv.h"
+
+namespace linefs::bench {
+namespace {
+
+constexpr uint64_t kFillOps = 100000;  // 1KB values => ~100MB per fill.
+constexpr uint64_t kReadOps = 30000;
+constexpr uint64_t kValueSize = 1024;
+
+const char* kWorkloads[] = {"fillseq", "fillrandom", "fillsync",
+                            "readseq", "readrandom", "readhot"};
+
+std::map<std::pair<int, int>, double> g_lat;  // (mode, workload) -> us/op
+
+double RunOne(core::DfsMode mode, int workload) {
+  core::DfsConfig config = BenchConfig(mode);
+  config.host_fs_priority = sim::Priority::kHigh;
+  Experiment exp(config);
+  exp.StartStreamcluster({1, 2}, CoRunnerOptions());  // Busy replicas (§5.3).
+  core::LibFs* fs = exp.cluster().CreateClient(0);
+  double latency_us = 0;
+  std::vector<sim::Task<>> tasks;
+  tasks.push_back([](core::LibFs* fs, int workload, double* out) -> sim::Task<> {
+    workloads::MiniKv::Options options;
+    options.sync_writes = workload == 2;  // fillsync
+    workloads::MiniKv kv(fs, options);
+    Status st = co_await kv.Open();
+    (void)st;
+    workloads::DbBenchResult result;
+    if (workload <= 2) {
+      result = co_await workloads::DbBenchFill(&kv, fs->engine(), kFillOps, kValueSize,
+                                               /*random=*/workload != 0, 11);
+    } else {
+      // Reads operate on a database filled sequentially first (setup).
+      workloads::DbBenchResult fill = co_await workloads::DbBenchFill(
+          &kv, fs->engine(), kFillOps, kValueSize, /*random=*/false, 11);
+      (void)fill;
+      Status flush = co_await kv.FlushMemtable();
+      (void)flush;
+      workloads::ReadPattern pattern =
+          workload == 3 ? workloads::ReadPattern::kSequential
+                        : (workload == 4 ? workloads::ReadPattern::kRandom
+                                         : workloads::ReadPattern::kHot);
+      result = co_await workloads::DbBenchRead(&kv, fs->engine(), kReadOps, kFillOps, pattern,
+                                               13);
+    }
+    st = co_await kv.Close();
+    (void)st;
+    *out = result.AvgLatencyMicros();
+  }(fs, workload, &latency_us));
+  exp.RunAll(std::move(tasks));
+  return latency_us;
+}
+
+void BM_Fig8a(benchmark::State& state) {
+  core::DfsMode mode = state.range(0) == 0 ? core::DfsMode::kAssise : core::DfsMode::kLineFS;
+  int workload = static_cast<int>(state.range(1));
+  double lat = 0;
+  for (auto _ : state) {
+    lat = RunOne(mode, workload);
+  }
+  g_lat[{static_cast<int>(state.range(0)), workload}] = lat;
+  state.counters["us_per_op"] = lat;
+  state.SetLabel(std::string(core::DfsModeName(mode)) + "/" + kWorkloads[workload]);
+}
+
+void PrintTable() {
+  std::printf("\n=== Figure 8a: LevelDB (MiniKv) db_bench average latency (us/op), "
+              "busy replicas ===\n");
+  std::printf("%-12s %10s %10s %10s\n", "workload", "Assise", "LineFS", "LineFS gain");
+  for (int w = 0; w < 6; ++w) {
+    double assise = g_lat[{0, w}];
+    double linefs = g_lat[{1, w}];
+    std::printf("%-12s %10.1f %10.1f %9.0f%%\n", kWorkloads[w], assise, linefs,
+                assise > 0 ? (assise - linefs) / assise * 100 : 0);
+  }
+}
+
+}  // namespace
+}  // namespace linefs::bench
+
+BENCHMARK(linefs::bench::BM_Fig8a)
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4, 5}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  linefs::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 8b: Filebench Fileserver and Varmail throughput (kops/s) with busy
+// replicas.
+//
+// Paper shape: Fileserver — LineFS ~79% higher than Assise (write-heavy, no
+// fsync: everything pipelines in the background). Varmail — Assise ~21%
+// higher than LineFS (fsync-heavy small files + per-open permission RPC
+// across PCIe).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+#include "src/workloads/filebench.h"
+
+namespace linefs::bench {
+namespace {
+
+constexpr int kFiles = 2000;  // Scaled from 10K.
+constexpr sim::Time kRunFor = 5 * sim::kSecond;
+
+std::map<std::pair<int, int>, double> g_kops;  // (mode, profile) -> kops/s
+
+double RunOne(core::DfsMode mode, workloads::FilebenchProfile profile) {
+  core::DfsConfig config = BenchConfig(mode);
+  config.host_fs_priority = sim::Priority::kHigh;
+  Experiment exp(config);
+  exp.StartStreamcluster({1, 2}, CoRunnerOptions());
+  core::LibFs* fs = exp.cluster().CreateClient(0);
+  double kops = 0;
+  std::vector<sim::Task<>> tasks;
+  tasks.push_back([](core::LibFs* fs, workloads::FilebenchProfile profile,
+                     double* out) -> sim::Task<> {
+    workloads::Filebench::Options options =
+        profile == workloads::FilebenchProfile::kFileserver
+            ? workloads::Filebench::FileserverOptions(kFiles)
+            : workloads::Filebench::VarmailOptions(kFiles);
+    workloads::Filebench bench(fs, options);
+    co_await bench.Preallocate();
+    co_await bench.Run(kRunFor);
+    *out = bench.ops_per_second() / 1000.0;
+  }(fs, profile, &kops));
+  exp.RunAll(std::move(tasks));
+  return kops;
+}
+
+void BM_Fig8b(benchmark::State& state) {
+  core::DfsMode mode = state.range(0) == 0 ? core::DfsMode::kAssise : core::DfsMode::kLineFS;
+  workloads::FilebenchProfile profile = state.range(1) == 0
+                                            ? workloads::FilebenchProfile::kFileserver
+                                            : workloads::FilebenchProfile::kVarmail;
+  double kops = 0;
+  for (auto _ : state) {
+    kops = RunOne(mode, profile);
+  }
+  g_kops[{static_cast<int>(state.range(0)), static_cast<int>(state.range(1))}] = kops;
+  state.counters["kops_s"] = kops;
+  state.SetLabel(std::string(core::DfsModeName(mode)) +
+                 (state.range(1) == 0 ? "/fileserver" : "/varmail"));
+}
+
+void PrintTable() {
+  std::printf("\n=== Figure 8b: Filebench throughput (kops/s), busy replicas ===\n");
+  std::printf("%-12s %10s %10s\n", "workload", "Assise", "LineFS");
+  std::printf("%-12s %10.1f %10.1f\n", "Fileserver", g_kops[{0, 0}], g_kops[{1, 0}]);
+  std::printf("%-12s %10.1f %10.1f\n", "Varmail", g_kops[{0, 1}], g_kops[{1, 1}]);
+}
+
+}  // namespace
+}  // namespace linefs::bench
+
+BENCHMARK(linefs::bench::BM_Fig8b)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  linefs::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Table 1 (motivation): client CPU utilization and throughput for Assise
+// (client-local DFS) vs a Ceph-like client-server DFS, at 25GbE and 100GbE,
+// for 1/2/4/8 benchmark processes writing 4KB IOs.
+//
+// Paper shape: both DFSes burn client cycles, but Assise's client CPU grows
+// with process count AND network speed (file-system management is
+// client-local), while Ceph's stays ~2 cores; Ceph throughput caps at its
+// server journal (~1.4-1.6 GB/s) while Assise scales to the network.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+#include "src/baseline/cephlike.h"
+#include "src/workloads/microbench.h"
+
+namespace linefs::bench {
+namespace {
+
+constexpr uint64_t kBytesPerProc = 384ULL << 20;  // Scaled from 24 GB.
+constexpr uint64_t kIoSize = 4096;
+
+struct Cell {
+  double tput = 0;
+  double cores = 0;
+};
+// key: (is_ceph, fast_net, procs)
+std::map<std::tuple<int, int, int>, Cell> g_cells;
+
+Cell RunAssise(bool fast_net, int procs) {
+  core::DfsConfig config = BenchConfig(core::DfsMode::kAssise);
+  config.max_clients = 8;
+  if (fast_net) {
+    config.node_params.nic.net_goodput = 8.8e9;  // 100GbE goodput.
+  }
+  Experiment exp(config);
+  std::vector<core::LibFs*> fss;
+  for (int c = 0; c < procs; ++c) {
+    fss.push_back(exp.cluster().CreateClient(0));
+  }
+  sim::Time start = exp.engine().Now();
+  std::vector<sim::Task<>> tasks;
+  for (int c = 0; c < procs; ++c) {
+    tasks.push_back([](core::LibFs* fs, int c) -> sim::Task<> {
+      workloads::BenchResult r = co_await workloads::SeqWrite(
+          fs, "/t1_" + std::to_string(c), kBytesPerProc, kIoSize);
+      (void)r;
+    }(fss[c], c));
+  }
+  exp.RunAll(std::move(tasks));
+  sim::Time elapsed = exp.engine().Now() - start;
+  Cell cell;
+  cell.tput = static_cast<double>(kBytesPerProc) * procs / sim::ToSeconds(elapsed);
+  // Client (primary-node) CPU: LibFS+SharedFS+kworker busy time.
+  sim::CpuPool& cpu = exp.cluster().hw_node(0).host_cpu();
+  cell.cores = cpu.TotalBusySeconds() / sim::ToSeconds(elapsed);
+  return cell;
+}
+
+Cell RunCeph(bool fast_net, int procs) {
+  baseline::CephLike::Options options;
+  options.client_procs = procs;
+  options.bytes_per_proc = kBytesPerProc;
+  options.io_size = kIoSize;
+  options.net_goodput = fast_net ? 8.8e9 : 2.2e9;
+  options.journal_bw = fast_net ? 1.62e9 : 1.45e9;
+  baseline::CephLike::RunResult result = baseline::CephLike::Run(options);
+  return Cell{result.throughput, result.client_cpu_cores};
+}
+
+void BM_Table1(benchmark::State& state) {
+  bool is_ceph = state.range(0) != 0;
+  bool fast_net = state.range(1) != 0;
+  int procs = static_cast<int>(state.range(2));
+  Cell cell;
+  for (auto _ : state) {
+    cell = is_ceph ? RunCeph(fast_net, procs) : RunAssise(fast_net, procs);
+  }
+  g_cells[{is_ceph, fast_net, procs}] = cell;
+  state.counters["GB/s"] = cell.tput / 1e9;
+  state.counters["cpu_pct"] = cell.cores * 100;
+  state.SetLabel(std::string(is_ceph ? "Ceph" : "Assise") + (fast_net ? "/100GbE" : "/25GbE"));
+}
+
+void PrintTable() {
+  std::printf("\n=== Table 1: throughput (GB/s) and client CPU utilization (100%% = 1 core) ===\n");
+  std::printf("%-6s | %-29s | %-29s\n", "", "Throughput (GB/s)", "CPU utilization");
+  std::printf("%-6s | %6s %6s  %6s %6s | %6s %6s  %6s %6s\n", "procs", "25-As", "25-Ceph",
+              "100-As", "100-Ceph", "25-As", "25-Ceph", "100-As", "100-Ceph");
+  for (int procs : {1, 2, 4, 8}) {
+    std::printf("%-6d |", procs);
+    for (int fast = 0; fast <= 1; ++fast) {
+      std::printf(" %6.2f %6.2f ", g_cells[{0, fast, procs}].tput / 1e9,
+                  g_cells[{1, fast, procs}].tput / 1e9);
+    }
+    std::printf("|");
+    for (int fast = 0; fast <= 1; ++fast) {
+      std::printf(" %5.0f%% %5.0f%% ", g_cells[{0, fast, procs}].cores * 100,
+                  g_cells[{1, fast, procs}].cores * 100);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace linefs::bench
+
+BENCHMARK(linefs::bench::BM_Table1)
+    ->ArgsProduct({{0, 1}, {0, 1}, {1, 2, 4, 8}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  linefs::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Table 2: read throughput (MB/s) of Assise and LineFS, sequential and
+// random, single client reading a pre-written file locally with 16KB IOs.
+//
+// Paper shape: reads never touch the SmartNIC (the whole read path runs on
+// host CPUs), so LineFS ~= Assise for both patterns (~3 GB/s class).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+#include "src/workloads/microbench.h"
+
+namespace linefs::bench {
+namespace {
+
+constexpr uint64_t kFileBytes = 256ULL << 20;  // Scaled from 12GB.
+constexpr uint64_t kIoSize = 16 << 10;
+
+std::map<std::pair<int, int>, double> g_results;  // (mode, random) -> B/s
+
+double RunConfig(core::DfsMode mode, bool random) {
+  Experiment exp(BenchConfig(mode));
+  core::LibFs* fs = exp.cluster().CreateClient(0);
+  // Write + publish the file first (setup, not measured).
+  std::vector<sim::Task<>> setup;
+  setup.push_back([](core::LibFs* fs) -> sim::Task<> {
+    workloads::BenchResult w = co_await workloads::SeqWrite(fs, "/read.dat", kFileBytes, 1 << 20);
+    (void)w;
+  }(fs));
+  Experiment* e = &exp;
+  e->RunAll(std::move(setup));
+  e->Drain(10 * sim::kSecond);  // Publication completes; reads hit public PM.
+
+  double tput = 0;
+  std::vector<sim::Task<>> tasks;
+  tasks.push_back([](core::LibFs* fs, bool random, double* out) -> sim::Task<> {
+    workloads::BenchResult r =
+        co_await workloads::ReadBench(fs, "/read.dat", kFileBytes, kIoSize, random, 7);
+    *out = r.throughput();
+  }(fs, random, &tput));
+  e->RunAll(std::move(tasks));
+  return tput;
+}
+
+void BM_Table2(benchmark::State& state) {
+  core::DfsMode mode = state.range(0) == 0 ? core::DfsMode::kAssise : core::DfsMode::kLineFS;
+  bool random = state.range(1) != 0;
+  double tput = 0;
+  for (auto _ : state) {
+    tput = RunConfig(mode, random);
+  }
+  g_results[{static_cast<int>(state.range(0)), random}] = tput;
+  state.counters["MB/s"] = tput / 1e6;
+  state.SetLabel(std::string(core::DfsModeName(mode)) + (random ? "/rand" : "/seq"));
+}
+
+void PrintTable() {
+  std::printf("\n=== Table 2: read throughput (MB/s) ===\n");
+  std::printf("%-18s %12s %12s\n", "", "Assise", "LineFS");
+  std::printf("%-18s %12.0f %12.0f\n", "Sequential read", g_results[{0, 0}] / 1e6,
+              g_results[{1, 0}] / 1e6);
+  std::printf("%-18s %12.0f %12.0f\n", "Random read", g_results[{0, 1}] / 1e6,
+              g_results[{1, 1}] / 1e6);
+}
+
+}  // namespace
+}  // namespace linefs::bench
+
+BENCHMARK(linefs::bench::BM_Table2)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  linefs::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Table 3: write+fsync latency (avg / 99th / 99.9th, microseconds) with idle
+// and busy replicas, for Assise, Assise+Hyperloop, and LineFS.
+//
+// Paper shapes: idle — LineFS ~2x Assise average (extra PCIe hops + wimpy
+// cores); busy — LineFS unchanged (fully offloaded), Assise's tail blows up
+// by ~40x (host scheduling delays), Hyperloop keeps avg/p99 but its p99.9
+// collapses when verb pre-posting is delayed.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+#include "src/workloads/microbench.h"
+
+namespace linefs::bench {
+namespace {
+
+constexpr uint64_t kOps = 4000;
+constexpr uint64_t kIoSize = 16 << 10;
+
+const core::DfsMode kModes[] = {core::DfsMode::kAssise, core::DfsMode::kAssiseHyperloop,
+                                core::DfsMode::kLineFS};
+
+struct Row {
+  double avg = 0;
+  double p99 = 0;
+  double p999 = 0;
+};
+std::map<std::pair<int, bool>, Row> g_rows;
+
+Row RunConfig(core::DfsMode mode, bool busy) {
+  core::DfsConfig config = BenchConfig(mode);
+  // §5.2.5 runs the co-runner and the DFS at default (equal) priority.
+  config.host_fs_priority = sim::Priority::kNormal;
+  Experiment exp(config);
+  if (busy) {
+    exp.StartStreamcluster({1, 2}, CoRunnerOptions());
+    exp.Drain(50 * sim::kMillisecond);  // Let the co-runner saturate the cores.
+  }
+  core::LibFs* fs = exp.cluster().CreateClient(0);
+  sim::LatencyRecorder recorder;
+  std::vector<sim::Task<>> tasks;
+  tasks.push_back([](core::LibFs* fs, sim::LatencyRecorder* rec) -> sim::Task<> {
+    workloads::BenchResult r =
+        co_await workloads::SyncWriteLatency(fs, "/lat.dat", kOps, kIoSize, rec);
+    (void)r;
+  }(fs, &recorder));
+  exp.RunAll(std::move(tasks));
+  Row row;
+  row.avg = recorder.Mean() / sim::kMicrosecond;
+  row.p99 = sim::ToMicros(recorder.Percentile(99));
+  row.p999 = sim::ToMicros(recorder.Percentile(99.9));
+  return row;
+}
+
+void BM_Table3(benchmark::State& state) {
+  core::DfsMode mode = kModes[state.range(0)];
+  bool busy = state.range(1) != 0;
+  Row row;
+  for (auto _ : state) {
+    row = RunConfig(mode, busy);
+  }
+  g_rows[{static_cast<int>(state.range(0)), busy}] = row;
+  state.counters["avg_us"] = row.avg;
+  state.counters["p99_us"] = row.p99;
+  state.counters["p999_us"] = row.p999;
+  state.SetLabel(std::string(core::DfsModeName(mode)) + (busy ? "/busy" : "/idle"));
+}
+
+void PrintTable() {
+  std::printf("\n=== Table 3: write+fsync latency (us) ===\n");
+  std::printf("%-20s | %25s | %25s\n", "", "replicas idle", "replicas busy");
+  std::printf("%-20s | %7s %8s %8s | %7s %8s %8s\n", "system", "avg", "99th", "99.9th", "avg",
+              "99th", "99.9th");
+  for (int m = 0; m < 3; ++m) {
+    const Row& idle = g_rows[{m, false}];
+    const Row& busy = g_rows[{m, true}];
+    std::printf("%-20s | %7.0f %8.0f %8.0f | %7.0f %8.0f %8.0f\n",
+                core::DfsModeName(kModes[m]), idle.avg, idle.p99, idle.p999, busy.avg,
+                busy.p99, busy.p999);
+  }
+}
+
+}  // namespace
+}  // namespace linefs::bench
+
+BENCHMARK(linefs::bench::BM_Table3)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  linefs::bench::PrintTable();
+  return 0;
+}

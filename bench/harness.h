@@ -1,0 +1,110 @@
+// Shared benchmark harness: one simulated cluster per experiment, helpers to
+// run client tasks to completion, and paper-style table printing.
+
+#ifndef BENCH_HARNESS_H_
+#define BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/clustermgr.h"
+#include "src/core/libfs.h"
+#include "src/core/nicfs.h"
+#include "src/core/sharedfs.h"
+#include "src/workloads/streamcluster.h"
+
+namespace linefs::bench {
+
+// Benchmark-scale configuration: payload bytes elided (simulated time is
+// unaffected), capacities scaled (see DESIGN.md).
+inline core::DfsConfig BenchConfig(core::DfsMode mode, bool materialize = false) {
+  core::DfsConfig config;
+  config.mode = mode;
+  config.num_nodes = 3;
+  config.pm_size = 6ULL << 30;
+  config.log_size = 64ULL << 20;
+  config.inode_count = 1 << 20;
+  config.chunk_size = 4ULL << 20;
+  config.materialize_data = materialize;
+  return config;
+}
+
+class Experiment {
+ public:
+  explicit Experiment(const core::DfsConfig& config) {
+    cluster_ = std::make_unique<core::Cluster>(&engine_, config);
+    cluster_->Start();
+  }
+  ~Experiment() {
+    cluster_->Shutdown();
+    engine_.Run();
+  }
+
+  core::Cluster& cluster() { return *cluster_; }
+  sim::Engine& engine() { return engine_; }
+
+  // Spawns all tasks and steps the engine until each completes.
+  void RunAll(std::vector<sim::Task<>> tasks) {
+    int remaining = static_cast<int>(tasks.size());
+    for (sim::Task<>& task : tasks) {
+      engine_.Spawn([](sim::Task<> t, int* remaining) -> sim::Task<> {
+        co_await std::move(t);
+        --*remaining;
+      }(std::move(task), &remaining));
+    }
+    sim::Time deadline = engine_.Now() + 7200 * sim::kSecond;
+    while (remaining > 0 && engine_.Now() < deadline && engine_.RunOne()) {
+    }
+    if (remaining > 0) {
+      std::fprintf(stderr, "bench: %d tasks did not complete (deadlock?)\n", remaining);
+      std::abort();
+    }
+  }
+
+  void Drain(sim::Time t) { engine_.RunUntil(engine_.Now() + t); }
+
+  // Runs streamcluster co-runners on the given nodes in the background. The
+  // jobs are owned by the Experiment (they must outlive their coroutines);
+  // the returned pointers let callers read execution times.
+  std::vector<workloads::Streamcluster*> StartStreamcluster(
+      const std::vector<int>& nodes, const workloads::Streamcluster::Options& options) {
+    std::vector<workloads::Streamcluster*> started;
+    for (int n : nodes) {
+      co_runners_.push_back(
+          std::make_unique<workloads::Streamcluster>(&cluster_->hw_node(n), options));
+      engine_.Spawn(co_runners_.back()->Run());
+      started.push_back(co_runners_.back().get());
+    }
+    return started;
+  }
+
+ private:
+  sim::Engine engine_;
+  std::unique_ptr<core::Cluster> cluster_;
+  std::vector<std::unique_ptr<workloads::Streamcluster>> co_runners_;
+};
+
+// Streamcluster options matching the §5 co-runner: 48 threads, all cores,
+// solo runtime scaled to ~8 simulated seconds (the paper's is ~26s; the
+// DFS workloads here are scaled down by a similar factor).
+inline workloads::Streamcluster::Options CoRunnerOptions(int threads = 48) {
+  workloads::Streamcluster::Options o;
+  o.threads = threads;
+  o.iterations = 80;
+  o.work_per_iteration = 100 * sim::kMillisecond;
+  o.bytes_per_iteration = 80ULL << 20;
+  return o;
+}
+
+inline const char* Gbps(double bytes_per_sec, char* buf, size_t n) {
+  std::snprintf(buf, n, "%.2f", bytes_per_sec / 1e9);
+  return buf;
+}
+
+}  // namespace linefs::bench
+
+#endif  // BENCH_HARNESS_H_

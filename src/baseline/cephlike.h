@@ -1,0 +1,52 @@
+// CephLike: a client-server DFS model for the Table 1 motivation experiment.
+//
+// Unlike the client-local DFSes, clients ship every write over the network to
+// a storage server (node 1) that journals it and replicates to node 2. The
+// client pays per-op messaging/CRC cycles but none of the file-system
+// management work — which is exactly the contrast Table 1 draws: Assise burns
+// more client cores as network bandwidth grows, Ceph does not.
+//
+// The server-side journal is the throughput cap (real Ceph's OSD/journal
+// bottleneck): ~1.4 GB/s on the 25GbE setup, ~1.6 GB/s on 100GbE (Table 1).
+
+#ifndef SRC_BASELINE_CEPHLIKE_H_
+#define SRC_BASELINE_CEPHLIKE_H_
+
+#include <memory>
+
+#include "src/hw/fabric.h"
+#include "src/hw/node.h"
+#include "src/rdma/rpc.h"
+#include "src/sim/engine.h"
+#include "src/sim/link.h"
+#include "src/sim/sync.h"
+
+namespace linefs::baseline {
+
+class CephLike {
+ public:
+  struct Options {
+    int client_procs = 1;
+    uint64_t bytes_per_proc = 512ULL << 20;  // Scaled from the paper's 24GB.
+    uint64_t io_size = 4096;
+    double net_goodput = 2.2e9;       // 25GbE; 100GbE uses ~8.8e9.
+    double journal_bw = 1.45e9;       // Server-side OSD/journal throughput cap.
+    uint64_t client_cycles_per_op = 7000;   // Messaging, CRC, striping.
+    uint64_t server_cycles_per_op = 6000;
+    int window = 32;  // Outstanding async writes per client.
+  };
+
+  struct RunResult {
+    double throughput = 0;        // Aggregate bytes/sec.
+    double client_cpu_cores = 0;  // Client-node busy cores (100% = 1 core).
+    sim::Time elapsed = 0;
+  };
+
+  // Builds a private 3-node substrate (client + 2 storage servers), runs the
+  // write benchmark, and reports client CPU utilization.
+  static RunResult Run(const Options& options);
+};
+
+}  // namespace linefs::baseline
+
+#endif  // SRC_BASELINE_CEPHLIKE_H_

@@ -1,0 +1,224 @@
+#include "src/compress/lzw.h"
+
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+namespace linefs::compress {
+
+namespace {
+
+constexpr uint32_t kMaxBits = 16;
+constexpr uint32_t kMaxCodes = 1u << kMaxBits;
+constexpr uint32_t kResetCode = 256;   // Dictionary reset marker.
+constexpr uint32_t kFirstCode = 257;
+
+struct Header {
+  uint32_t magic = 0x4C5A5731;  // "LZW1"
+  uint32_t original_size = 0;
+};
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void Put(uint32_t value, uint32_t bits) {
+    acc_ |= static_cast<uint64_t>(value) << filled_;
+    filled_ += bits;
+    while (filled_ >= 8) {
+      out_->push_back(static_cast<uint8_t>(acc_ & 0xFF));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  void Flush() {
+    if (filled_ > 0) {
+      out_->push_back(static_cast<uint8_t>(acc_ & 0xFF));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+  uint64_t acc_ = 0;
+  uint32_t filled_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const uint8_t> in) : in_(in) {}
+
+  bool Get(uint32_t bits, uint32_t* value) {
+    while (filled_ < bits) {
+      if (pos_ >= in_.size()) {
+        return false;
+      }
+      acc_ |= static_cast<uint64_t>(in_[pos_++]) << filled_;
+      filled_ += 8;
+    }
+    *value = static_cast<uint32_t>(acc_ & ((1ULL << bits) - 1));
+    acc_ >>= bits;
+    filled_ -= bits;
+    return true;
+  }
+
+ private:
+  std::span<const uint8_t> in_;
+  size_t pos_ = 0;
+  uint64_t acc_ = 0;
+  uint32_t filled_ = 0;
+};
+
+uint32_t BitsFor(uint32_t next_code) {
+  uint32_t bits = 9;
+  while ((1u << bits) < next_code + 1 && bits < kMaxBits) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::vector<uint8_t> LzwCompress(std::span<const uint8_t> input) {
+  std::vector<uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  Header header;
+  header.original_size = static_cast<uint32_t>(input.size());
+  out.resize(sizeof(Header));
+  std::memcpy(out.data(), &header, sizeof(Header));
+  if (input.empty()) {
+    return out;
+  }
+
+  BitWriter writer(&out);
+  // Dictionary: sequence -> code. Sequences are tracked as (prefix_code, byte)
+  // pairs packed into a 64-bit key for speed.
+  std::unordered_map<uint64_t, uint32_t> dict;
+  dict.reserve(1 << 15);
+  uint32_t next_code = kFirstCode;
+
+  uint32_t current = input[0];  // Single bytes are codes 0..255.
+  for (size_t i = 1; i < input.size(); ++i) {
+    uint8_t byte = input[i];
+    uint64_t key = (static_cast<uint64_t>(current) << 8) | byte;
+    auto it = dict.find(key);
+    if (it != dict.end()) {
+      current = it->second;
+      continue;
+    }
+    writer.Put(current, BitsFor(next_code));
+    if (next_code < kMaxCodes - 1) {
+      dict.emplace(key, next_code++);
+    } else {
+      writer.Put(kResetCode, BitsFor(next_code));
+      dict.clear();
+      next_code = kFirstCode;
+    }
+    current = byte;
+  }
+  writer.Put(current, BitsFor(next_code));
+  writer.Flush();
+  return out;
+}
+
+Result<std::vector<uint8_t>> LzwDecompress(std::span<const uint8_t> input) {
+  if (input.size() < sizeof(Header)) {
+    return Status::Error(ErrorCode::kCorrupt, "lzw: short input");
+  }
+  Header header;
+  std::memcpy(&header, input.data(), sizeof(Header));
+  Header expected;
+  if (header.magic != expected.magic) {
+    return Status::Error(ErrorCode::kCorrupt, "lzw: bad magic");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(header.original_size);
+  if (header.original_size == 0) {
+    return out;
+  }
+
+  BitReader reader(input.subspan(sizeof(Header)));
+  // Dictionary: code -> (prefix code, suffix byte). Entries 0..255 implicit.
+  // The decoder's dictionary lags the encoder's by one entry, so the code
+  // width is driven by `enc_next`, an exact mirror of the encoder's
+  // `next_code` at the instant each code was emitted.
+  std::vector<std::pair<uint32_t, uint8_t>> dict;
+  std::string scratch;
+  auto expand = [&dict, &scratch](uint32_t code) -> bool {
+    scratch.clear();
+    while (code >= kFirstCode) {
+      uint32_t idx = code - kFirstCode;
+      if (idx >= dict.size()) {
+        return false;
+      }
+      scratch.push_back(static_cast<char>(dict[idx].second));
+      code = dict[idx].first;
+    }
+    scratch.push_back(static_cast<char>(code));
+    return true;
+  };
+
+  uint32_t enc_next = kFirstCode;
+  uint32_t prev = 0;
+  bool have_prev = false;
+  while (out.size() < header.original_size) {
+    uint32_t code = 0;
+    if (!reader.Get(BitsFor(enc_next), &code)) {
+      return Status::Error(ErrorCode::kCorrupt, "lzw: truncated stream");
+    }
+    if (code == kResetCode) {
+      dict.clear();
+      enc_next = kFirstCode;
+      have_prev = false;
+      continue;
+    }
+    if (!have_prev) {
+      if (code > 255) {
+        return Status::Error(ErrorCode::kCorrupt, "lzw: bad first code");
+      }
+      out.push_back(static_cast<uint8_t>(code));
+      prev = code;
+      have_prev = true;
+    } else {
+      uint32_t pending = kFirstCode + static_cast<uint32_t>(dict.size());
+      uint8_t first_byte_of_new;
+      if (code == pending) {
+        // The KwKwK special case: code not yet in the dictionary.
+        if (!expand(prev)) {
+          return Status::Error(ErrorCode::kCorrupt, "lzw: bad prefix");
+        }
+        first_byte_of_new = static_cast<uint8_t>(scratch.back());
+        for (auto it = scratch.rbegin(); it != scratch.rend(); ++it) {
+          out.push_back(static_cast<uint8_t>(*it));
+        }
+        out.push_back(first_byte_of_new);
+      } else {
+        if (!expand(code)) {
+          return Status::Error(ErrorCode::kCorrupt, "lzw: bad code");
+        }
+        first_byte_of_new = static_cast<uint8_t>(scratch.back());
+        for (auto it = scratch.rbegin(); it != scratch.rend(); ++it) {
+          out.push_back(static_cast<uint8_t>(*it));
+        }
+      }
+      dict.emplace_back(prev, first_byte_of_new);
+      prev = code;
+    }
+    // Mirror the encoder's post-emit dictionary growth.
+    if (enc_next < kMaxCodes - 1) {
+      ++enc_next;
+    }
+  }
+  return out;
+}
+
+double CompressionRatio(uint64_t original, uint64_t compressed) {
+  if (original == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(compressed) / static_cast<double>(original);
+}
+
+}  // namespace linefs::compress

@@ -1,0 +1,31 @@
+// LZW compression codec (§5.4).
+//
+// NICFS's optional replication-pipeline compression stage runs Lempel-Ziv-
+// Welch over chunk images before transfer. This is a real, working codec:
+// variable-width codes (9..16 bits), dictionary reset on overflow, exact
+// round-trip. Compression throughput on a SmartNIC core (~200 MB/s in the
+// paper) is charged separately via the simulated cost model.
+
+#ifndef SRC_COMPRESS_LZW_H_
+#define SRC_COMPRESS_LZW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/sim/result.h"
+
+namespace linefs::compress {
+
+// Compresses `input`; output includes a small header with the original size.
+std::vector<uint8_t> LzwCompress(std::span<const uint8_t> input);
+
+// Decompresses a LzwCompress() result. Fails on malformed input.
+Result<std::vector<uint8_t>> LzwDecompress(std::span<const uint8_t> input);
+
+// Convenience: achieved ratio (compressed/original, lower = better).
+double CompressionRatio(uint64_t original, uint64_t compressed);
+
+}  // namespace linefs::compress
+
+#endif  // SRC_COMPRESS_LZW_H_

@@ -1,0 +1,115 @@
+#include "src/core/cluster.h"
+
+#include <cassert>
+
+#include "src/core/clustermgr.h"
+#include "src/core/kworker.h"
+#include "src/core/libfs.h"
+#include "src/core/nicfs.h"
+#include "src/core/sharedfs.h"
+
+namespace linefs::core {
+
+const char* DfsModeName(DfsMode mode) {
+  switch (mode) {
+    case DfsMode::kLineFS:
+      return "LineFS";
+    case DfsMode::kLineFSNotParallel:
+      return "LineFS-NotParallel";
+    case DfsMode::kAssise:
+      return "Assise";
+    case DfsMode::kAssiseBgRepl:
+      return "Assise-BgRepl";
+    case DfsMode::kAssiseHyperloop:
+      return "Assise+Hyperloop";
+  }
+  return "unknown";
+}
+
+const char* PublishMethodName(PublishMethod method) {
+  switch (method) {
+    case PublishMethod::kCpuMemcpy:
+      return "CPU memcpy";
+    case PublishMethod::kDmaPolling:
+      return "DMA polling";
+    case PublishMethod::kDmaPollingBatch:
+      return "DMA polling + batch";
+    case PublishMethod::kDmaInterruptBatch:
+      return "DMA interrupt + batch";
+    case PublishMethod::kNoCopy:
+      return "No copy";
+  }
+  return "unknown";
+}
+
+Cluster::Cluster(sim::Engine* engine, const DfsConfig& config)
+    : engine_(engine), config_(config) {
+  config_.node_params.host.pm_size = config_.pm_size;
+
+  fabric_ = std::make_unique<hw::Fabric>(engine_);
+  std::vector<hw::Node*> raw_nodes;
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    hw_nodes_.push_back(std::make_unique<hw::Node>(engine_, i, config_.node_params));
+    fabric_->Attach(hw_nodes_.back().get());
+    raw_nodes.push_back(hw_nodes_.back().get());
+  }
+  net_ = std::make_unique<rdma::Network>(engine_, fabric_.get(), raw_nodes, config_.rdma_costs);
+  rpc_ = std::make_unique<rdma::RpcSystem>(net_.get());
+  service_alive_.resize(config_.num_nodes, true);
+
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    dfs_nodes_.push_back(std::make_unique<DfsNode>(hw_nodes_[i].get(), config_));
+  }
+  if (config_.IsLineFs()) {
+    for (int i = 0; i < config_.num_nodes; ++i) {
+      kworkers_.push_back(
+          std::make_unique<KernelWorker>(dfs_nodes_[i].get(), &config_, rpc_.get()));
+    }
+    for (int i = 0; i < config_.num_nodes; ++i) {
+      nicfs_.push_back(std::make_unique<NicFs>(this, dfs_nodes_[i].get(), kworkers_[i].get(),
+                                               &config_));
+    }
+  } else {
+    for (int i = 0; i < config_.num_nodes; ++i) {
+      sharedfs_.push_back(std::make_unique<SharedFs>(this, dfs_nodes_[i].get(), &config_));
+    }
+  }
+  manager_ = std::make_unique<ClusterManager>(this, &config_);
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::Start() {
+  assert(!started_);
+  started_ = true;
+  for (auto& kw : kworkers_) {
+    kw->Start();
+  }
+  for (auto& fs : nicfs_) {
+    fs->Start();
+  }
+  for (auto& fs : sharedfs_) {
+    fs->Start();
+  }
+  manager_->Start();
+}
+
+void Cluster::Shutdown() {
+  manager_->Shutdown();
+  for (auto& fs : nicfs_) {
+    fs->Shutdown();
+  }
+  for (auto& fs : sharedfs_) {
+    fs->Shutdown();
+  }
+}
+
+LibFs* Cluster::CreateClient(int node_id) {
+  int id = static_cast<int>(clients_.size());
+  assert(id < config_.max_clients);
+  clients_.push_back(std::make_unique<LibFs>(this, node_id, id));
+  clients_.back()->Attach();
+  return clients_.back().get();
+}
+
+}  // namespace linefs::core

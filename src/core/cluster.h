@@ -1,0 +1,118 @@
+// Cluster: top-level wiring of a LineFS deployment — hardware nodes, fabric,
+// RDMA network, RPC system, per-node DFS services (NICFS + kernel worker, or
+// SharedFS for the Assise baselines), the cluster manager, and LibFS clients.
+
+#ifndef SRC_CORE_CLUSTER_H_
+#define SRC_CORE_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/dfs_node.h"
+#include "src/hw/fabric.h"
+#include "src/hw/node.h"
+#include "src/rdma/rdma.h"
+#include "src/rdma/rpc.h"
+#include "src/sim/engine.h"
+
+namespace linefs::core {
+
+class NicFs;
+class SharedFs;
+class KernelWorker;
+class ClusterManager;
+class LibFs;
+
+// Side-band for bulk NIC-to-NIC data: the simulated RDMA layer charges the
+// wire costs while the actual bytes (or pre-parsed entries in elided-data
+// mode) travel through this stash, keyed by destination.
+struct WirePayload {
+  std::vector<uint8_t> raw;                  // Chunk image (possibly compressed).
+  std::vector<fslib::ParsedEntry> entries;   // Used when payload bytes are elided.
+  bool compressed = false;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Engine* engine, const DfsConfig& config);
+  ~Cluster();
+
+  // Builds hardware, services, and the cluster manager; starts service loops.
+  void Start();
+
+  // Stops heartbeats, monitors, and pipelines so Engine::Run() can drain.
+  void Shutdown();
+
+  sim::Engine* engine() { return engine_; }
+  const DfsConfig& config() const { return config_; }
+  int num_nodes() const { return static_cast<int>(hw_nodes_.size()); }
+
+  hw::Node& hw_node(int id) { return *hw_nodes_[id]; }
+  DfsNode& dfs_node(int id) { return *dfs_nodes_[id]; }
+  hw::Fabric& fabric() { return *fabric_; }
+  rdma::Network& net() { return *net_; }
+  rdma::RpcSystem& rpc() { return *rpc_; }
+
+  NicFs* nicfs(int id) { return nicfs_.size() > static_cast<size_t>(id) ? nicfs_[id].get() : nullptr; }
+  SharedFs* sharedfs(int id) {
+    return sharedfs_.size() > static_cast<size_t>(id) ? sharedfs_[id].get() : nullptr;
+  }
+  KernelWorker* kworker(int id) {
+    return kworkers_.size() > static_cast<size_t>(id) ? kworkers_[id].get() : nullptr;
+  }
+  ClusterManager& manager() { return *manager_; }
+
+  // Creates a LibFS client process on `node_id` (clients get globally unique
+  // ids; at most config.max_clients per node).
+  LibFs* CreateClient(int node_id);
+  LibFs* client(int id) { return clients_[id].get(); }
+  int client_count() const { return static_cast<int>(clients_.size()); }
+
+  // --- Service membership (maintained by the cluster manager) ------------------
+
+  bool service_alive(int node) const { return service_alive_[node]; }
+  void SetServiceAlive(int node, bool alive) { service_alive_[node] = alive; }
+
+  // --- Wire payload stash -----------------------------------------------------
+
+  static std::string WireKey(int dst_node, int client, uint64_t chunk_no) {
+    return std::to_string(dst_node) + "/" + std::to_string(client) + "/" +
+           std::to_string(chunk_no);
+  }
+  void StashWire(const std::string& key, WirePayload payload) {
+    wire_[key] = std::move(payload);
+  }
+  WirePayload TakeWire(const std::string& key) {
+    auto it = wire_.find(key);
+    if (it == wire_.end()) {
+      return {};
+    }
+    WirePayload payload = std::move(it->second);
+    wire_.erase(it);
+    return payload;
+  }
+
+ private:
+  sim::Engine* engine_;
+  DfsConfig config_;
+  std::vector<std::unique_ptr<hw::Node>> hw_nodes_;
+  std::vector<std::unique_ptr<DfsNode>> dfs_nodes_;
+  std::unique_ptr<hw::Fabric> fabric_;
+  std::unique_ptr<rdma::Network> net_;
+  std::unique_ptr<rdma::RpcSystem> rpc_;
+  std::vector<std::unique_ptr<NicFs>> nicfs_;
+  std::vector<std::unique_ptr<SharedFs>> sharedfs_;
+  std::vector<std::unique_ptr<KernelWorker>> kworkers_;
+  std::unique_ptr<ClusterManager> manager_;
+  std::vector<std::unique_ptr<LibFs>> clients_;
+  std::unordered_map<std::string, WirePayload> wire_;
+  std::vector<bool> service_alive_;
+  bool started_ = false;
+};
+
+}  // namespace linefs::core
+
+#endif  // SRC_CORE_CLUSTER_H_

@@ -1,0 +1,53 @@
+// Cluster manager (the paper uses ZooKeeper [1]): DFS membership, failure
+// detection via 1-second heartbeats, epoch numbers, and root lease arbitration
+// (§3.4, §3.6). Modelled as an external fault-tolerant service: it consumes no
+// cluster-node CPU, only network latency.
+
+#ifndef SRC_CORE_CLUSTERMGR_H_
+#define SRC_CORE_CLUSTERMGR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/messages.h"
+#include "src/sim/task.h"
+
+namespace linefs::core {
+
+class Cluster;
+
+class ClusterManager {
+ public:
+  ClusterManager(Cluster* cluster, const DfsConfig* config);
+
+  void Start();
+  void Shutdown();
+
+  uint64_t epoch() const { return epoch_; }
+
+  // Marks a NICFS failed: expires its leases, bumps the epoch, and notifies
+  // every live NICFS (which persists the epoch, §3.6). Also invoked by the
+  // heartbeat loop.
+  sim::Task<> OnNicFsFailure(int node);
+
+  // Re-admits a recovered NICFS after it completes the recovery protocol.
+  sim::Task<> OnNicFsRecovered(int node);
+
+  int heartbeats_sent() const { return heartbeats_sent_; }
+
+ private:
+  sim::Task<> HeartbeatLoop();
+  sim::Task<> BroadcastEpoch();
+
+  Cluster* cluster_;
+  const DfsConfig* config_;
+  uint64_t epoch_ = 1;
+  std::vector<bool> seen_alive_;
+  bool shutdown_ = false;
+  int heartbeats_sent_ = 0;
+};
+
+}  // namespace linefs::core
+
+#endif  // SRC_CORE_CLUSTERMGR_H_

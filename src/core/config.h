@@ -1,0 +1,105 @@
+// DFS configuration: system mode (LineFS + every baseline of §5.1), scaling
+// knobs, and the cost model.
+
+#ifndef SRC_CORE_CONFIG_H_
+#define SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/fslib/types.h"
+#include "src/hw/params.h"
+#include "src/sim/time.h"
+
+namespace linefs::core {
+
+enum class DfsMode {
+  kLineFS,             // Full system: NICFS offload + pipeline parallelism.
+  kLineFSNotParallel,  // Ablation: NICFS offload, strictly sequential stages.
+  kAssise,             // Baseline: host SharedFS, sync replication on fsync.
+  kAssiseBgRepl,       // Assise + background replication (3 threads, 4MB chunks).
+  kAssiseHyperloop,    // Assise + NIC-offloaded replication (Hyperloop [36]).
+};
+
+const char* DfsModeName(DfsMode mode);
+
+// Fig. 7: how the host publishes (copies log data into public PM).
+enum class PublishMethod {
+  kCpuMemcpy,          // Host cores move the bytes.
+  kDmaPolling,         // I/OAT DMA, host core busy-polls per copy op.
+  kDmaPollingBatch,    // I/OAT DMA, host core busy-polls per batched list.
+  kDmaInterruptBatch,  // I/OAT DMA, blocking wait for completion interrupt.
+  kNoCopy,             // Ablation: skip publication data movement entirely.
+};
+
+const char* PublishMethodName(PublishMethod method);
+
+struct DfsConfig {
+  DfsMode mode = DfsMode::kLineFS;
+
+  int num_nodes = 3;  // Primary + 2 replicas (§5.1).
+  int max_clients = 8;
+
+  // Scaled-down capacities (simulated time is unaffected by scaling; see
+  // DESIGN.md "Data-plane elision").
+  uint64_t pm_size = 2ULL << 30;
+  uint64_t log_size = 64ULL << 20;
+  uint64_t inode_count = 65536;
+  uint64_t chunk_size = fslib::kDefaultChunkSize;  // 4 MB.
+
+  // Benchmarks may elide payload byte movement; tests always materialize.
+  bool materialize_data = true;
+
+  // Replication-pipeline compression stage (§5.4).
+  bool compression = false;
+  int compression_threads = 16;
+
+  // Publication coalescing stage (§3.3.1).
+  bool coalescing = true;
+
+  PublishMethod publish_method = PublishMethod::kDmaInterruptBatch;
+
+  // Whether replicas publish (digest) replicated logs into their public area.
+  bool replica_publish = true;
+
+  // Assise-BgRepl worker threads (paper: 3 maximises performance).
+  int bg_repl_threads = 3;
+
+  // Hyperloop: host must re-post RDMA verb batches every N replication ops.
+  int hyperloop_prepost_batch = 128;
+
+  // NICFS dynamic stage scaling (§3.1): grow a stage when its wait queue
+  // exceeds the threshold.
+  int stage_queue_threshold = 5;
+  int max_stage_workers = 4;
+
+  // Replication flow control watermarks (§4).
+  double mem_high_watermark = 0.70;
+  double mem_low_watermark = 0.30;
+
+  // Failure detection.
+  sim::Time kworker_check_interval = 100 * sim::kMillisecond;
+  sim::Time kworker_rpc_timeout = 30 * sim::kMillisecond;
+  sim::Time heartbeat_interval = sim::kSecond;  // Cluster manager (§3.6).
+  sim::Time heartbeat_timeout = 2 * sim::kSecond;
+
+  // Lease management.
+  sim::Time lease_duration = sim::kSecond;
+
+  // Scheduling priority of host-side DFS work (experiments vary this:
+  // §5.2.1 busy runs DFS above streamcluster; §5.2.4 runs them equal).
+  sim::Priority host_fs_priority = sim::Priority::kNormal;
+
+  hw::NodeParams node_params;
+  hw::FsCosts fs_costs;
+  hw::RdmaCosts rdma_costs;
+
+  bool IsLineFs() const {
+    return mode == DfsMode::kLineFS || mode == DfsMode::kLineFSNotParallel;
+  }
+  bool pipeline_parallel() const { return mode == DfsMode::kLineFS; }
+};
+
+}  // namespace linefs::core
+
+#endif  // SRC_CORE_CONFIG_H_

@@ -1,0 +1,120 @@
+// Wire messages (trivially copyable PODs) exchanged between LibFS, NICFS,
+// kernel workers, SharedFS instances, and the cluster manager.
+
+#ifndef SRC_CORE_MESSAGES_H_
+#define SRC_CORE_MESSAGES_H_
+
+#include <cstdint>
+
+#include "src/fslib/types.h"
+
+namespace linefs::core {
+
+// RPC method ids.
+enum RpcMethod : uint32_t {
+  kRpcStartPipeline = 1,  // LibFS -> NICFS/SharedFS: a chunk's worth of log is ready.
+  kRpcFsync = 2,          // LibFS -> NICFS/SharedFS: replicate+persist up to `upto`.
+  kRpcOpen = 3,           // LibFS -> NICFS: permission check + kworker mmap (§3.6).
+  kRpcLease = 4,          // LibFS -> lease manager.
+  kRpcLeaseRelease = 5,
+  kRpcReplChunk = 6,      // NICFS -> next NICFS: chunk data has been RDMA'd over.
+  kRpcReplAck = 7,        // replica NICFS -> primary NICFS.
+  kRpcKworkerPing = 8,    // NICFS -> kworker (failure detector).
+  kRpcKworkerCopy = 9,    // NICFS -> kworker: execute a publication copy list.
+  kRpcKworkerMmap = 10,   // NICFS -> kworker: map pages read-only for a client.
+  kRpcHeartbeat = 11,     // cluster manager -> NICFS.
+  kRpcEpochUpdate = 12,   // cluster manager -> NICFS: epoch changed.
+  kRpcHistoryBitmap = 13, // recovering NICFS -> replica NICFS.
+  kRpcFetchInode = 14,    // recovering NICFS -> replica NICFS.
+  kRpcShardWrite = 15,    // CephLike client -> server.
+  kRpcShardRead = 16,
+};
+
+struct Ack {
+  int32_t status = 0;  // 0 = OK, otherwise ErrorCode.
+};
+
+struct StartPipelineReq {
+  uint32_t client = 0;
+};
+
+struct FsyncReq {
+  uint32_t client = 0;
+  uint64_t upto = 0;  // Logical log position that must be replicated+durable.
+};
+
+struct OpenReq {
+  uint32_t client = 0;
+  fslib::InodeNum inum = 0;
+  uint32_t flags = 0;
+};
+
+struct LeaseReq {
+  uint32_t client = 0;
+  fslib::InodeNum inum = 0;
+  uint8_t write = 0;
+};
+
+struct LeaseResp {
+  int32_t status = 0;
+  uint64_t expires_at = 0;
+};
+
+struct ReplChunkMsg {
+  uint32_t client = 0;
+  uint64_t chunk_no = 0;
+  uint64_t from = 0;  // Logical log range [from, to).
+  uint64_t to = 0;
+  uint64_t wire_bytes = 0;   // Bytes that crossed the network (post-compression).
+  uint8_t compressed = 0;
+  uint8_t direct_to_host = 0;  // Penultimate-hop optimisation (Fig. 3, step 6').
+  uint8_t urgent = 0;          // fsync-path chunk: use the low-latency channel.
+  int32_t origin_node = 0;     // Primary node id.
+  int32_t hop = 0;             // Position in the chain (1 = first replica).
+};
+
+struct ReplAckMsg {
+  uint32_t client = 0;
+  uint64_t chunk_no = 0;
+  uint64_t to = 0;         // Log position covered.
+  int32_t replica_node = 0;
+};
+
+struct PingReq {
+  int32_t from_node = 0;
+};
+
+struct KworkerCopyReq {
+  uint32_t client = 0;
+  uint64_t plan_id = 0;  // Key into the node's shared plan table.
+};
+
+struct HeartbeatMsg {
+  uint64_t epoch = 0;
+};
+
+struct EpochUpdateMsg {
+  uint64_t epoch = 0;
+};
+
+struct HistoryBitmapReq {
+  uint64_t from_epoch = 0;
+};
+
+struct HistoryBitmapResp {
+  int32_t status = 0;
+  uint32_t inode_count = 0;  // Number of inodes updated since from_epoch.
+};
+
+struct FetchInodeReq {
+  fslib::InodeNum inum = 0;
+};
+
+struct FetchInodeResp {
+  int32_t status = 0;
+  uint64_t size = 0;
+};
+
+}  // namespace linefs::core
+
+#endif  // SRC_CORE_MESSAGES_H_

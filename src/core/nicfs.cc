@@ -1,0 +1,949 @@
+#include "src/core/nicfs.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/compress/lzw.h"
+#include "src/core/cluster.h"
+#include "src/core/clustermgr.h"
+#include "src/sim/trace.h"
+
+namespace linefs::core {
+
+namespace {
+constexpr sim::Time kScalingCheckInterval = 2 * sim::kMillisecond;
+}  // namespace
+
+NicFs::NicFs(Cluster* cluster, DfsNode* node, KernelWorker* kworker, const DfsConfig* config)
+    : cluster_(cluster), node_(node), kworker_(kworker), config_(config),
+      engine_(node->hw().engine()) {
+  LeaseManager::Context lease_ctx;
+  lease_ctx.engine = engine_;
+  lease_ctx.net = &cluster->net();
+  lease_ctx.initiator = NicInitiator(/*urgent=*/false);
+  lease_ctx.self = rdma::MemAddr{node_->id(), rdma::Space::kNicMem};
+  for (int n = 0; n < cluster->num_nodes(); ++n) {
+    if (n != node_->id()) {
+      lease_ctx.replicas.push_back(rdma::MemAddr{n, rdma::Space::kNicMem});
+    }
+  }
+  lease_ctx.lease_duration = config->lease_duration;
+  leases_ = std::make_unique<LeaseManager>(lease_ctx);
+  validator_ = std::make_unique<fslib::Validator>(
+      &node_->fs().inodes(), &node_->fs().dirs(),
+      [this](uint32_t client, fslib::InodeNum inum) {
+        return leases_->CheckWrite(client, inum);
+      });
+  replica_validator_ = std::make_unique<fslib::Validator>(
+      &node_->fs().inodes(), &node_->fs().dirs(),
+      [](uint32_t, fslib::InodeNum) { return true; });  // Lease state is replicated.
+}
+
+NicFs::~NicFs() = default;
+
+rdma::Initiator NicFs::NicInitiator(bool urgent) const {
+  rdma::Initiator init;
+  init.cpu = &node_->hw().nic().cpu();
+  init.priority = urgent ? sim::Priority::kRealtime : sim::Priority::kNormal;
+  init.account = node_->hw().nic().nicfs_account();
+  init.polls = urgent;
+  // SmartNIC verbs traverse the SoC-internal PCIe to the ConnectX transport,
+  // and the A72's slow caches inflate doorbell paths (§5.2.5).
+  init.extra_latency = 8 * sim::kMicrosecond;
+  return init;
+}
+
+std::vector<int> NicFs::ChainFor(int origin) const {
+  // Chain replication order, skipping nodes whose NICFS the cluster manager
+  // has declared failed (the chain heals around them).
+  std::vector<int> chain;
+  int n = cluster_->num_nodes();
+  for (int i = 0; i < n; ++i) {
+    int node = (origin + i) % n;
+    if (node == origin || cluster_->service_alive(node)) {
+      chain.push_back(node);
+    }
+  }
+  return chain;
+}
+
+void NicFs::Start() {
+  rdma::RpcEndpoint* ep = cluster_->rpc().CreateEndpoint(
+      EndpointName(node_->id()), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+      &node_->hw().nic().cpu(), node_->hw().nic().nicfs_account(),
+      /*has_low_lat_poller=*/true);
+  // NICFS survives host crashes (the SmartNIC is a separate failure domain);
+  // it only disappears when the cluster manager declares the service dead.
+  ep->SetAlivePredicate(
+      [cluster = cluster_, id = node_->id()] { return cluster->service_alive(id); });
+
+  ep->Handle<StartPipelineReq, Ack>(kRpcStartPipeline,
+                                    [this](StartPipelineReq req) -> sim::Task<Ack> {
+                                      auto it = pipes_.find(static_cast<int>(req.client));
+                                      if (it != pipes_.end()) {
+                                        it->second->fetch_cv.NotifyAll();
+                                      }
+                                      co_return Ack{};
+                                    });
+
+  ep->Handle<FsyncReq, Ack>(kRpcFsync,
+                            [this](FsyncReq req) -> sim::Task<Ack> {
+                              co_return co_await HandleFsync(req);
+                            });
+
+  ep->Handle<OpenReq, Ack>(kRpcOpen, [this](OpenReq req) -> sim::Task<Ack> {
+    // Permission check on the SmartNIC (§3.6)...
+    co_await node_->hw().nic().cpu().RunCycles(2500, sim::Priority::kRealtime,
+                                               node_->hw().nic().nicfs_account());
+    Result<fslib::FileAttr> attr = node_->fs().GetAttr(req.inum);
+    if (attr.ok() && (attr->mode & fslib::kPermRead) == 0) {
+      co_return Ack{static_cast<int32_t>(ErrorCode::kPermission)};
+    }
+    // ...then ask the kernel worker to map the pages read-only.
+    Result<Ack> mapped = co_await cluster_->rpc().Call<OpenReq, Ack>(
+        NicInitiator(false), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+        KernelWorker::EndpointName(node_->id()), rdma::Channel::kHighTput, kRpcKworkerMmap,
+        req, config_->kworker_rpc_timeout);
+    if (!mapped.ok()) {
+      co_return Ack{static_cast<int32_t>(mapped.code())};
+    }
+    co_return *mapped;
+  });
+
+  ep->Handle<LeaseReq, LeaseResp>(kRpcLease, [this](LeaseReq req) -> sim::Task<LeaseResp> {
+    co_await node_->hw().nic().cpu().RunCycles(1200, sim::Priority::kRealtime,
+                                               node_->hw().nic().nicfs_account());
+    Result<sim::Time> expiry = leases_->TryAcquire(req.client, req.inum, req.write != 0);
+    if (!expiry.ok()) {
+      co_return LeaseResp{static_cast<int32_t>(expiry.code()), 0};
+    }
+    // Persist + replicate the grant asynchronously (§3.4).
+    engine_->Spawn(leases_->PersistGrant());
+    co_return LeaseResp{0, static_cast<uint64_t>(*expiry)};
+  });
+
+  ep->Handle<LeaseReq, Ack>(kRpcLeaseRelease, [this](LeaseReq req) -> sim::Task<Ack> {
+    leases_->Release(req.client, req.inum);
+    co_return Ack{};
+  });
+
+  ep->Handle<ReplChunkMsg, Ack>(kRpcReplChunk, [this](ReplChunkMsg msg) -> sim::Task<Ack> {
+    // Ack receipt immediately; processing (local copy, forwarding, ack to the
+    // primary, publication) proceeds asynchronously so the sender can pipeline
+    // the next chunk (Fig. 3).
+    engine_->Spawn(HandleReplChunk(msg));
+    co_return Ack{};
+  });
+
+  ep->Handle<ReplAckMsg, Ack>(kRpcReplAck, [this](ReplAckMsg msg) -> sim::Task<Ack> {
+    HandleReplAck(msg);
+    co_return Ack{};
+  });
+
+  ep->Handle<HeartbeatMsg, Ack>(kRpcHeartbeat, [this](HeartbeatMsg msg) -> sim::Task<Ack> {
+    co_return Ack{};
+  });
+
+  ep->Handle<EpochUpdateMsg, Ack>(kRpcEpochUpdate, [this](EpochUpdateMsg msg) -> sim::Task<Ack> {
+    SetEpoch(msg.epoch);
+    co_return Ack{};
+  });
+
+  ep->Handle<HistoryBitmapReq, HistoryBitmapResp>(
+      kRpcHistoryBitmap, [this](HistoryBitmapReq req) -> sim::Task<HistoryBitmapResp> {
+        HistoryBitmapResp resp;
+        resp.inode_count =
+            static_cast<uint32_t>(node_->InodesUpdatedSince(req.from_epoch).size());
+        co_return resp;
+      });
+
+  ep->Handle<FetchInodeReq, FetchInodeResp>(
+      kRpcFetchInode, [this](FetchInodeReq req) -> sim::Task<FetchInodeResp> {
+        FetchInodeResp resp;
+        Result<fslib::FileAttr> attr = node_->fs().GetAttr(req.inum);
+        if (!attr.ok()) {
+          resp.status = static_cast<int32_t>(attr.code());
+        } else {
+          resp.size = attr->size;
+        }
+        co_return resp;
+      });
+
+  engine_->Spawn(KworkerMonitor());
+}
+
+void NicFs::Shutdown() {
+  shutdown_ = true;
+  for (auto& [client, pipe] : pipes_) {
+    pipe->validate_q.Close();
+    pipe->compress_q.Close();
+    pipe->transfer_rb.Close();
+    pipe->publish_rb.Close();
+    pipe->fetch_cv.NotifyAll();
+    pipe->progress.NotifyAll();
+  }
+  for (auto& [client, pipe] : replica_pipes_) {
+    pipe->publish_rb.Close();
+  }
+}
+
+void NicFs::SetEpoch(uint64_t epoch) {
+  epoch_ = epoch;
+  node_->fs().SetEpoch(epoch);
+}
+
+uint64_t NicFs::replicated_upto(int client) const {
+  auto it = pipes_.find(client);
+  return it == pipes_.end() ? 0 : it->second->replicated_upto;
+}
+
+uint64_t NicFs::published_upto(int client) const {
+  auto it = pipes_.find(client);
+  return it == pipes_.end() ? 0 : it->second->published_upto;
+}
+
+void NicFs::RegisterClient(int client, ClientHooks hooks) {
+  auto pipe = std::make_unique<ClientPipe>(engine_);
+  pipe->client = client;
+  pipe->log = &node_->client_log(client);
+  pipe->hooks = std::move(hooks);
+  pipe->on_published = pipe->hooks.on_published;
+  pipe->as_client = pipe.get();
+  ClientPipe* raw = pipe.get();
+  pipes_[client] = std::move(pipe);
+
+  if (config_->pipeline_parallel()) {
+    engine_->Spawn(FetchLoop(raw));
+    engine_->Spawn(ValidateWorker(raw));
+    raw->validate_workers = 1;
+    engine_->Spawn(PublishWorker(raw));
+    raw->publish_workers = 1;
+    engine_->Spawn(TransferWorker(raw));
+    if (config_->compression) {
+      engine_->Spawn(CompressWorker(raw));
+      raw->compress_workers = 1;
+    }
+    engine_->Spawn(ScalingMonitor(raw));
+  } else {
+    engine_->Spawn(SequentialLoop(raw));
+  }
+}
+
+// --- Fetch stage --------------------------------------------------------------
+
+sim::Task<NicFs::ChunkPtr> NicFs::FetchOne(ClientPipe* pipe) {
+  uint64_t tail = pipe->log->tail();
+  bool enough = tail - pipe->fetch_upto >= config_->chunk_size;
+  if (tail <= pipe->fetch_upto || (!enough && !pipe->urgent)) {
+    co_return nullptr;
+  }
+  // Replication flow control (§4): pause fetching above the high watermark
+  // until memory drains below the low watermark.
+  hw::SmartNic& nic = node_->hw().nic();
+  if (nic.mem_utilization() > config_->mem_high_watermark) {
+    while (!shutdown_ && nic.mem_utilization() > config_->mem_low_watermark) {
+      co_await nic.mem_released().Wait();
+    }
+  }
+  if (shutdown_) {
+    co_return nullptr;
+  }
+  uint64_t to = pipe->log->ChunkEnd(pipe->fetch_upto, config_->chunk_size);
+  if (to == pipe->fetch_upto) {
+    co_return nullptr;
+  }
+  auto chunk = std::make_shared<Chunk>();
+  chunk->client = pipe->client;
+  chunk->no = pipe->next_chunk_no++;
+  chunk->from = pipe->fetch_upto;
+  chunk->to = to;
+  chunk->urgent = pipe->urgent;
+  chunk->release_refs = 2;  // Publish path + replication path.
+  chunk->mem_reserved = chunk->bytes();
+  nic.ReserveMem(chunk->mem_reserved);
+  pipe->fetch_upto = to;
+
+  sim::Time t0 = engine_->Now();
+  // One-sided RDMA read of the log range: host PM -> NIC memory across PCIe.
+  co_await cluster_->net().Read(NicInitiator(chunk->urgent),
+                                rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+                                rdma::MemAddr{node_->id(), rdma::Space::kHostPm},
+                                chunk->bytes());
+  if (config_->materialize_data) {
+    pipe->log->CopyRawOut(chunk->from, chunk->to, &chunk->image);
+  }
+  stats_.stage_fetch.Record(engine_->Now() - t0);
+  ++stats_.chunks_fetched;
+  stats_.bytes_fetched += chunk->bytes();
+  co_return chunk;
+}
+
+sim::Task<> NicFs::FetchLoop(ClientPipe* pipe) {
+  while (!shutdown_) {
+    ChunkPtr chunk = co_await FetchOne(pipe);
+    if (chunk != nullptr) {
+      pipe->validate_q.Push(std::move(chunk));
+      continue;
+    }
+    if (shutdown_) {
+      break;
+    }
+    co_await pipe->fetch_cv.Wait();
+  }
+}
+
+// --- Validate stage (shared by both pipelines) ---------------------------------
+
+sim::Task<> NicFs::DoValidate(ClientPipe* pipe, ChunkPtr chunk) {
+  sim::Time t0 = engine_->Now();
+  Result<std::vector<fslib::ParsedEntry>> parsed =
+      config_->materialize_data
+          ? fslib::LogArea::ParseChunkImage(chunk->image, chunk->from)
+          : pipe->log->ParseRange(chunk->from, chunk->to);
+  uint64_t n = parsed.ok() ? parsed->size() : 1;
+  uint64_t cycles = config_->fs_costs.validate_entry_cycles * n +
+                    static_cast<uint64_t>(config_->fs_costs.validate_cycles_per_byte *
+                                          static_cast<double>(chunk->bytes()));
+  if (config_->coalescing) {
+    cycles += config_->fs_costs.coalesce_entry_cycles * n;
+  }
+  co_await node_->hw().nic().cpu().RunCycles(
+      cycles, chunk->urgent ? sim::Priority::kRealtime : sim::Priority::kNormal,
+      node_->hw().nic().nicfs_account());
+  if (!parsed.ok()) {
+    ++stats_.validation_failures;
+    chunk->failed = true;
+  } else {
+    Status st = validator_->Validate(*parsed);
+    if (!st.ok()) {
+      ++stats_.validation_failures;
+      chunk->failed = true;
+      std::fprintf(stderr, "nicfs[%d]: VALIDATION of client %d chunk %llu failed: %s\n",
+                   node_->id(), chunk->client, (unsigned long long)chunk->no,
+                   st.ToString().c_str());
+    } else {
+      chunk->entries = std::move(*parsed);
+    }
+  }
+  stats_.stage_validate.Record(engine_->Now() - t0);
+}
+
+sim::Task<> NicFs::ValidateWorker(ClientPipe* pipe) {
+  while (true) {
+    std::optional<ChunkPtr> chunk = co_await pipe->validate_q.Pop();
+    if (!chunk.has_value()) {
+      break;
+    }
+    co_await DoValidate(pipe, *chunk);
+    // Fan out to both pipelines: they share the fetched+validated data.
+    pipe->publish_rb.Push((*chunk)->no, *chunk);
+    if (config_->compression) {
+      pipe->compress_q.Push(*chunk);
+    } else {
+      pipe->transfer_rb.Push((*chunk)->no, *chunk);
+    }
+  }
+}
+
+// --- Compression stage (replication pipeline, optional; §5.4) -------------------
+
+sim::Task<> NicFs::CompressWorker(ClientPipe* pipe) {
+  while (true) {
+    std::optional<ChunkPtr> popped = co_await pipe->compress_q.Pop();
+    if (!popped.has_value()) {
+      break;
+    }
+    ChunkPtr chunk = *popped;
+    // If the compression stage is the pipeline bottleneck, NICFS
+    // opportunistically disables it for queued chunks (§3.3.2).
+    if (pipe->compress_q.size() > static_cast<size_t>(config_->stage_queue_threshold) &&
+        pipe->compress_workers >= config_->max_stage_workers) {
+      ++stats_.compression_bypassed;
+      uint64_t bypass_no = chunk->no;
+      pipe->transfer_rb.Push(bypass_no, std::move(chunk));
+      continue;
+    }
+    if (!chunk->failed && config_->materialize_data && !chunk->image.empty()) {
+      // Parallel compression: the chunk is split across SmartNIC cores.
+      uint64_t total_cycles = static_cast<uint64_t>(
+          config_->fs_costs.compress_cycles_per_byte * static_cast<double>(chunk->bytes()));
+      int threads = std::max(1, config_->compression_threads);
+      std::vector<sim::Task<>> shards;
+      shards.reserve(threads);
+      for (int i = 0; i < threads; ++i) {
+        shards.push_back(node_->hw().nic().cpu().RunCycles(
+            total_cycles / threads, sim::Priority::kNormal,
+            node_->hw().nic().nicfs_account()));
+      }
+      co_await sim::AwaitAll(engine_, std::move(shards));
+      chunk->wire = compress::LzwCompress(chunk->image);
+      chunk->wire_compressed = true;
+    }
+    uint64_t chunk_no = chunk->no;
+    pipe->transfer_rb.Push(chunk_no, std::move(chunk));
+  }
+}
+
+// --- Transfer stage (replication pipeline) --------------------------------------
+
+sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
+  std::vector<int> chain = ChainFor(node_->id());
+  if (chain.size() == 1) {
+    // No replicas: the chunk is trivially "replicated".
+    pipe->replicated_upto = std::max(pipe->replicated_upto, chunk->to);
+    pipe->progress.NotifyAll();
+    TryReclaim(pipe);
+    ReleaseChunk(chunk.get());
+    co_return;
+  }
+  sim::Time t0 = engine_->Now();
+  int next = chain[1];
+  uint64_t wire_bytes = chunk->wire_compressed ? chunk->wire.size() : chunk->bytes();
+
+  // Register the pending acks BEFORE any await: acks race with this coroutine.
+  pipe->pending_acks[chunk->no] =
+      ClientPipe::AckState{chunk->to, 0, static_cast<int>(chain.size()) - 1, 0};
+
+  WirePayload payload;
+  if (chunk->wire_compressed) {
+    payload.raw = chunk->wire;
+    payload.compressed = true;
+  } else if (config_->materialize_data) {
+    payload.raw = chunk->image;
+  } else {
+    payload.entries = chunk->entries;
+  }
+  cluster_->StashWire(Cluster::WireKey(next, pipe->client, chunk->no), std::move(payload));
+
+  // Bulk one-sided write into the next NICFS's memory, then the control RPC.
+  co_await cluster_->net().Write(NicInitiator(chunk->urgent),
+                                 rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+                                 rdma::MemAddr{next, rdma::Space::kNicMem}, wire_bytes);
+  ReplChunkMsg msg;
+  msg.client = static_cast<uint32_t>(pipe->client);
+  msg.chunk_no = chunk->no;
+  msg.from = chunk->from;
+  msg.to = chunk->to;
+  msg.wire_bytes = wire_bytes;
+  msg.compressed = chunk->wire_compressed ? 1 : 0;
+  msg.urgent = chunk->urgent ? 1 : 0;
+  msg.origin_node = node_->id();
+  msg.hop = 1;
+  Result<Ack> ack = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
+      NicInitiator(chunk->urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+      EndpointName(next), chunk->urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
+      kRpcReplChunk, msg);
+  (void)ack;
+  ++stats_.chunks_transferred;
+  stats_.wire_bytes += wire_bytes;
+  stats_.raw_repl_bytes += chunk->bytes();
+  stats_.stage_transfer.Record(engine_->Now() - t0);
+  chunk->transfer_done_at = engine_->Now();
+  auto pending = pipe->pending_acks.find(chunk->no);
+  if (pending != pipe->pending_acks.end()) {
+    pending->second.transfer_done = engine_->Now();
+  }
+  ReleaseChunk(chunk.get());
+}
+
+sim::Task<> NicFs::TransferWorker(ClientPipe* pipe) {
+  // In-order transfer: replicas receive chunks in client-log order.
+  while (true) {
+    std::optional<ChunkPtr> popped = co_await pipe->transfer_rb.PopNext();
+    if (!popped.has_value()) {
+      break;
+    }
+    co_await DoTransfer(pipe, *popped);
+  }
+}
+
+// --- Publish stage ---------------------------------------------------------------
+
+sim::Task<Status> NicFs::PublishChunk(PipeBase* pipe, ChunkPtr chunk) {
+  sim::Time t0 = engine_->Now();
+  Status result = Status::Ok();
+  if (!chunk->failed) {
+    std::vector<fslib::ParsedEntry> to_publish = chunk->entries;
+    if (config_->coalescing) {
+      stats_.coalesce_saved_bytes += fslib::CoalesceEntries(&to_publish);
+    }
+    uint64_t n = to_publish.size();
+    co_await node_->hw().nic().cpu().RunCycles(config_->fs_costs.publish_entry_cycles * n,
+                                               sim::Priority::kNormal,
+                                               node_->hw().nic().nicfs_account());
+    Result<fslib::PublishPlan> plan = node_->fs().PlanPublish(to_publish, *pipe->log);
+    if (!plan.ok()) {
+      result = plan.status();
+    } else {
+      bool copies_done = false;
+      if (!isolated_ && kworker_ != nullptr) {
+        uint64_t plan_id = node_->StashPlan(*plan);
+        Result<Ack> ack = co_await cluster_->rpc().Call<KworkerCopyReq, Ack>(
+            NicInitiator(false), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+            KernelWorker::EndpointName(node_->id()), rdma::Channel::kHighTput,
+            kRpcKworkerCopy, KworkerCopyReq{static_cast<uint32_t>(pipe->client), plan_id},
+            config_->kworker_rpc_timeout);
+        if (ack.ok() && ack->status == 0) {
+          copies_done = true;
+        } else {
+          // Timed out or refused: drop the hand-off if unconsumed (a handler
+          // that already took it owns its copy) and go isolated (§3.5).
+          node_->TakePlan(plan_id);
+          isolated_ = true;
+          LFS_TRACE(engine_->Now(), "nicfs", "node %d entering isolated mode", node_->id());
+        }
+      }
+      if (!copies_done) {
+        // Isolated NICFS operation: the SmartNIC itself moves the data with
+        // RDMA across PCIe (read the log bytes up, write the public blocks
+        // down) — slower, but host-OS-independent.
+        ++stats_.isolated_publishes;
+        uint64_t bytes = plan->copy_bytes;
+        co_await node_->hw().nic().pcie_h2n().Transfer(bytes);
+        co_await node_->hw().nic().pcie_n2h().Transfer(bytes);
+        co_await node_->hw().nic().cpu().RunCycles(
+            static_cast<uint64_t>(config_->fs_costs.memcpy_cycles_per_byte *
+                                  static_cast<double>(bytes)),
+            sim::Priority::kNormal, node_->hw().nic().nicfs_account());
+        node_->fs().ExecuteCopies(*plan, config_->materialize_data);
+      }
+      // Metadata commit: extent/dirent/inode updates flow NIC -> host PM.
+      co_await node_->hw().nic().cpu().RunCycles(config_->fs_costs.index_entry_cycles * n,
+                                                 sim::Priority::kNormal,
+                                                 node_->hw().nic().nicfs_account());
+      co_await node_->hw().nic().pcie_n2h().Transfer(128 * std::max<uint64_t>(n, 1));
+      Status st = node_->fs().CommitPublish(*plan, to_publish);
+      if (!st.ok()) {
+        result = st;
+      }
+      for (const fslib::ParsedEntry& e : to_publish) {
+        node_->RecordInodeUpdate(epoch_, e.header.inum);
+        // Namespace ops also mutate the parent directory's dirent blocks.
+        if (e.header.parent != fslib::kInvalidInode) {
+          node_->RecordInodeUpdate(epoch_, e.header.parent);
+        }
+        if (e.header.type == fslib::LogOpType::kRename) {
+          node_->RecordInodeUpdate(epoch_, e.header.rename_dst_parent());
+        }
+      }
+    }
+  }
+  pipe->published_upto = std::max(pipe->published_upto, chunk->to);
+  if (pipe->on_published) {
+    pipe->on_published(pipe->published_upto);
+  }
+  stats_.stage_publish.Record(engine_->Now() - t0);
+  if (pipe->as_client != nullptr) {
+    TryReclaim(pipe->as_client);
+  }
+  co_return result;
+}
+
+sim::Task<> NicFs::PublishWorker(PipeBase* pipe) {
+  // Publication applies strictly in client-log order (Fig. 2).
+  while (true) {
+    std::optional<ChunkPtr> popped = co_await pipe->publish_rb.PopNext();
+    if (!popped.has_value()) {
+      break;
+    }
+    ChunkPtr chunk = *popped;
+    Status st = co_await PublishChunk(pipe, chunk);
+    if (!st.ok()) {
+      std::fprintf(stderr, "nicfs[%d]: publish of client %d chunk %llu FAILED: %s\n",
+                   node_->id(), chunk->client, static_cast<unsigned long long>(chunk->no),
+                   st.ToString().c_str());
+    }
+    ReleaseChunk(chunk.get());
+  }
+}
+
+// --- Sequential ablation (LineFS-NotParallel) -------------------------------------
+
+sim::Task<> NicFs::SequentialLoop(ClientPipe* pipe) {
+  while (!shutdown_) {
+    ChunkPtr chunk = co_await FetchOne(pipe);
+    if (chunk == nullptr) {
+      if (shutdown_) {
+        break;
+      }
+      co_await pipe->fetch_cv.Wait();
+      continue;
+    }
+    co_await DoValidate(pipe, chunk);
+    co_await PublishChunk(pipe, chunk);
+    uint64_t target = chunk->to;
+    co_await DoTransfer(pipe, chunk);
+    // Strictly sequential: wait for the full replication ack before the next
+    // chunk is even fetched.
+    while (!shutdown_ && pipe->replicated_upto < target) {
+      co_await pipe->progress.Wait();
+    }
+  }
+}
+
+// --- Dynamic stage scaling (§3.1) ---------------------------------------------------
+
+sim::Task<> NicFs::ScalingMonitor(ClientPipe* pipe) {
+  while (!shutdown_) {
+    co_await engine_->SleepFor(kScalingCheckInterval);
+    if (shutdown_) {
+      break;
+    }
+    size_t threshold = static_cast<size_t>(config_->stage_queue_threshold);
+    if (pipe->validate_q.size() > threshold &&
+        pipe->validate_workers < config_->max_stage_workers) {
+      ++pipe->validate_workers;
+      engine_->Spawn(ValidateWorker(pipe));
+    }
+    // Publication and transfer are order-constrained single consumers; only
+    // the unordered stages (validation, compression) scale out.
+    if (config_->compression && pipe->compress_q.size() > threshold &&
+        pipe->compress_workers < config_->max_stage_workers) {
+      ++pipe->compress_workers;
+      engine_->Spawn(CompressWorker(pipe));
+    }
+  }
+}
+
+// --- Replication: replica side -------------------------------------------------------
+
+NicFs::ReplicaPipe* NicFs::GetReplicaPipe(int client) {
+  auto it = replica_pipes_.find(client);
+  if (it != replica_pipes_.end()) {
+    return it->second.get();
+  }
+  auto pipe = std::make_unique<ReplicaPipe>(engine_);
+  pipe->client = client;
+  pipe->log = &node_->client_log(client);
+  ReplicaPipe* raw = pipe.get();
+  replica_pipes_[client] = std::move(pipe);
+  if (config_->replica_publish) {
+    engine_->Spawn(PublishWorker(raw));
+    raw->publish_workers = 1;
+  }
+  return raw;
+}
+
+sim::Task<> NicFs::HandleReplChunk(ReplChunkMsg msg) {
+  WirePayload payload =
+      cluster_->TakeWire(Cluster::WireKey(node_->id(), msg.client, msg.chunk_no));
+  fslib::LogArea& log = node_->client_log(static_cast<int>(msg.client));
+  std::vector<int> chain = ChainFor(msg.origin_node);
+  bool last = msg.hop + 1 >= static_cast<int>(chain.size());
+  bool urgent = msg.urgent != 0;
+  uint64_t raw_bytes = msg.to - msg.from;
+
+  hw::SmartNic& nic = node_->hw().nic();
+  if (!msg.direct_to_host) {
+    nic.ReserveMem(raw_bytes);
+  }
+
+  // Decompress for local use (the paper's compression stage compresses once
+  // at the primary; every replica decompresses for its own PM copy).
+  std::vector<uint8_t> image;
+  if (msg.compressed != 0 && !payload.raw.empty()) {
+    co_await nic.cpu().RunCycles(
+        static_cast<uint64_t>(config_->fs_costs.decompress_cycles_per_byte *
+                              static_cast<double>(raw_bytes)),
+        urgent ? sim::Priority::kRealtime : sim::Priority::kNormal, nic.nicfs_account());
+    Result<std::vector<uint8_t>> restored = compress::LzwDecompress(payload.raw);
+    if (restored.ok()) {
+      image = std::move(*restored);
+    }
+  } else {
+    image = payload.raw;
+  }
+
+  std::vector<sim::Task<>> parallel;
+
+  // (a) Forward to the next replica in the chain (Fig. 3, step 5).
+  if (!last) {
+    parallel.push_back(ForwardChunk(msg, payload, image, chain));
+  }
+
+  // (b) Copy into the local host PM log, then ack the primary (steps 6, 7).
+  parallel.push_back(LocalCopyAndAck(msg, payload, image, log));
+
+  co_await sim::AwaitAll(engine_, std::move(parallel));
+
+  // (c) Feed the replica's own publication pipeline.
+  if (config_->replica_publish) {
+    ReplicaPipe* rp = GetReplicaPipe(static_cast<int>(msg.client));
+    auto chunk = std::make_shared<Chunk>();
+    chunk->client = static_cast<int>(msg.client);
+    chunk->no = msg.chunk_no;
+    chunk->from = msg.from;
+    chunk->to = msg.to;
+    chunk->release_refs = 1;
+    if (config_->materialize_data) {
+      Result<std::vector<fslib::ParsedEntry>> parsed =
+          msg.direct_to_host ? log.ParseRange(msg.from, msg.to)
+                             : fslib::LogArea::ParseChunkImage(image, msg.from);
+      if (parsed.ok()) {
+        chunk->entries = std::move(*parsed);
+      } else {
+        chunk->failed = true;
+      }
+    } else {
+      chunk->entries = std::move(payload.entries);
+    }
+    uint64_t chunk_no = chunk->no;
+    rp->publish_rb.Push(chunk_no, std::move(chunk));
+  }
+
+  if (!msg.direct_to_host) {
+    nic.ReleaseMem(raw_bytes);
+  }
+}
+
+sim::Task<> NicFs::ForwardChunk(ReplChunkMsg msg, WirePayload payload,
+                                std::vector<uint8_t> image, std::vector<int> chain) {
+  int next = chain[msg.hop + 1];
+  bool next_is_last = msg.hop + 2 >= static_cast<int>(chain.size());
+  bool urgent = msg.urgent != 0;
+  ReplChunkMsg fwd = msg;
+  fwd.hop = msg.hop + 1;
+
+  if (next_is_last && msg.compressed == 0) {
+    // Penultimate-hop optimisation (Fig. 3, step 6'): write straight into the
+    // last replica's host PM log, skipping its SmartNIC memory copy.
+    fwd.direct_to_host = 1;
+    fslib::LogArea& dst_log = cluster_->dfs_node(next).client_log(static_cast<int>(msg.client));
+    if (config_->materialize_data && !image.empty()) {
+      dst_log.WriteRaw(msg.from, image);
+    } else {
+      for (const fslib::ParsedEntry& e : payload.entries) {
+        dst_log.MirrorHeader(e);
+      }
+    }
+    dst_log.SetTail(msg.to);
+    WirePayload fwd_payload;
+    fwd_payload.entries = payload.entries;
+    cluster_->StashWire(Cluster::WireKey(next, static_cast<int>(msg.client), msg.chunk_no),
+                        std::move(fwd_payload));
+    co_await cluster_->net().Write(NicInitiator(urgent),
+                                   rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+                                   rdma::MemAddr{next, rdma::Space::kHostPm}, msg.to - msg.from);
+  } else {
+    // Regular NIC-to-NIC forward (compressed payloads stay compressed).
+    cluster_->StashWire(Cluster::WireKey(next, static_cast<int>(msg.client), msg.chunk_no),
+                        payload);
+    co_await cluster_->net().Write(NicInitiator(urgent),
+                                   rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+                                   rdma::MemAddr{next, rdma::Space::kNicMem}, msg.wire_bytes);
+  }
+  Result<Ack> ack = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
+      NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+      EndpointName(next), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
+      kRpcReplChunk, fwd);
+  (void)ack;
+}
+
+sim::Task<> NicFs::LocalCopyAndAck(ReplChunkMsg msg, WirePayload payload,
+                                   std::vector<uint8_t> image, fslib::LogArea& log) {
+  bool urgent = msg.urgent != 0;
+  if (!msg.direct_to_host) {
+    // NIC memory -> local host PM log across PCIe.
+    co_await cluster_->net().RawTransfer(rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+                                         rdma::MemAddr{node_->id(), rdma::Space::kHostPm},
+                                         msg.to - msg.from);
+    if (config_->materialize_data && !image.empty()) {
+      log.WriteRaw(msg.from, image);
+    } else {
+      for (const fslib::ParsedEntry& e : payload.entries) {
+        log.MirrorHeader(e);
+      }
+    }
+  }
+  log.SetTail(msg.to);
+
+  ReplAckMsg ack;
+  ack.client = msg.client;
+  ack.chunk_no = msg.chunk_no;
+  ack.to = msg.to;
+  ack.replica_node = node_->id();
+  Result<Ack> sent = co_await cluster_->rpc().Call<ReplAckMsg, Ack>(
+      NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+      EndpointName(msg.origin_node), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
+      kRpcReplAck, ack);
+  (void)sent;
+}
+
+void NicFs::HandleReplAck(const ReplAckMsg& msg) {
+  auto pit = pipes_.find(static_cast<int>(msg.client));
+  if (pit == pipes_.end()) {
+    return;
+  }
+  ClientPipe* pipe = pit->second.get();
+  auto it = pipe->pending_acks.find(msg.chunk_no);
+  if (it == pipe->pending_acks.end()) {
+    return;
+  }
+  ++it->second.acks;
+  // Advance replicated_upto through contiguous fully-acked chunks.
+  bool advanced = false;
+  while (!pipe->pending_acks.empty()) {
+    auto first = pipe->pending_acks.begin();
+    if (first->second.acks < first->second.needed) {
+      break;
+    }
+    if (first->second.transfer_done > 0) {
+      stats_.stage_ack.Record(engine_->Now() - first->second.transfer_done);
+    }
+    pipe->replicated_upto = std::max(pipe->replicated_upto, first->second.to);
+    pipe->pending_acks.erase(first);
+    advanced = true;
+  }
+  if (advanced) {
+    pipe->progress.NotifyAll();
+    TryReclaim(pipe);
+  }
+}
+
+// --- fsync (§3.3.2 synchronous path) ---------------------------------------------------
+
+sim::Task<Ack> NicFs::HandleFsync(FsyncReq req) {
+  auto it = pipes_.find(static_cast<int>(req.client));
+  if (it == pipes_.end()) {
+    co_return Ack{static_cast<int32_t>(ErrorCode::kInvalid)};
+  }
+  ClientPipe* pipe = it->second.get();
+  ++pipe->urgent_waiters;
+  pipe->urgent = true;
+  pipe->fetch_cv.NotifyAll();
+  while (!shutdown_ && pipe->replicated_upto < req.upto) {
+    co_await pipe->progress.Wait();
+  }
+  --pipe->urgent_waiters;
+  if (pipe->urgent_waiters == 0) {
+    pipe->urgent = false;
+  }
+  // Crash consistency: granted leases must be durable before fsync returns.
+  co_await leases_->durable().Wait();
+  co_return Ack{};
+}
+
+// --- Reclaim ------------------------------------------------------------------------------
+
+void NicFs::TryReclaim(ClientPipe* pipe) {
+  uint64_t upto = std::min(pipe->published_upto, pipe->replicated_upto);
+  if (upto > pipe->reclaimed_upto) {
+    pipe->reclaimed_upto = upto;
+    pipe->log->Reclaim(upto);
+    pipe->log->PersistMeta();
+    if (pipe->hooks.on_reclaim) {
+      pipe->hooks.on_reclaim(upto);
+    }
+  }
+}
+
+void NicFs::ReleaseChunk(Chunk* chunk) {
+  if (--chunk->release_refs == 0 && chunk->mem_reserved > 0) {
+    node_->hw().nic().ReleaseMem(chunk->mem_reserved);
+    chunk->mem_reserved = 0;
+  }
+}
+
+// --- Recovery (§3.6) ---------------------------------------------------------------------
+
+sim::Task<Result<uint64_t>> NicFs::Recover(int peer) {
+  // 1) Read the persisted epoch from host PM.
+  uint64_t persisted_epoch = node_->fs().epoch();
+  co_await node_->hw().nic().pcie_h2n().Ping();
+
+  // 2) Request the history bitmap from an online replica.
+  Result<HistoryBitmapResp> bitmap = co_await cluster_->rpc().Call<HistoryBitmapReq,
+                                                                   HistoryBitmapResp>(
+      NicInitiator(false), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+      EndpointName(peer), rdma::Channel::kHighTput, kRpcHistoryBitmap,
+      HistoryBitmapReq{persisted_epoch});
+  if (!bitmap.ok()) {
+    co_return bitmap.status();
+  }
+
+  // 3) Fetch every inode recorded between the persisted and current epoch and
+  // resynchronise its data from the peer's public area. Dirent blocks are
+  // directory data, so namespace changes ride along.
+  DfsNode& peer_node = cluster_->dfs_node(peer);
+  std::set<fslib::InodeNum> stale = peer_node.InodesUpdatedSince(persisted_epoch);
+  uint64_t synced = 0;
+  for (fslib::InodeNum inum : stale) {
+    Result<fslib::Inode> remote = peer_node.fs().inodes().Get(inum);
+    if (!remote.ok()) {
+      // Deleted on the peer: drop locally too if present.
+      if (node_->fs().inodes().InUse(inum)) {
+        Result<fslib::Inode> local = node_->fs().inodes().Get(inum);
+        if (local.ok()) {
+          node_->fs().extents().Destroy(&local.value());
+          node_->fs().inodes().Free(inum);
+        }
+      }
+      continue;
+    }
+    // Wire + PCIe costs for the inode record and its data.
+    uint64_t bytes = remote->size + fslib::Layout::kInodeSize;
+    co_await cluster_->net().Read(NicInitiator(false),
+                                  rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+                                  rdma::MemAddr{peer, rdma::Space::kHostPm}, bytes);
+    // Materialise locally: allocate fresh blocks and copy contents.
+    fslib::Inode local;
+    if (node_->fs().inodes().InUse(inum)) {
+      Result<fslib::Inode> existing = node_->fs().inodes().Get(inum);
+      if (existing.ok()) {
+        local = *existing;
+        node_->fs().extents().Destroy(&local);
+      }
+    }
+    local = *remote;
+    local.extent_root = 0;
+    if (config_->materialize_data && remote->size > 0) {
+      uint64_t nblocks = fslib::BlocksFor(remote->size);
+      Result<uint64_t> pblock = node_->fs().allocator().Alloc(nblocks);
+      if (pblock.ok()) {
+        std::vector<uint8_t> buffer(remote->size);
+        Result<uint64_t> n = peer_node.fs().ReadData(inum, 0, buffer, true);
+        if (n.ok()) {
+          node_->fs().region().Write(*pblock << fslib::kBlockShift, buffer.data(),
+                                     buffer.size());
+          node_->fs().region().Persist(*pblock << fslib::kBlockShift, buffer.size());
+        }
+        node_->fs().extents().InsertRange(&local, 0, nblocks, *pblock, nullptr);
+      }
+    }
+    node_->fs().inodes().Put(local);
+    ++synced;
+  }
+  // Directory caches are rebuilt from the freshly synced dirent blocks.
+  node_->fs().dirs().InvalidateAll();
+  // 4) Local update logs that touch recovered inodes are invalidated; our
+  // scaled model simply resets pipeline progress to the logs' reclaimed state.
+  SetEpoch(cluster_->manager().epoch());
+  co_return synced;
+}
+
+// --- Failure detector (§3.5) ------------------------------------------------------------
+
+sim::Task<> NicFs::KworkerMonitor() {
+  while (!shutdown_) {
+    co_await engine_->SleepFor(config_->kworker_check_interval);
+    if (shutdown_ || kworker_ == nullptr) {
+      continue;
+    }
+    Result<Ack> pong = co_await cluster_->rpc().Call<PingReq, Ack>(
+        NicInitiator(false), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+        KernelWorker::EndpointName(node_->id()), rdma::Channel::kHighTput, kRpcKworkerPing,
+        PingReq{node_->id()}, config_->kworker_rpc_timeout);
+    if (!pong.ok() && !isolated_) {
+      isolated_ = true;
+      LFS_TRACE(engine_->Now(), "nicfs", "node %d: kernel worker down -> isolated mode",
+                node_->id());
+    } else if (pong.ok() && isolated_) {
+      // The kernel worker is stateless: resume host-based publication (§3.5).
+      isolated_ = false;
+      LFS_TRACE(engine_->Now(), "nicfs", "node %d: kernel worker back -> normal mode",
+                node_->id());
+    }
+  }
+}
+
+}  // namespace linefs::core

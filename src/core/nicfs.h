@@ -1,0 +1,214 @@
+// NICFS: the SmartNIC-resident file-system service (§3).
+//
+// Runs the two parallel data-path execution pipelines per client:
+//
+//   publishing:  fetch -> validate(+coalesce) -> publish(kworker DMA) -> ack
+//   replication: fetch -> validate -> [compress] -> transfer -> ack
+//
+// The first two stages are shared (chunks are fetched and validated once).
+// Chunks are processed in parallel across stages and clients; publication and
+// transfer apply strictly in client-log order via per-pipe tickets, which is
+// what preserves linearizability and prefix crash consistency (§3.1).
+//
+// Also implements: lease arbitration (§3.4), replication flow control via NIC
+// memory watermarks (§4), the kernel-worker failure detector and isolated
+// operation (§3.5), and epoch-based recovery state (§3.6).
+
+#ifndef SRC_CORE_NICFS_H_
+#define SRC_CORE_NICFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/dfs_node.h"
+#include "src/core/kworker.h"
+#include "src/core/lease.h"
+#include "src/core/messages.h"
+#include "src/fslib/validate.h"
+#include "src/rdma/rpc.h"
+#include "src/sim/queue.h"
+#include "src/sim/stats.h"
+#include "src/sim/sync.h"
+
+namespace linefs::core {
+
+class Cluster;
+
+class NicFs {
+ public:
+  // Progress callbacks into the local LibFS instance (in the real system,
+  // RPC-free shared-memory notifications).
+  struct ClientHooks {
+    std::function<void(uint64_t)> on_published;  // Publication advanced to pos.
+    std::function<void(uint64_t)> on_reclaim;    // Log reclaimed up to pos.
+  };
+
+  NicFs(Cluster* cluster, DfsNode* node, KernelWorker* kworker, const DfsConfig* config);
+  ~NicFs();
+
+  // Registers RPC endpoints and starts monitor tasks.
+  void Start();
+  // Stops all service loops so the engine can drain.
+  void Shutdown();
+
+  // Primary-side: attach a client whose LibFS lives on this node.
+  void RegisterClient(int client, ClientHooks hooks);
+
+  static std::string EndpointName(int node_id) { return "nicfs/" + std::to_string(node_id); }
+
+  LeaseManager& leases() { return *leases_; }
+  bool isolated() const { return isolated_; }
+  uint64_t current_epoch() const { return epoch_; }
+  void SetEpoch(uint64_t epoch);
+
+  uint64_t replicated_upto(int client) const;
+  uint64_t published_upto(int client) const;
+
+  // Recovery protocol (§3.6): after a restart, read the persisted epoch,
+  // fetch the history bitmap from `peer`, and resynchronise every inode
+  // updated since. Returns the number of inodes synced.
+  sim::Task<Result<uint64_t>> Recover(int peer);
+
+  // --- Statistics ------------------------------------------------------------
+
+  struct Stats {
+    uint64_t chunks_fetched = 0;
+    uint64_t bytes_fetched = 0;
+    uint64_t chunks_transferred = 0;
+    uint64_t wire_bytes = 0;              // Post-compression network bytes.
+    uint64_t raw_repl_bytes = 0;          // Pre-compression bytes.
+    uint64_t coalesce_saved_bytes = 0;
+    uint64_t validation_failures = 0;
+    uint64_t compression_bypassed = 0;    // Chunks skipped when stage backlogged.
+    uint64_t isolated_publishes = 0;
+    sim::LatencyRecorder stage_fetch;
+    sim::LatencyRecorder stage_validate;
+    sim::LatencyRecorder stage_publish;
+    sim::LatencyRecorder stage_transfer;
+    sim::LatencyRecorder stage_ack;
+  };
+  Stats& stats() { return stats_; }
+
+ private:
+  friend class Cluster;
+
+  struct Chunk {
+    int client = 0;
+    uint64_t no = 0;
+    uint64_t from = 0;
+    uint64_t to = 0;
+    bool urgent = false;
+    bool failed = false;  // Parse/validation failure: skip work, keep order.
+    std::vector<uint8_t> image;               // Raw log bytes (NIC memory).
+    std::vector<fslib::ParsedEntry> entries;  // Populated by validation.
+    std::vector<uint8_t> wire;                // Compressed image (optional).
+    bool wire_compressed = false;
+    uint64_t mem_reserved = 0;
+    int release_refs = 0;
+    sim::Time transfer_done_at = 0;
+    uint64_t bytes() const { return to - from; }
+  };
+  using ChunkPtr = std::shared_ptr<Chunk>;
+
+  struct ClientPipe;
+
+  // State shared by the primary publish path and the replica publish path.
+  // Publication consumes a reorder buffer: chunks may arrive out of order from
+  // unordered upstream stages but are applied strictly in client-log order.
+  struct PipeBase {
+    explicit PipeBase(sim::Engine* engine) : publish_rb(engine) {}
+    int client = 0;
+    fslib::LogArea* log = nullptr;
+    sim::ReorderBuffer<ChunkPtr> publish_rb;
+    uint64_t published_upto = 0;
+    int publish_workers = 0;
+    std::function<void(uint64_t)> on_published;
+    ClientPipe* as_client = nullptr;  // Non-null for primary-side pipes.
+  };
+
+  struct ClientPipe : PipeBase {
+    explicit ClientPipe(sim::Engine* engine)
+        : PipeBase(engine), validate_q(engine), compress_q(engine), transfer_rb(engine),
+          fetch_cv(engine), progress(engine) {}
+    ClientHooks hooks;
+    uint64_t fetch_upto = 0;
+    uint64_t next_chunk_no = 0;
+    bool urgent = false;
+    sim::Queue<ChunkPtr> validate_q;
+    sim::Queue<ChunkPtr> compress_q;
+    sim::ReorderBuffer<ChunkPtr> transfer_rb;
+    sim::Condition fetch_cv;
+    struct AckState {
+      uint64_t to = 0;
+      int acks = 0;
+      int needed = 0;  // Live replicas at transfer time.
+      sim::Time transfer_done = 0;
+    };
+    std::map<uint64_t, AckState> pending_acks;  // Keyed by chunk number.
+    uint64_t replicated_upto = 0;
+    uint64_t reclaimed_upto = 0;
+    sim::Condition progress;
+    int urgent_waiters = 0;
+    int validate_workers = 0;
+    int compress_workers = 0;
+  };
+
+  struct ReplicaPipe : PipeBase {
+    using PipeBase::PipeBase;
+  };
+
+  // --- Pipeline stage bodies -------------------------------------------------
+
+  sim::Task<ChunkPtr> FetchOne(ClientPipe* pipe);
+  sim::Task<> FetchLoop(ClientPipe* pipe);
+  sim::Task<> DoValidate(ClientPipe* pipe, ChunkPtr chunk);
+  sim::Task<> ValidateWorker(ClientPipe* pipe);
+  sim::Task<> CompressWorker(ClientPipe* pipe);
+  sim::Task<> DoTransfer(ClientPipe* pipe, ChunkPtr chunk);
+  sim::Task<> TransferWorker(ClientPipe* pipe);
+  sim::Task<> PublishWorker(PipeBase* pipe);
+  sim::Task<> SequentialLoop(ClientPipe* pipe);
+  sim::Task<> ScalingMonitor(ClientPipe* pipe);
+  sim::Task<> KworkerMonitor();
+
+  sim::Task<Status> PublishChunk(PipeBase* pipe, ChunkPtr chunk);
+  sim::Task<> HandleReplChunk(ReplChunkMsg msg);
+  sim::Task<> ForwardChunk(ReplChunkMsg msg, struct WirePayload payload,
+                           std::vector<uint8_t> image, std::vector<int> chain);
+  sim::Task<> LocalCopyAndAck(ReplChunkMsg msg, struct WirePayload payload,
+                              std::vector<uint8_t> image, fslib::LogArea& log);
+  void HandleReplAck(const ReplAckMsg& msg);
+  sim::Task<Ack> HandleFsync(FsyncReq req);
+  void TryReclaim(ClientPipe* pipe);
+  void ReleaseChunk(Chunk* chunk);
+  ReplicaPipe* GetReplicaPipe(int client);
+
+  // Chain helpers: replication order for data originating at `origin`.
+  std::vector<int> ChainFor(int origin) const;
+
+  rdma::Initiator NicInitiator(bool urgent) const;
+
+  Cluster* cluster_;
+  DfsNode* node_;
+  KernelWorker* kworker_;
+  const DfsConfig* config_;
+  sim::Engine* engine_;
+  std::unique_ptr<LeaseManager> leases_;
+  std::unique_ptr<fslib::Validator> validator_;
+  std::unique_ptr<fslib::Validator> replica_validator_;
+  std::unordered_map<int, std::unique_ptr<ClientPipe>> pipes_;
+  std::unordered_map<int, std::unique_ptr<ReplicaPipe>> replica_pipes_;
+  bool shutdown_ = false;
+  bool isolated_ = false;
+  uint64_t epoch_ = 0;
+  Stats stats_;
+};
+
+}  // namespace linefs::core
+
+#endif  // SRC_CORE_NICFS_H_

@@ -1,0 +1,83 @@
+// Directory storage.
+//
+// Directory contents are fixed 64-byte dirent slots stored in the directory
+// inode's data blocks (mapped through its extent list). The authoritative
+// copy lives in PM; DirStore additionally keeps a per-directory in-memory
+// index (name -> slot) mirroring what real LineFS caches in SmartNIC DRAM /
+// LibFS DRAM to avoid repeated PM scans. The index is rebuilt lazily from PM
+// and can be invalidated (lease revocation, remote updates).
+
+#ifndef SRC_FSLIB_DIR_H_
+#define SRC_FSLIB_DIR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fslib/extent.h"
+#include "src/fslib/inode.h"
+#include "src/fslib/types.h"
+#include "src/pmem/alloc.h"
+#include "src/pmem/region.h"
+#include "src/sim/result.h"
+
+namespace linefs::fslib {
+
+inline constexpr size_t kDirentNameMax = 54;
+
+struct Dirent {
+  InodeNum inum = kInvalidInode;  // 0 = free slot.
+  uint8_t name_len = 0;
+  char name[kDirentNameMax + 1] = {};
+};
+static_assert(sizeof(Dirent) == 64);
+
+inline constexpr uint64_t kDirentsPerBlock = kBlockSize / sizeof(Dirent);
+
+class DirStore {
+ public:
+  DirStore(pmem::Region* region, pmem::BlockAllocator* allocator, InodeTable* inodes,
+           ExtentList* extents)
+      : region_(region), allocator_(allocator), inodes_(inodes), extents_(extents) {}
+
+  Result<InodeNum> Lookup(InodeNum dir, std::string_view name);
+  Status Add(InodeNum dir, std::string_view name, InodeNum child);
+  Status Remove(InodeNum dir, std::string_view name);
+  Result<std::vector<std::pair<std::string, InodeNum>>> List(InodeNum dir);
+  Result<uint64_t> Count(InodeNum dir);
+
+  // Drops the in-memory index of `dir` (it reloads from PM on next use).
+  void InvalidateCache(InodeNum dir) { cache_.erase(dir); }
+  void InvalidateAll() { cache_.clear(); }
+
+  // True if `candidate` is `node` or one of node's ancestors (via inode
+  // parent pointers). Used to reject cycle-creating renames.
+  bool IsSelfOrAncestor(InodeNum candidate, InodeNum node) const;
+
+  // Number of PM dirent slots scanned since construction (cost accounting).
+  uint64_t slots_scanned() const { return slots_scanned_; }
+
+ private:
+  struct DirCache {
+    std::unordered_map<std::string, uint64_t> slots;  // name -> slot index.
+    std::vector<uint64_t> free_slots;
+    uint64_t slot_count = 0;  // Total slots backed by allocated blocks.
+  };
+
+  Result<DirCache*> LoadDir(InodeNum dir);
+  Result<uint64_t> SlotOffset(const Inode& dir_inode, uint64_t slot) const;
+  Status WriteSlot(const Inode& dir_inode, uint64_t slot, const Dirent& entry);
+
+  pmem::Region* region_;
+  pmem::BlockAllocator* allocator_;
+  InodeTable* inodes_;
+  ExtentList* extents_;
+  std::unordered_map<InodeNum, DirCache> cache_;
+  uint64_t slots_scanned_ = 0;
+};
+
+}  // namespace linefs::fslib
+
+#endif  // SRC_FSLIB_DIR_H_

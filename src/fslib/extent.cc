@@ -1,0 +1,183 @@
+#include "src/fslib/extent.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace linefs::fslib {
+
+std::vector<Extent> ExtentList::Load(const Inode& inode) const {
+  std::vector<Extent> extents;
+  uint64_t block = inode.extent_root;
+  while (block != 0) {
+    uint64_t off = block << kBlockShift;
+    NodeHeader header = region_->ReadObject<NodeHeader>(off);
+    assert(header.magic == kNodeMagic);
+    for (uint32_t i = 0; i < header.count; ++i) {
+      extents.push_back(
+          region_->ReadObject<Extent>(off + sizeof(NodeHeader) + i * sizeof(Extent)));
+    }
+    block = header.next;
+  }
+  return extents;
+}
+
+void ExtentList::FreeChain(uint64_t first_block) {
+  uint64_t block = first_block;
+  while (block != 0) {
+    NodeHeader header = region_->ReadObject<NodeHeader>(block << kBlockShift);
+    allocator_->Free(block);
+    block = header.next;
+  }
+}
+
+Status ExtentList::Store(Inode* inode, const std::vector<Extent>& extents) {
+  FreeChain(inode->extent_root);
+  inode->extent_root = 0;
+  if (extents.empty()) {
+    return Status::Ok();
+  }
+  uint64_t blocks_needed = (extents.size() + kEntriesPerBlock - 1) / kEntriesPerBlock;
+  std::vector<uint64_t> chain;
+  chain.reserve(blocks_needed);
+  for (uint64_t i = 0; i < blocks_needed; ++i) {
+    Result<uint64_t> block = allocator_->Alloc();
+    if (!block.ok()) {
+      for (uint64_t b : chain) {
+        allocator_->Free(b);
+      }
+      return block.status();
+    }
+    chain.push_back(*block);
+  }
+  size_t idx = 0;
+  for (uint64_t i = 0; i < blocks_needed; ++i) {
+    uint64_t off = chain[i] << kBlockShift;
+    NodeHeader header;
+    header.count = static_cast<uint32_t>(
+        std::min<size_t>(kEntriesPerBlock, extents.size() - idx));
+    header.next = i + 1 < blocks_needed ? chain[i + 1] : 0;
+    region_->WriteObject(off, header);
+    for (uint32_t j = 0; j < header.count; ++j) {
+      region_->WriteObject(off + sizeof(NodeHeader) + j * sizeof(Extent), extents[idx + j]);
+    }
+    region_->Persist(off, sizeof(NodeHeader) + header.count * sizeof(Extent));
+    idx += header.count;
+  }
+  inode->extent_root = chain[0];
+  return Status::Ok();
+}
+
+std::optional<Extent> ExtentList::LookupIn(const std::vector<Extent>& extents, uint64_t lblock) {
+  // Binary search for the last extent with lblock <= target.
+  auto it = std::upper_bound(extents.begin(), extents.end(), lblock,
+                             [](uint64_t v, const Extent& e) { return v < e.lblock; });
+  if (it == extents.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  if (lblock >= it->lblock && lblock < it->lblock + it->count) {
+    Extent clipped;
+    uint64_t delta = lblock - it->lblock;
+    clipped.lblock = lblock;
+    clipped.count = it->count - delta;
+    clipped.pblock = it->pblock + delta;
+    return clipped;
+  }
+  return std::nullopt;
+}
+
+std::optional<Extent> ExtentList::Lookup(const Inode& inode, uint64_t lblock) const {
+  return LookupIn(Load(inode), lblock);
+}
+
+void ExtentList::InsertInto(std::vector<Extent>* extents, uint64_t lblock, uint64_t count,
+                            uint64_t pblock, std::vector<Extent>* freed) {
+  uint64_t lend = lblock + count;
+  std::vector<Extent> result;
+  result.reserve(extents->size() + 2);
+  for (const Extent& e : *extents) {
+    uint64_t e_end = e.lblock + e.count;
+    if (e_end <= lblock || e.lblock >= lend) {
+      result.push_back(e);  // No overlap.
+      continue;
+    }
+    // Left remainder survives.
+    if (e.lblock < lblock) {
+      result.push_back(Extent{e.lblock, lblock - e.lblock, e.pblock});
+    }
+    // Overlapped middle is replaced: report freed physical blocks.
+    if (freed != nullptr) {
+      uint64_t ov_start = std::max(e.lblock, lblock);
+      uint64_t ov_end = std::min(e_end, lend);
+      freed->push_back(
+          Extent{ov_start, ov_end - ov_start, e.pblock + (ov_start - e.lblock)});
+    }
+    // Right remainder survives.
+    if (e_end > lend) {
+      result.push_back(Extent{lend, e_end - lend, e.pblock + (lend - e.lblock)});
+    }
+  }
+  // Insert the new run in sorted position, merging with adjacent runs when
+  // both logical and physical blocks are contiguous.
+  Extent fresh{lblock, count, pblock};
+  auto pos = std::lower_bound(result.begin(), result.end(), fresh.lblock,
+                              [](const Extent& e, uint64_t v) { return e.lblock < v; });
+  pos = result.insert(pos, fresh);
+  // Merge with predecessor.
+  if (pos != result.begin()) {
+    auto prev = pos - 1;
+    if (prev->lblock + prev->count == pos->lblock && prev->pblock + prev->count == pos->pblock) {
+      prev->count += pos->count;
+      pos = result.erase(pos) - 1;
+    }
+  }
+  // Merge with successor.
+  if (pos + 1 != result.end()) {
+    auto next = pos + 1;
+    if (pos->lblock + pos->count == next->lblock && pos->pblock + pos->count == next->pblock) {
+      pos->count += next->count;
+      result.erase(next);
+    }
+  }
+  *extents = std::move(result);
+}
+
+Status ExtentList::InsertRange(Inode* inode, uint64_t lblock, uint64_t count, uint64_t pblock,
+                               std::vector<Extent>* freed) {
+  std::vector<Extent> extents = Load(*inode);
+  InsertInto(&extents, lblock, count, pblock, freed);
+  return Store(inode, extents);
+}
+
+Status ExtentList::TruncateTo(Inode* inode, uint64_t first_removed_lblock,
+                              std::vector<Extent>* freed) {
+  std::vector<Extent> extents = Load(*inode);
+  std::vector<Extent> kept;
+  for (const Extent& e : extents) {
+    uint64_t e_end = e.lblock + e.count;
+    if (e_end <= first_removed_lblock) {
+      kept.push_back(e);
+    } else if (e.lblock < first_removed_lblock) {
+      uint64_t keep = first_removed_lblock - e.lblock;
+      kept.push_back(Extent{e.lblock, keep, e.pblock});
+      if (freed != nullptr) {
+        freed->push_back(Extent{first_removed_lblock, e.count - keep, e.pblock + keep});
+      }
+    } else if (freed != nullptr) {
+      freed->push_back(e);
+    }
+  }
+  return Store(inode, kept);
+}
+
+Status ExtentList::Destroy(Inode* inode) {
+  std::vector<Extent> extents = Load(*inode);
+  for (const Extent& e : extents) {
+    allocator_->Free(e.pblock, e.count);
+  }
+  FreeChain(inode->extent_root);
+  inode->extent_root = 0;
+  return Status::Ok();
+}
+
+}  // namespace linefs::fslib

@@ -1,0 +1,187 @@
+#include "src/fslib/index.h"
+
+#include <algorithm>
+
+namespace linefs::fslib {
+
+void PrivateIndex::OnData(InodeNum inum, uint64_t file_offset, uint32_t len, uint64_t seq,
+                          uint64_t logical_pos) {
+  InodeState& state = inodes_[inum];
+  uint64_t first = file_offset >> kBlockShift;
+  uint64_t last = (file_offset + len - 1) >> kBlockShift;
+  Overlay overlay{seq, logical_pos, file_offset, len};
+  for (uint64_t b = first; b <= last; ++b) {
+    state.blocks[b].push_back(overlay);
+    ++overlay_count_;
+  }
+  uint64_t end = file_offset + len;
+  if (!state.pending_size.has_value() || *state.pending_size < end) {
+    state.pending_size = end;
+  }
+  state.last_pos = logical_pos;
+}
+
+void PrivateIndex::OnCreate(InodeNum parent, const std::string& name, InodeNum inum,
+                            FileType type, uint64_t logical_pos) {
+  names_[NameKey{parent, name}] = NameEntry{NameState::kExists, inum, logical_pos};
+  InodeState& state = inodes_[inum];
+  state.pending_type = type;
+  state.pending_size = 0;
+  state.size_exact = true;
+  state.deleted = false;
+  state.last_pos = logical_pos;
+}
+
+void PrivateIndex::OnUnlink(InodeNum parent, const std::string& name, InodeNum inum,
+                            uint64_t logical_pos) {
+  names_[NameKey{parent, name}] = NameEntry{NameState::kDeleted, kInvalidInode, logical_pos};
+  InodeState& state = inodes_[inum];
+  state.deleted = true;
+  state.blocks.clear();
+  state.last_pos = logical_pos;
+}
+
+void PrivateIndex::OnRename(InodeNum src_parent, const std::string& old_name,
+                            InodeNum dst_parent, const std::string& new_name, InodeNum inum,
+                            uint64_t logical_pos) {
+  names_[NameKey{src_parent, old_name}] =
+      NameEntry{NameState::kDeleted, kInvalidInode, logical_pos};
+  names_[NameKey{dst_parent, new_name}] = NameEntry{NameState::kExists, inum, logical_pos};
+  inodes_[inum].last_pos = logical_pos;
+}
+
+void PrivateIndex::OnTruncate(InodeNum inum, uint64_t new_size, uint64_t logical_pos) {
+  InodeState& state = inodes_[inum];
+  state.pending_size = new_size;
+  state.size_exact = true;
+  // Drop overlays entirely beyond the new end.
+  uint64_t keep_blocks = BlocksFor(new_size);
+  for (auto it = state.blocks.begin(); it != state.blocks.end();) {
+    if (it->first >= keep_blocks) {
+      overlay_count_ -= it->second.size();
+      it = state.blocks.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  state.last_pos = logical_pos;
+}
+
+std::vector<PrivateIndex::Overlay> PrivateIndex::LookupRange(InodeNum inum, uint64_t offset,
+                                                             uint64_t len) const {
+  std::vector<Overlay> result;
+  auto it = inodes_.find(inum);
+  if (it == inodes_.end() || len == 0) {
+    return result;
+  }
+  const InodeState& state = it->second;
+  uint64_t first = offset >> kBlockShift;
+  uint64_t last = (offset + len - 1) >> kBlockShift;
+  for (uint64_t b = first; b <= last; ++b) {
+    auto bit = state.blocks.find(b);
+    if (bit == state.blocks.end()) {
+      continue;
+    }
+    for (const Overlay& o : bit->second) {
+      if (o.file_offset < offset + len && o.file_offset + o.len > offset) {
+        result.push_back(o);
+      }
+    }
+  }
+  // Sort by seq and dedupe (an overlay spanning blocks appears once per block).
+  std::sort(result.begin(), result.end(), [](const Overlay& a, const Overlay& b) {
+    return a.seq < b.seq;
+  });
+  result.erase(std::unique(result.begin(), result.end(),
+                           [](const Overlay& a, const Overlay& b) { return a.seq == b.seq; }),
+               result.end());
+  return result;
+}
+
+std::pair<PrivateIndex::NameState, InodeNum> PrivateIndex::LookupName(
+    InodeNum parent, const std::string& name) const {
+  auto it = names_.find(NameKey{parent, name});
+  if (it == names_.end()) {
+    return {NameState::kUnknown, kInvalidInode};
+  }
+  return {it->second.state, it->second.inum};
+}
+
+std::optional<uint64_t> PrivateIndex::PendingSize(InodeNum inum) const {
+  auto it = inodes_.find(inum);
+  if (it == inodes_.end()) {
+    return std::nullopt;
+  }
+  return it->second.pending_size;
+}
+
+std::pair<std::optional<uint64_t>, bool> PrivateIndex::PendingSizeInfo(InodeNum inum) const {
+  auto it = inodes_.find(inum);
+  if (it == inodes_.end()) {
+    return {std::nullopt, false};
+  }
+  return {it->second.pending_size, it->second.size_exact};
+}
+
+std::vector<std::pair<std::string, bool>> PrivateIndex::PendingNames(InodeNum dir) const {
+  std::vector<std::pair<std::string, bool>> result;
+  for (const auto& [key, entry] : names_) {
+    if (key.parent == dir && entry.state != NameState::kUnknown) {
+      result.emplace_back(key.name, entry.state == NameState::kExists);
+    }
+  }
+  return result;
+}
+
+std::optional<FileType> PrivateIndex::PendingType(InodeNum inum) const {
+  auto it = inodes_.find(inum);
+  if (it == inodes_.end()) {
+    return std::nullopt;
+  }
+  return it->second.pending_type;
+}
+
+bool PrivateIndex::PendingDeleted(InodeNum inum) const {
+  auto it = inodes_.find(inum);
+  return it != inodes_.end() && it->second.deleted;
+}
+
+void PrivateIndex::DropPublished(uint64_t published_upto) {
+  for (auto it = inodes_.begin(); it != inodes_.end();) {
+    InodeState& state = it->second;
+    for (auto bit = state.blocks.begin(); bit != state.blocks.end();) {
+      std::vector<Overlay>& overlays = bit->second;
+      size_t before = overlays.size();
+      std::erase_if(overlays, [published_upto](const Overlay& o) {
+        return o.logical_pos < published_upto;
+      });
+      overlay_count_ -= before - overlays.size();
+      if (overlays.empty()) {
+        bit = state.blocks.erase(bit);
+      } else {
+        ++bit;
+      }
+    }
+    bool attrs_published = state.last_pos < published_upto;
+    if (state.blocks.empty() && attrs_published) {
+      it = inodes_.erase(it);
+    } else {
+      if (attrs_published) {
+        state.pending_size.reset();
+        state.size_exact = false;
+        state.pending_type.reset();
+        state.deleted = false;
+      }
+      ++it;
+    }
+  }
+  for (auto it = names_.begin(); it != names_.end();) {
+    if (it->second.logical_pos < published_upto) {
+      it = names_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace linefs::fslib

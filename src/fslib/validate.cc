@@ -1,0 +1,79 @@
+#include "src/fslib/validate.h"
+
+namespace linefs::fslib {
+
+Status Validator::Validate(const std::vector<ParsedEntry>& entries) const {
+  std::unordered_set<InodeNum> created_in_chunk;
+  for (const ParsedEntry& entry : entries) {
+    Status st = ValidateOne(entry, &created_in_chunk);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Validator::ValidateOne(const ParsedEntry& entry,
+                              std::unordered_set<InodeNum>* created_in_chunk) const {
+  const LogEntryHeader& h = entry.header;
+
+  // Payload integrity (skipped for elided payloads; the caller charges the
+  // same simulated compute either way).
+  if ((h.flags & kLogFlagGhost) == 0 && h.payload_len > 0) {
+    if (Crc32c(entry.payload.data(), entry.payload.size()) != h.payload_crc) {
+      return Status::Error(ErrorCode::kCorrupt, "payload crc mismatch");
+    }
+  }
+
+  switch (h.type) {
+    case LogOpType::kCreate:
+    case LogOpType::kMkdir: {
+      if (h.payload_len == 0 || h.payload_len > kDirentNameMax) {
+        return Status::Error(ErrorCode::kInvalid, "bad name length");
+      }
+      if (!lease_check_(h.client_id, h.parent)) {
+        return Status::Error(ErrorCode::kPermission, "no lease on parent");
+      }
+      created_in_chunk->insert(h.inum);
+      return Status::Ok();
+    }
+    case LogOpType::kUnlink:
+    case LogOpType::kRmdir: {
+      if (!lease_check_(h.client_id, h.parent)) {
+        return Status::Error(ErrorCode::kPermission, "no lease on parent");
+      }
+      return Status::Ok();
+    }
+    case LogOpType::kRename: {
+      if (!lease_check_(h.client_id, h.parent) ||
+          !lease_check_(h.client_id, h.rename_dst_parent())) {
+        return Status::Error(ErrorCode::kPermission, "no lease on rename parents");
+      }
+      // Directory-cycle prevention: a directory must not move under itself.
+      Result<Inode> moved = inodes_->Get(h.inum);
+      bool is_dir = moved.ok() ? moved->type == FileType::kDirectory
+                               : created_in_chunk->contains(h.inum);
+      if (is_dir && dirs_->IsSelfOrAncestor(h.inum, h.rename_dst_parent())) {
+        return Status::Error(ErrorCode::kInvalid, "rename would create a directory cycle");
+      }
+      return Status::Ok();
+    }
+    case LogOpType::kData:
+    case LogOpType::kTruncate: {
+      if (!lease_check_(h.client_id, h.inum)) {
+        return Status::Error(ErrorCode::kPermission, "no lease on file");
+      }
+      if (!created_in_chunk->contains(h.inum) && inodes_->InUse(h.inum)) {
+        Result<Inode> inode = inodes_->Get(h.inum);
+        if (inode.ok() && inode->type == FileType::kDirectory) {
+          return Status::Error(ErrorCode::kIsDir, "data write to a directory");
+        }
+      }
+      return Status::Ok();
+    }
+    default:
+      return Status::Error(ErrorCode::kInvalid, "unknown log op");
+  }
+}
+
+}  // namespace linefs::fslib

@@ -1,0 +1,46 @@
+// Chunk validation (§3.3.1): the compute-heavy NICFS pipeline stage.
+//
+// Validation checks each entry's payload CRC, verifies that the issuing
+// client holds the required leases, enforces name/mode sanity, and prevents
+// namespace corruption (directory cycles via rename). It deliberately runs on
+// the SmartNIC's wimpy cores in LineFS — its cost is the reason pipeline
+// parallelism matters.
+
+#ifndef SRC_FSLIB_VALIDATE_H_
+#define SRC_FSLIB_VALIDATE_H_
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/fslib/dir.h"
+#include "src/fslib/inode.h"
+#include "src/fslib/oplog.h"
+#include "src/sim/result.h"
+
+namespace linefs::fslib {
+
+class Validator {
+ public:
+  // Returns true if `client_id` may modify `inum` (holds a write lease).
+  using LeaseCheck = std::function<bool(uint32_t client_id, InodeNum inum)>;
+
+  Validator(InodeTable* inodes, DirStore* dirs, LeaseCheck lease_check)
+      : inodes_(inodes), dirs_(dirs), lease_check_(std::move(lease_check)) {}
+
+  // Validates a parsed chunk. Returns kCorrupt / kPermission / kInvalid on
+  // the first violation.
+  Status Validate(const std::vector<ParsedEntry>& entries) const;
+
+ private:
+  Status ValidateOne(const ParsedEntry& entry,
+                     std::unordered_set<InodeNum>* created_in_chunk) const;
+
+  InodeTable* inodes_;
+  DirStore* dirs_;
+  LeaseCheck lease_check_;
+};
+
+}  // namespace linefs::fslib
+
+#endif  // SRC_FSLIB_VALIDATE_H_

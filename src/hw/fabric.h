@@ -1,0 +1,67 @@
+// Network fabric: the 100 GbE switch connecting all SmartNIC ports via RoCE.
+//
+// Each attached node gets a full-duplex port (tx / rx links) at the NIC's
+// goodput. A transfer serializes on the sender's egress link (the bottleneck
+// in all of the paper's traffic patterns) and is accounted on the receiver's
+// ingress link for utilization plots.
+
+#ifndef SRC_HW_FABRIC_H_
+#define SRC_HW_FABRIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hw/node.h"
+#include "src/sim/engine.h"
+#include "src/sim/link.h"
+#include "src/sim/task.h"
+
+namespace linefs::hw {
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Engine* engine) : engine_(engine) {}
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Creates the port for `node`. Must be called in node-id order.
+  void Attach(Node* node);
+
+  // Moves `bytes` from node `src` to node `dst`.
+  sim::Task<> Send(int src, int dst, uint64_t bytes);
+
+  sim::Link& tx(int node) { return *ports_[node]->tx; }
+  sim::Link& rx(int node) { return *ports_[node]->rx; }
+  int node_count() const { return static_cast<int>(ports_.size()); }
+
+ private:
+  struct Port {
+    std::unique_ptr<sim::Link> tx;
+    std::unique_ptr<sim::Link> rx;
+  };
+
+  sim::Engine* engine_;
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+inline void Fabric::Attach(Node* node) {
+  auto port = std::make_unique<Port>();
+  const NicParams& p = node->nic().params();
+  std::string base = "net#" + std::to_string(node->id());
+  port->tx = std::make_unique<sim::Link>(engine_, base + ".tx", p.net_goodput, p.net_latency);
+  port->rx = std::make_unique<sim::Link>(engine_, base + ".rx", p.net_goodput, 0);
+  ports_.push_back(std::move(port));
+}
+
+inline sim::Task<> Fabric::Send(int src, int dst, uint64_t bytes) {
+  // Receiver-side accounting only (egress is the bottleneck link in all of the
+  // paper's traffic patterns, so no extra serialization delay is charged).
+  ports_[dst]->rx->Account(bytes);
+  co_await ports_[src]->tx->Transfer(bytes);
+}
+
+}  // namespace linefs::hw
+
+#endif  // SRC_HW_FABRIC_H_

@@ -1,0 +1,78 @@
+#include "src/hw/node.h"
+
+namespace linefs::hw {
+
+namespace {
+
+sim::CpuPool::Options HostCpuOptions(const HostParams& p) {
+  sim::CpuPool::Options o;
+  o.cores = p.cores;
+  o.freq_ghz = p.freq_ghz;
+  o.ipc_factor = p.ipc_factor;
+  o.quantum = p.quantum;
+  o.context_switch_cost = p.context_switch_cost;
+  o.dispatch_latency = p.dispatch_latency;
+  return o;
+}
+
+sim::CpuPool::Options NicCpuOptions(const NicParams& p) {
+  sim::CpuPool::Options o;
+  o.cores = p.cores;
+  o.freq_ghz = p.freq_ghz;
+  o.ipc_factor = p.ipc_factor;
+  o.quantum = p.quantum;
+  o.context_switch_cost = p.context_switch_cost;
+  o.dispatch_latency = p.dispatch_latency;
+  return o;
+}
+
+std::string Named(const char* what, int node_id) {
+  return std::string(what) + "#" + std::to_string(node_id);
+}
+
+}  // namespace
+
+SmartNic::SmartNic(sim::Engine* engine, int node_id, const NicParams& params)
+    : params_(params),
+      cpu_(engine, Named("nic-cpu", node_id), NicCpuOptions(params)),
+      mem_link_(engine, Named("nic-mem", node_id), params.mem_bw, params.mem_latency),
+      pcie_h2n_(engine, Named("pcie-h2n", node_id), params.pcie_bw, params.pcie_latency),
+      pcie_n2h_(engine, Named("pcie-n2h", node_id), params.pcie_bw, params.pcie_latency),
+      mem_released_(engine) {
+  acct_nicfs_ = cpu_.RegisterAccount("nicfs");
+}
+
+void SmartNic::ReleaseMem(uint64_t bytes) {
+  mem_used_ = bytes > mem_used_ ? 0 : mem_used_ - bytes;
+  mem_released_.NotifyAll();
+}
+
+Node::Node(sim::Engine* engine, int id, const NodeParams& params)
+    : engine_(engine), id_(id), params_(params),
+      host_cpu_(engine, Named("host-cpu", id), HostCpuOptions(params.host)),
+      pm_(params.host.pm_size),
+      pm_read_(engine, Named("pm-read", id), params.host.pm_read_bw, params.host.pm_read_latency),
+      pm_write_(engine, Named("pm-write", id), params.host.pm_write_bw,
+                params.host.pm_write_latency),
+      dram_(engine, Named("dram", id), params.host.dram_bw, params.host.dram_latency),
+      dma_(engine, Named("ioat", id), /*bytes_per_sec=*/6.5e9),
+      nic_(engine, id, params.nic),
+      host_state_changed_(engine) {
+  acct_app_ = host_cpu_.RegisterAccount("app");
+  acct_fs_ = host_cpu_.RegisterAccount("fs");
+  acct_kworker_ = host_cpu_.RegisterAccount("kworker");
+}
+
+void Node::CrashHost() {
+  host_up_ = false;
+  host_cpu_.Stop();
+  host_state_changed_.NotifyAll();
+}
+
+void Node::RecoverHost() {
+  host_up_ = true;
+  host_cpu_.Resume();
+  host_state_changed_.NotifyAll();
+}
+
+}  // namespace linefs::hw

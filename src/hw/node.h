@@ -1,0 +1,135 @@
+// Hardware model of one LineFS cluster node: host complex (Xeon cores, PM,
+// DRAM, I/OAT DMA engine) plus an attached BlueField-style SmartNIC (wimpy ARM
+// cores, NIC DRAM with capacity accounting, PCIe connection, network port).
+
+#ifndef SRC_HW_NODE_H_
+#define SRC_HW_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/hw/params.h"
+#include "src/pmem/region.h"
+#include "src/sim/cpu.h"
+#include "src/sim/engine.h"
+#include "src/sim/link.h"
+#include "src/sim/sync.h"
+
+namespace linefs::hw {
+
+// Intel I/OAT-style asynchronous DMA engine living on the host. Data movement
+// time is charged to a dedicated channel; completion is signalled either by
+// polling (caller holds a CPU) or interrupt (modelled as fixed latency).
+class DmaEngine {
+ public:
+  DmaEngine(sim::Engine* engine, const std::string& name, double bytes_per_sec)
+      : channel_(engine, name, bytes_per_sec, /*latency=*/0) {}
+
+  // Occupies the DMA channel for `bytes`; resolves when the copy completes.
+  sim::Task<> Copy(uint64_t bytes) { return channel_.Transfer(bytes); }
+
+  static constexpr sim::Time kInterruptLatency = 4 * sim::kMicrosecond;
+
+  uint64_t total_bytes() const { return channel_.total_bytes(); }
+
+ private:
+  sim::Link channel_;
+};
+
+// BlueField-style SmartNIC: 16 wimpy cores, 16 GB memory with watermark-based
+// capacity accounting (replication flow control, §4), PCIe links to the host,
+// and a network port (owned by the Fabric).
+class SmartNic {
+ public:
+  SmartNic(sim::Engine* engine, int node_id, const NicParams& params);
+
+  sim::CpuPool& cpu() { return cpu_; }
+  sim::Link& mem() { return mem_link_; }
+  // Host-to-NIC and NIC-to-host PCIe directions.
+  sim::Link& pcie_h2n() { return pcie_h2n_; }
+  sim::Link& pcie_n2h() { return pcie_n2h_; }
+
+  // NIC memory capacity accounting.
+  uint64_t mem_capacity() const { return params_.mem_capacity; }
+  uint64_t mem_used() const { return mem_used_; }
+  double mem_utilization() const {
+    return static_cast<double>(mem_used_) / static_cast<double>(params_.mem_capacity);
+  }
+  void ReserveMem(uint64_t bytes) { mem_used_ += bytes; }
+  void ReleaseMem(uint64_t bytes);
+
+  // Notified whenever memory is released (flow-control wakeups).
+  sim::Condition& mem_released() { return mem_released_; }
+
+  const NicParams& params() const { return params_; }
+  int nicfs_account() const { return acct_nicfs_; }
+
+ private:
+  NicParams params_;
+  sim::CpuPool cpu_;
+  sim::Link mem_link_;
+  sim::Link pcie_h2n_;
+  sim::Link pcie_n2h_;
+  sim::Condition mem_released_;
+  uint64_t mem_used_ = 0;
+  int acct_nicfs_;
+};
+
+class Node {
+ public:
+  Node(sim::Engine* engine, int id, const NodeParams& params);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+  sim::Engine* engine() { return engine_; }
+  const NodeParams& params() const { return params_; }
+
+  sim::CpuPool& host_cpu() { return host_cpu_; }
+  SmartNic& nic() { return nic_; }
+  pmem::Region& pm() { return pm_; }
+  DmaEngine& dma() { return dma_; }
+
+  // Host-side PM access bandwidth (DDR-attached; separate read/write lanes
+  // because Optane bandwidth is strongly asymmetric).
+  sim::Link& pm_read() { return pm_read_; }
+  sim::Link& pm_write() { return pm_write_; }
+  sim::Link& dram() { return dram_; }
+
+  // Host OS crash (§3.5): host cores stop scheduling, PM contents survive.
+  bool host_up() const { return host_up_; }
+  void CrashHost();
+  void RecoverHost();
+  // Fires on host state transitions (failure detectors wait on this).
+  sim::Condition& host_state_changed() { return host_state_changed_; }
+
+  // Power failure (crash-consistency testing): unpersisted PM writes are lost.
+  void PowerFail() { pm_.Crash(); }
+
+  // Host CPU accounting buckets.
+  int acct_app() const { return acct_app_; }
+  int acct_fs() const { return acct_fs_; }
+  int acct_kworker() const { return acct_kworker_; }
+
+ private:
+  sim::Engine* engine_;
+  int id_;
+  NodeParams params_;
+  sim::CpuPool host_cpu_;
+  pmem::Region pm_;
+  sim::Link pm_read_;
+  sim::Link pm_write_;
+  sim::Link dram_;
+  DmaEngine dma_;
+  SmartNic nic_;
+  sim::Condition host_state_changed_;
+  bool host_up_ = true;
+  int acct_app_;
+  int acct_fs_;
+  int acct_kworker_;
+};
+
+}  // namespace linefs::hw
+
+#endif  // SRC_HW_NODE_H_

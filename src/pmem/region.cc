@@ -1,0 +1,156 @@
+#include "src/pmem/region.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace linefs::pmem {
+
+Region::Region(uint64_t size) : size_(size) {
+  slabs_.resize((size + kSlabSize - 1) >> kSlabShift);
+}
+
+uint8_t* Region::SlabFor(uint64_t offset, bool create) {
+  uint64_t idx = offset >> kSlabShift;
+  assert(idx < slabs_.size());
+  if (!slabs_[idx] && create) {
+    slabs_[idx] = std::make_unique<uint8_t[]>(kSlabSize);
+    std::memset(slabs_[idx].get(), 0, kSlabSize);
+  }
+  return slabs_[idx] ? slabs_[idx].get() + (offset & (kSlabSize - 1)) : nullptr;
+}
+
+void Region::CopyIn(uint64_t offset, const void* src, uint64_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(src);
+  while (n > 0) {
+    uint64_t in_slab = std::min<uint64_t>(n, kSlabSize - (offset & (kSlabSize - 1)));
+    uint8_t* dst = SlabFor(offset, /*create=*/true);
+    std::memcpy(dst, p, in_slab);
+    offset += in_slab;
+    p += in_slab;
+    n -= in_slab;
+  }
+}
+
+void Region::CopyOut(uint64_t offset, void* dst, uint64_t n) const {
+  uint8_t* p = static_cast<uint8_t*>(dst);
+  while (n > 0) {
+    uint64_t in_slab = std::min<uint64_t>(n, kSlabSize - (offset & (kSlabSize - 1)));
+    uint64_t idx = offset >> kSlabShift;
+    assert(idx < slabs_.size());
+    if (slabs_[idx]) {
+      std::memcpy(p, slabs_[idx].get() + (offset & (kSlabSize - 1)), in_slab);
+    } else {
+      std::memset(p, 0, in_slab);
+    }
+    offset += in_slab;
+    p += in_slab;
+    n -= in_slab;
+  }
+}
+
+void Region::Write(uint64_t offset, const void* src, uint64_t n) {
+  assert(offset + n <= size_);
+  // Capture undo data so an un-persisted write can be rolled back on Crash().
+  UndoEntry undo;
+  undo.offset = offset;
+  undo.old_data.resize(n);
+  CopyOut(offset, undo.old_data.data(), n);
+  by_offset_[offset].push_back(undo_log_.size());
+  undo_log_.push_back(std::move(undo));
+  ++live_undo_;
+  CopyIn(offset, src, n);
+  total_bytes_written_ += n;
+}
+
+void Region::Fill(uint64_t offset, uint8_t value, uint64_t n) {
+  std::vector<uint8_t> buf(n, value);
+  Write(offset, buf.data(), n);
+}
+
+void Region::Copy(uint64_t dst, uint64_t src, uint64_t n) {
+  std::vector<uint8_t> buf(n);
+  CopyOut(src, buf.data(), n);
+  Write(dst, buf.data(), n);
+}
+
+void Region::Read(uint64_t offset, void* dst, uint64_t n) const {
+  assert(offset + n <= size_);
+  CopyOut(offset, dst, n);
+}
+
+void Region::Persist(uint64_t offset, uint64_t n) {
+  // Drop undo entries fully contained in the persisted range. The file system
+  // persists exactly the ranges it writes, so the offset index makes this a
+  // targeted O(log n) operation rather than a scan.
+  uint64_t end = offset + n;
+  auto it = by_offset_.lower_bound(offset);
+  while (it != by_offset_.end() && it->first < end) {
+    std::vector<size_t>& indices = it->second;
+    std::erase_if(indices, [this, end](size_t idx) {
+      UndoEntry& e = undo_log_[idx];
+      if (e.dead) {
+        return true;
+      }
+      if (e.offset + e.old_data.size() <= end) {
+        e.dead = true;
+        e.old_data.clear();
+        e.old_data.shrink_to_fit();
+        --live_undo_;
+        return true;
+      }
+      return false;
+    });
+    if (indices.empty()) {
+      it = by_offset_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  MaybeCompact();
+}
+
+void Region::PersistAll() {
+  undo_log_.clear();
+  by_offset_.clear();
+  live_undo_ = 0;
+}
+
+void Region::Crash() {
+  // Roll back newest-first so overlapping writes unwind correctly.
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    if (!it->dead) {
+      CopyIn(it->offset, it->old_data.data(), it->old_data.size());
+    }
+  }
+  PersistAll();
+}
+
+uint64_t Region::unpersisted_bytes() const {
+  uint64_t total = 0;
+  for (const UndoEntry& e : undo_log_) {
+    if (!e.dead) {
+      total += e.old_data.size();
+    }
+  }
+  return total;
+}
+
+size_t Region::pending_undo_count() const { return live_undo_; }
+
+void Region::MaybeCompact() {
+  if (undo_log_.size() < 1024 || live_undo_ * 2 > undo_log_.size()) {
+    return;
+  }
+  std::vector<UndoEntry> compacted;
+  compacted.reserve(live_undo_);
+  by_offset_.clear();
+  for (UndoEntry& e : undo_log_) {
+    if (!e.dead) {
+      by_offset_[e.offset].push_back(compacted.size());
+      compacted.push_back(std::move(e));
+    }
+  }
+  undo_log_ = std::move(compacted);
+}
+
+}  // namespace linefs::pmem

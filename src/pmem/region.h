@@ -1,0 +1,105 @@
+// Persistent-memory emulation.
+//
+// A Region models one node's PM (Intel Optane App-Direct substitute): a
+// byte-addressable space with an explicit persistence step, matching PMDK's
+// store + clwb/sfence model. Writes land in the "CPU cache" (volatile until
+// persisted); Persist() makes a range durable. Crash() models power/OS failure
+// by rolling back every unpersisted write (undo data is captured per write),
+// restoring the most recent durable image.
+//
+// Backing storage is allocated lazily in 2MB slabs so multi-GB simulated
+// regions only consume host memory where touched. Untouched bytes read as 0.
+//
+// Timing is NOT modelled here: PM latency/bandwidth costs are charged by the
+// hardware layer (hw::Node's PM links); a Region is pure state.
+
+#ifndef SRC_PMEM_REGION_H_
+#define SRC_PMEM_REGION_H_
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/sim/result.h"
+
+namespace linefs::pmem {
+
+class Region {
+ public:
+  explicit Region(uint64_t size);
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+  uint64_t size() const { return size_; }
+
+  // Volatile store: visible to reads immediately, durable only after Persist().
+  void Write(uint64_t offset, const void* src, uint64_t n);
+
+  // Reads current (possibly unpersisted) content.
+  void Read(uint64_t offset, void* dst, uint64_t n) const;
+
+  // Fills [offset, offset+n) with `value`.
+  void Fill(uint64_t offset, uint8_t value, uint64_t n);
+
+  // Region-internal copy (DMA-style data movement), with undo tracking.
+  void Copy(uint64_t dst, uint64_t src, uint64_t n);
+
+  template <typename T>
+  void WriteObject(uint64_t offset, const T& obj) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write(offset, &obj, sizeof(T));
+  }
+
+  template <typename T>
+  T ReadObject(uint64_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T obj;
+    Read(offset, &obj, sizeof(T));
+    return obj;
+  }
+
+  // Makes all writes fully contained in [offset, offset+n) durable.
+  void Persist(uint64_t offset, uint64_t n);
+
+  // Makes everything durable (fence + drain).
+  void PersistAll();
+
+  // Simulates a crash: rolls back all unpersisted writes (newest first) so the
+  // region reflects exactly the last durable state.
+  void Crash();
+
+  // Number of bytes currently written but not yet persisted.
+  uint64_t unpersisted_bytes() const;
+  size_t pending_undo_count() const;
+
+  // Lifetime counters (write amplification studies).
+  uint64_t total_bytes_written() const { return total_bytes_written_; }
+
+ private:
+  static constexpr uint64_t kSlabShift = 21;  // 2 MB slabs.
+  static constexpr uint64_t kSlabSize = 1ULL << kSlabShift;
+
+  struct UndoEntry {
+    uint64_t offset = 0;
+    std::vector<uint8_t> old_data;
+    bool dead = false;
+  };
+
+  uint8_t* SlabFor(uint64_t offset, bool create);
+  void CopyIn(uint64_t offset, const void* src, uint64_t n);
+  void CopyOut(uint64_t offset, void* dst, uint64_t n) const;
+  void MaybeCompact();
+
+  uint64_t size_;
+  std::vector<std::unique_ptr<uint8_t[]>> slabs_;
+  std::vector<UndoEntry> undo_log_;
+  std::map<uint64_t, std::vector<size_t>> by_offset_;
+  uint64_t live_undo_ = 0;
+  uint64_t total_bytes_written_ = 0;
+};
+
+}  // namespace linefs::pmem
+
+#endif  // SRC_PMEM_REGION_H_

@@ -1,0 +1,114 @@
+#include "src/rdma/rdma.h"
+
+#include <utility>
+
+namespace linefs::rdma {
+
+Network::Network(sim::Engine* engine, hw::Fabric* fabric, std::vector<hw::Node*> nodes,
+                 const hw::RdmaCosts& costs)
+    : engine_(engine), fabric_(fabric), nodes_(std::move(nodes)), costs_(costs) {}
+
+std::vector<Network::Hop> Network::PathFor(MemAddr src, MemAddr dst) {
+  std::vector<Hop> hops;
+  // Source-side egress toward the local SmartNIC.
+  if (src.space == Space::kHostPm) {
+    hops.push_back(Hop{&nodes_[src.node]->pm_read()});
+    hops.push_back(Hop{&nodes_[src.node]->nic().pcie_h2n()});
+  } else if (src.node != dst.node || dst.space != Space::kNicMem) {
+    hops.push_back(Hop{&nodes_[src.node]->nic().mem()});
+  }
+  // Fabric crossing.
+  if (src.node != dst.node) {
+    hops.push_back(Hop{&fabric_->tx(src.node), /*is_fabric_tx=*/true, src.node, dst.node});
+  }
+  // Destination-side ingress.
+  if (dst.space == Space::kHostPm) {
+    hops.push_back(Hop{&nodes_[dst.node]->nic().pcie_n2h()});
+    hops.push_back(Hop{&nodes_[dst.node]->pm_write()});
+  } else {
+    hops.push_back(Hop{&nodes_[dst.node]->nic().mem()});
+  }
+  return hops;
+}
+
+sim::Task<> Network::MoveAlongPath(MemAddr src, MemAddr dst, uint64_t bytes) {
+  std::vector<Hop> hops = PathFor(src, dst);
+  // Cut-through: occupy the bottleneck link; other hops contribute latency
+  // and byte accounting only.
+  sim::Link* bottleneck = nullptr;
+  for (const Hop& hop : hops) {
+    if (bottleneck == nullptr || hop.link->bytes_per_sec() < bottleneck->bytes_per_sec()) {
+      bottleneck = hop.link;
+    }
+  }
+  sim::Time extra_latency = 0;
+  for (const Hop& hop : hops) {
+    if (hop.link == bottleneck) {
+      continue;
+    }
+    extra_latency += hop.link->latency();
+    hop.link->Account(bytes);
+    if (hop.is_fabric_tx) {
+      fabric_->rx(hop.fabric_dst).Account(bytes);
+    }
+  }
+  if (extra_latency > 0) {
+    co_await engine_->SleepFor(extra_latency);
+  }
+  if (bottleneck != nullptr) {
+    if (bottleneck == &fabric_->tx(src.node)) {
+      co_await fabric_->Send(src.node, dst.node, bytes);
+    } else {
+      co_await bottleneck->Transfer(bytes);
+    }
+  }
+}
+
+sim::Task<> Network::Write(const Initiator& initiator, MemAddr local, MemAddr remote,
+                           uint64_t bytes) {
+  if (initiator.cpu != nullptr) {
+    co_await initiator.cpu->RunCycles(costs_.post_cycles, initiator.priority, initiator.account);
+  }
+  if (initiator.extra_latency > 0) {
+    co_await engine_->SleepFor(initiator.extra_latency);
+  }
+  co_await MoveAlongPath(local, remote, bytes);
+  // Completion (ACK) propagates back; polling initiators see it immediately.
+  if (initiator.cpu != nullptr) {
+    if (!initiator.polls) {
+      co_await engine_->SleepFor(costs_.event_wakeup);
+    }
+    co_await initiator.cpu->RunCycles(costs_.completion_cycles, initiator.priority,
+                                      initiator.account);
+  }
+}
+
+sim::Task<> Network::Read(const Initiator& initiator, MemAddr local, MemAddr remote,
+                          uint64_t bytes) {
+  if (initiator.cpu != nullptr) {
+    co_await initiator.cpu->RunCycles(costs_.post_cycles, initiator.priority, initiator.account);
+  }
+  if (initiator.extra_latency > 0) {
+    co_await engine_->SleepFor(initiator.extra_latency);
+  }
+  // Request travels to the remote side (latency only), then data flows back.
+  // A same-node read (NICFS fetching the host log) crosses PCIe, not the wire.
+  sim::Time request_latency = local.node == remote.node
+                                  ? nodes_[remote.node]->nic().params().pcie_latency
+                                  : nodes_[remote.node]->nic().params().net_latency;
+  co_await engine_->SleepFor(request_latency);
+  co_await MoveAlongPath(remote, local, bytes);
+  if (initiator.cpu != nullptr) {
+    if (!initiator.polls) {
+      co_await engine_->SleepFor(costs_.event_wakeup);
+    }
+    co_await initiator.cpu->RunCycles(costs_.completion_cycles, initiator.priority,
+                                      initiator.account);
+  }
+}
+
+sim::Task<> Network::RawTransfer(MemAddr src, MemAddr dst, uint64_t bytes) {
+  return MoveAlongPath(src, dst, bytes);
+}
+
+}  // namespace linefs::rdma

@@ -1,0 +1,132 @@
+#include "src/rdma/rpc.h"
+
+#include <memory>
+
+#include "src/sim/sync.h"
+
+namespace linefs::rdma {
+
+namespace {
+
+// Shared between the caller, the handler-invocation task, and the timeout
+// timer; kept alive by whichever finishes last.
+struct CallState {
+  explicit CallState(sim::Engine* engine) : completed(engine) {}
+  sim::Event completed;
+  bool done = false;
+  Result<std::vector<uint8_t>> response = Status::Error(ErrorCode::kTimeout, "rpc timeout");
+};
+
+sim::Task<> InvokeHandler(RpcEndpoint* endpoint, sim::Priority priority,
+                          RpcEndpoint::GenericHandler* handler, std::vector<uint8_t> request,
+                          std::shared_ptr<CallState> state, const hw::RdmaCosts* costs) {
+  // Receiver-side completion processing, then the handler body.
+  co_await endpoint->cpu()->RunCycles(costs->completion_cycles, priority, endpoint->account());
+  std::vector<uint8_t> response = co_await (*handler)(std::move(request));
+  if (!state->done) {
+    state->done = true;
+    state->response = std::move(response);
+    state->completed.Fire();
+  }
+}
+
+sim::Task<> CallTimer(sim::Engine* engine, sim::Time timeout,
+                      std::shared_ptr<CallState> state) {
+  co_await engine->SleepFor(timeout);
+  if (!state->done) {
+    state->done = true;  // response stays kTimeout.
+    state->completed.Fire();
+  }
+}
+
+}  // namespace
+
+RpcEndpoint::RpcEndpoint(RpcSystem* system, std::string name, MemAddr addr, sim::CpuPool* cpu,
+                         int account, bool has_low_lat_poller)
+    : name_(std::move(name)), addr_(addr), cpu_(cpu), account_(account),
+      has_low_lat_poller_(has_low_lat_poller) {}
+
+RpcEndpoint* RpcSystem::CreateEndpoint(std::string name, MemAddr addr, sim::CpuPool* cpu,
+                                       int account, bool has_low_lat_poller) {
+  auto endpoint =
+      std::make_unique<RpcEndpoint>(this, name, addr, cpu, account, has_low_lat_poller);
+  RpcEndpoint* raw = endpoint.get();
+  endpoints_[std::move(name)] = std::move(endpoint);
+  return raw;
+}
+
+RpcEndpoint* RpcSystem::Find(const std::string& name) {
+  auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+void RpcSystem::DestroyEndpoint(const std::string& name) { endpoints_.erase(name); }
+
+sim::Task<Result<std::vector<uint8_t>>> RpcSystem::CallRaw(const Initiator& caller,
+                                                           MemAddr caller_addr,
+                                                           const std::string& target,
+                                                           Channel channel, uint32_t method,
+                                                           std::vector<uint8_t> request,
+                                                           sim::Time timeout) {
+  sim::Engine* engine = network_->engine();
+  const hw::RdmaCosts& costs = network_->costs();
+
+  // Client posts the request (send verb).
+  if (caller.cpu != nullptr) {
+    co_await caller.cpu->RunCycles(costs.post_cycles, caller.priority, caller.account);
+  }
+
+  RpcEndpoint* endpoint = Find(target);
+  if (endpoint == nullptr || !endpoint->alive()) {
+    co_await engine->SleepFor(timeout);
+    co_return Status::Error(ErrorCode::kUnavailable, "rpc target down: " + target);
+  }
+
+  // Request wire transfer (control-sized message).
+  uint64_t wire_bytes = std::max<uint64_t>(costs.control_bytes, request.size());
+  co_await network_->RawTransfer(caller_addr, endpoint->addr(), wire_bytes);
+
+  // Receiver-side dispatch.
+  sim::Priority handler_priority;
+  if (channel == Channel::kLowLat && endpoint->has_low_lat_poller()) {
+    // Busy poller notices the message immediately and runs it at RT priority.
+    handler_priority = sim::Priority::kRealtime;
+  } else {
+    handler_priority = endpoint->dispatch_priority();
+    co_await engine->SleepFor(costs.event_wakeup);
+  }
+
+  auto handler_it = endpoint->handlers_.find(method);
+  if (handler_it == endpoint->handlers_.end()) {
+    co_return Status::Error(ErrorCode::kInvalid, "unknown rpc method");
+  }
+
+  // Execute the handler, racing it against the caller's timeout: a target
+  // whose host dies mid-call (e.g. the kernel worker, §3.5) must not hang the
+  // caller. A handler that finishes after the timeout is harmless — shared
+  // state keeps everything alive and its result is dropped.
+  auto state = std::make_shared<CallState>(engine);
+  engine->Spawn(InvokeHandler(endpoint, handler_priority, &handler_it->second,
+                              std::move(request), state, &network_->costs()));
+  engine->Spawn(CallTimer(engine, timeout, state));
+  co_await state->completed.Wait();
+  if (!state->response.ok() && state->response.code() == ErrorCode::kTimeout) {
+    co_return Status::Error(ErrorCode::kUnavailable, "rpc timed out: " + target);
+  }
+  std::vector<uint8_t> response = std::move(state->response.value());
+
+  // Response wire transfer.
+  uint64_t resp_bytes = std::max<uint64_t>(costs.control_bytes, response.size());
+  co_await network_->RawTransfer(endpoint->addr(), caller_addr, resp_bytes);
+
+  // Client-side completion.
+  if (caller.cpu != nullptr) {
+    if (!caller.polls) {
+      co_await engine->SleepFor(costs.event_wakeup);
+    }
+    co_await caller.cpu->RunCycles(costs.completion_cycles, caller.priority, caller.account);
+  }
+  co_return response;
+}
+
+}  // namespace linefs::rdma

@@ -1,0 +1,152 @@
+// RPC over the RDMA network, modelled after NICFS's two-port design (§3.3.2):
+//
+//  - kLowLat: the receiver dedicates a pinned busy-polling thread to this
+//    connection, so an arriving request starts processing with no wakeup
+//    delay and runs at realtime priority (fsync notifications, leases).
+//  - kHighTput: the receiver keeps an event-driven worker pool; requests pay
+//    an event-wakeup latency and contend at normal priority (replication and
+//    publication control traffic).
+//
+// Endpoints are registered by name ("nicfs/0", "kworker/2", ...) and live in a
+// (node, space) memory domain so the wire path is computed from real topology.
+// Messages are trivially-copyable structs serialized to bytes (a wire format,
+// as between real LibFS and NICFS processes).
+//
+// Availability: an endpoint exposes an `alive` predicate (a kernel worker dies
+// with its host OS). Calls to a dead endpoint time out with kUnavailable —
+// exactly the signal NICFS's failure detector consumes (§3.5).
+
+#ifndef SRC_RDMA_RPC_H_
+#define SRC_RDMA_RPC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rdma/rdma.h"
+#include "src/sim/result.h"
+#include "src/sim/task.h"
+
+namespace linefs::rdma {
+
+enum class Channel {
+  kLowLat,
+  kHighTput,
+};
+
+namespace internal {
+
+template <typename T>
+std::vector<uint8_t> ToBytes(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>, "RPC messages must be PODs");
+  std::vector<uint8_t> bytes(sizeof(T));
+  std::memcpy(bytes.data(), &value, sizeof(T));
+  return bytes;
+}
+
+template <typename T>
+T FromBytes(const std::vector<uint8_t>& bytes) {
+  static_assert(std::is_trivially_copyable_v<T>, "RPC messages must be PODs");
+  T value{};
+  std::memcpy(&value, bytes.data(), std::min(bytes.size(), sizeof(T)));
+  return value;
+}
+
+}  // namespace internal
+
+class RpcSystem;
+
+// One RPC-serving identity. Handlers execute on the endpoint's CPU pool.
+class RpcEndpoint {
+ public:
+  using GenericHandler =
+      std::function<sim::Task<std::vector<uint8_t>>(std::vector<uint8_t> request)>;
+
+  RpcEndpoint(RpcSystem* system, std::string name, MemAddr addr, sim::CpuPool* cpu, int account,
+              bool has_low_lat_poller);
+
+  // Scheduling priority of event-driven request dispatch (the service's
+  // worker threads). Low-latency-polled requests always run at realtime.
+  void SetDispatchPriority(sim::Priority priority) { dispatch_priority_ = priority; }
+  sim::Priority dispatch_priority() const { return dispatch_priority_; }
+
+  // Registers a typed handler for `method`.
+  template <typename Req, typename Resp>
+  void Handle(uint32_t method, std::function<sim::Task<Resp>(Req)> handler) {
+    handlers_[method] = [handler = std::move(handler)](
+                            std::vector<uint8_t> request) -> sim::Task<std::vector<uint8_t>> {
+      Req req = internal::FromBytes<Req>(request);
+      Resp resp = co_await handler(std::move(req));
+      co_return internal::ToBytes(resp);
+    };
+  }
+
+  // Endpoint liveness (defaults to always-alive).
+  void SetAlivePredicate(std::function<bool()> alive) { alive_ = std::move(alive); }
+  bool alive() const { return !alive_ || alive_(); }
+
+  const std::string& name() const { return name_; }
+  MemAddr addr() const { return addr_; }
+  sim::CpuPool* cpu() const { return cpu_; }
+  int account() const { return account_; }
+  bool has_low_lat_poller() const { return has_low_lat_poller_; }
+
+ private:
+  friend class RpcSystem;
+
+  std::string name_;
+  MemAddr addr_;
+  sim::CpuPool* cpu_;
+  int account_;
+  bool has_low_lat_poller_;
+  sim::Priority dispatch_priority_ = sim::Priority::kNormal;
+  std::function<bool()> alive_;
+  std::unordered_map<uint32_t, GenericHandler> handlers_;
+};
+
+class RpcSystem {
+ public:
+  explicit RpcSystem(Network* network) : network_(network) {}
+
+  RpcEndpoint* CreateEndpoint(std::string name, MemAddr addr, sim::CpuPool* cpu, int account,
+                              bool has_low_lat_poller);
+  RpcEndpoint* Find(const std::string& name);
+  void DestroyEndpoint(const std::string& name);
+
+  // Typed call. `caller` identifies the client side (CPU costs + wire source);
+  // the response is delivered after the handler completes. Returns
+  // kUnavailable if the target is missing/dead past `timeout`, kInvalid for an
+  // unknown method.
+  template <typename Req, typename Resp>
+  sim::Task<Result<Resp>> Call(const Initiator& caller, MemAddr caller_addr,
+                               const std::string& target, Channel channel, uint32_t method,
+                               Req request, sim::Time timeout = 10 * sim::kMillisecond) {
+    std::vector<uint8_t> req_bytes = internal::ToBytes(request);
+    Result<std::vector<uint8_t>> resp =
+        co_await CallRaw(caller, caller_addr, target, channel, method, std::move(req_bytes),
+                         timeout);
+    if (!resp.ok()) {
+      co_return resp.status();
+    }
+    co_return internal::FromBytes<Resp>(resp.value());
+  }
+
+  sim::Task<Result<std::vector<uint8_t>>> CallRaw(const Initiator& caller, MemAddr caller_addr,
+                                                  const std::string& target, Channel channel,
+                                                  uint32_t method, std::vector<uint8_t> request,
+                                                  sim::Time timeout);
+
+  Network* network() { return network_; }
+
+ private:
+  Network* network_;
+  std::unordered_map<std::string, std::unique_ptr<RpcEndpoint>> endpoints_;
+};
+
+}  // namespace linefs::rdma
+
+#endif  // SRC_RDMA_RPC_H_

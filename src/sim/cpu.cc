@@ -1,0 +1,148 @@
+#include "src/sim/cpu.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace linefs::sim {
+
+CpuPool::CpuPool(Engine* engine, std::string name, const Options& options)
+    : engine_(engine), name_(std::move(name)), options_(options), free_cores_(options.cores) {}
+
+int CpuPool::RegisterAccount(const std::string& name) {
+  account_names_.push_back(name);
+  busy_ns_.push_back(0);
+  return static_cast<int>(account_names_.size()) - 1;
+}
+
+bool CpuPool::CoreAwaiter::await_ready() noexcept {
+  if (!pool->stopped_ && pool->free_cores_ > 0) {
+    --pool->free_cores_;
+    return true;
+  }
+  return false;
+}
+
+void CpuPool::CoreAwaiter::await_suspend(std::coroutine_handle<> h) {
+  waited = true;
+  waiter.handle = h;
+  pool->waiters_[static_cast<int>(priority)].push_back(&waiter);
+}
+
+void CpuPool::ReleaseCore() {
+  if (free_cores_ < 0) {
+    // Repay a preemption-stolen core: the descheduled victim resumes instead
+    // of handing the core to a waiter.
+    ++free_cores_;
+    return;
+  }
+  if (!stopped_) {
+    for (int p = kPriorityLevels - 1; p >= 0; --p) {
+      if (!waiters_[p].empty()) {
+        Waiter* w = waiters_[p].front();
+        waiters_[p].pop_front();
+        engine_->ScheduleNow(w->handle);
+        return;  // Core handed off directly; free count unchanged.
+      }
+    }
+  }
+  ++free_cores_;
+}
+
+bool CpuPool::HasContention() const {
+  for (int p = 0; p < kPriorityLevels; ++p) {
+    if (!waiters_[p].empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CpuPool::ChargeBusy(int account, Time t) {
+  if (account >= 0 && account < static_cast<int>(busy_ns_.size())) {
+    busy_ns_[account] += t;
+  }
+}
+
+size_t CpuPool::waiter_count() const {
+  size_t n = 0;
+  for (int p = 0; p < kPriorityLevels; ++p) {
+    n += waiters_[p].size();
+  }
+  return n;
+}
+
+double CpuPool::BusySeconds(int account) const {
+  if (account < 0 || account >= static_cast<int>(busy_ns_.size())) {
+    return 0;
+  }
+  return ToSeconds(busy_ns_[account]);
+}
+
+double CpuPool::TotalBusySeconds() const {
+  Time total = 0;
+  for (Time t : busy_ns_) {
+    total += t;
+  }
+  return ToSeconds(total);
+}
+
+Task<> CpuPool::Run(Time work, Priority priority, int account) {
+  Time remaining = work;
+  bool preempted_in = false;
+  while (remaining > 0) {
+    bool waited;
+    if (!stopped_ && free_cores_ > 0) {
+      --free_cores_;
+      waited = false;
+    } else if (!stopped_ && priority >= Priority::kHigh && !preempted_in) {
+      // Priority preemption: deschedule a victim and take its core. The pool
+      // is briefly oversubscribed (free count goes negative) until a release
+      // restores balance — the sim-time approximation of CFS/RT preemption.
+      co_await engine_->SleepFor(options_.preempt_latency);
+      --free_cores_;
+      preempted_in = true;
+      waited = true;
+    } else {
+      waited = co_await AcquireCore(priority);
+    }
+    if (waited) {
+      // Dispatch latency (wakeup-to-run) followed by a context switch charged
+      // as core-busy time; occasionally scheduling noise strikes.
+      co_await engine_->SleepFor(options_.dispatch_latency);
+      if (options_.jitter_prob > 0 && jitter_rng_.Bernoulli(options_.jitter_prob)) {
+        double u = jitter_rng_.NextDouble();
+        Time extra = static_cast<Time>(-static_cast<double>(options_.jitter_mean) *
+                                       std::log(1.0 - u));
+        co_await engine_->SleepFor(extra);
+      }
+      co_await engine_->SleepFor(options_.context_switch_cost);
+      ChargeBusy(account, options_.context_switch_cost);
+    }
+    Time slice = std::min(remaining, options_.quantum);
+    co_await engine_->SleepFor(slice);
+    remaining -= slice;
+    ChargeBusy(account, slice);
+    ReleaseCore();
+    // If nobody is waiting, the loop re-acquires immediately and cost-free.
+  }
+}
+
+void CpuPool::Stop() { stopped_ = true; }
+
+void CpuPool::Resume() {
+  stopped_ = false;
+  // Hand out any free cores to queued waiters, highest priority first.
+  while (free_cores_ > 0 && HasContention()) {
+    --free_cores_;
+    for (int p = kPriorityLevels - 1; p >= 0; --p) {
+      if (!waiters_[p].empty()) {
+        Waiter* w = waiters_[p].front();
+        waiters_[p].pop_front();
+        engine_->ScheduleNow(w->handle);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace linefs::sim

@@ -1,0 +1,138 @@
+// Simulated multi-core CPU pool with priority scheduling.
+//
+// Models the two processor complexes of a LineFS node: the host Xeon (48 cores
+// @ 2.2 GHz) and the BlueField's ARM Cortex-A72 complex (16 cores @ 800 MHz).
+//
+// Scheduling model:
+//  - A compute request is sliced into quanta (default 500us). Between quanta the
+//    core is released, giving round-robin fairness among equal priorities and
+//    bounding the wait of a higher-priority arrival by one quantum (coarse
+//    preemption). This is what produces the millisecond-scale tail latencies the
+//    paper reports for host-based DFSes under co-located CPU-intensive jobs.
+//  - A task that had to wait for a core pays a context-switch + dispatch cost
+//    when it gets one, modelling the wakeup/dispatch overheads of §2.1 (I3).
+//  - Per-account busy-time accounting supports the CPU-utilization comparisons
+//    of Table 1 and the interference experiments (Fig. 6, Fig. 7).
+//  - Stop()/Resume() model a host OS crash and reboot (§3.5): a stopped pool
+//    finishes in-flight quanta but grants no further cores until Resume().
+
+#ifndef SRC_SIM_CPU_H_
+#define SRC_SIM_CPU_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/random.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace linefs::sim {
+
+enum class Priority : int {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+  kRealtime = 3,
+};
+inline constexpr int kPriorityLevels = 4;
+
+class CpuPool {
+ public:
+  struct Options {
+    int cores = 1;
+    double freq_ghz = 2.2;
+    // Relative instructions-per-cycle factor; wimpy ARM cores get < 1.
+    double ipc_factor = 1.0;
+    Time quantum = 500 * kMicrosecond;
+    Time context_switch_cost = 3 * kMicrosecond;
+    Time dispatch_latency = 2 * kMicrosecond;
+    // Scheduling noise under contention: with probability `jitter_prob`, a
+    // task that had to wait for a core suffers an additional ~Exp(jitter_mean)
+    // delay (IRQs, cache/NUMA effects, runqueue imbalance). This is what
+    // produces realistic long latency tails on busy hosts (Table 3).
+    double jitter_prob = 0.02;
+    Time jitter_mean = 2 * kMillisecond;
+    // kHigh/kRealtime arrivals preempt a running task after this latency
+    // (briefly oversubscribing the pool, as the victim is descheduled).
+    Time preempt_latency = 20 * kMicrosecond;
+  };
+
+  CpuPool(Engine* engine, std::string name, const Options& options);
+  CpuPool(const CpuPool&) = delete;
+  CpuPool& operator=(const CpuPool&) = delete;
+
+  // Registers a named accounting bucket; returns its id.
+  int RegisterAccount(const std::string& name);
+
+  // Occupies one core for `work` nanoseconds of pool-reference-speed compute,
+  // time-sliced as described above. `work` is the uncontended duration.
+  Task<> Run(Time work, Priority priority, int account);
+
+  // Converts an instruction count into this pool's uncontended compute time.
+  Time CyclesToTime(uint64_t cycles) const {
+    double eff_hz = options_.freq_ghz * options_.ipc_factor;
+    return static_cast<Time>(static_cast<double>(cycles) / eff_hz);
+  }
+
+  // Convenience: Run() for `cycles` instructions.
+  Task<> RunCycles(uint64_t cycles, Priority priority, int account) {
+    return Run(CyclesToTime(cycles), priority, account);
+  }
+
+  // Host-crash modelling.
+  void Stop();
+  void Resume();
+  bool stopped() const { return stopped_; }
+
+  int cores() const { return options_.cores; }
+  int busy_cores() const { return options_.cores - free_cores_; }
+  size_t waiter_count() const;
+
+  // Total core-busy simulated seconds charged to `account`.
+  double BusySeconds(int account) const;
+  double TotalBusySeconds() const;
+  const std::string& account_name(int account) const { return account_names_[account]; }
+  int account_count() const { return static_cast<int>(account_names_.size()); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+  };
+
+  struct CoreAwaiter {
+    CpuPool* pool;
+    Priority priority;
+    Waiter waiter;
+    bool waited = false;
+
+    bool await_ready() noexcept;
+    void await_suspend(std::coroutine_handle<> h);
+    // Returns true if the task had to wait (it then owes a context switch).
+    bool await_resume() const noexcept { return waited; }
+  };
+
+  CoreAwaiter AcquireCore(Priority priority) { return CoreAwaiter{this, priority, {}, false}; }
+  void ReleaseCore();
+  bool HasContention() const;
+  void ChargeBusy(int account, Time t);
+
+  Engine* engine_;
+  std::string name_;
+  Options options_;
+  int free_cores_;
+  bool stopped_ = false;
+  std::deque<Waiter*> waiters_[kPriorityLevels];
+  std::vector<std::string> account_names_;
+  std::vector<Time> busy_ns_;
+  Rng jitter_rng_{0xC0FFEE};  // Deterministic per-pool noise.
+};
+
+}  // namespace linefs::sim
+
+#endif  // SRC_SIM_CPU_H_

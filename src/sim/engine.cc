@@ -1,0 +1,75 @@
+#include "src/sim/engine.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace linefs::sim {
+
+namespace {
+
+// Root wrapper coroutine: owns the detached task and self-destroys on
+// completion (final_suspend never suspends).
+struct RootTask {
+  struct promise_type {
+    RootTask get_return_object() {
+      return RootTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::abort(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+RootTask RunRoot(int64_t* live_counter, Task<> task) {
+  co_await std::move(task);
+  --*live_counter;
+}
+
+}  // namespace
+
+void Engine::Spawn(Task<> task) {
+  ++live_tasks_;
+  RootTask root = RunRoot(&live_tasks_, std::move(task));
+  ScheduleNow(root.handle);
+}
+
+bool Engine::RunOne() {
+  if (queue_.empty()) {
+    return false;
+  }
+  Item item = queue_.top();
+  queue_.pop();
+  now_ = item.t;
+  ++events_processed_;
+  item.handle.resume();
+  return true;
+}
+
+void Engine::Run() {
+  while (RunOne()) {
+  }
+}
+
+void Engine::RunUntil(Time t) {
+  while (!queue_.empty() && queue_.top().t <= t) {
+    RunOne();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+void Engine::RunToCompletion(Task<> task) {
+  int64_t before = live_tasks_;
+  Spawn(std::move(task));
+  Run();
+  if (live_tasks_ != before) {
+    std::fprintf(stderr, "Engine::RunToCompletion: task deadlocked (%lld live tasks remain)\n",
+                 static_cast<long long>(live_tasks_));
+    std::abort();
+  }
+}
+
+}  // namespace linefs::sim

@@ -1,0 +1,105 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a time-ordered queue of scheduled coroutine resumptions and a
+// monotonically advancing simulated clock. All hardware models (CPU pools,
+// links, DMA engines, ...) express costs by scheduling resumptions in the
+// future; the file-system logic runs as coroutine tasks on top.
+//
+// Determinism: events scheduled for the same instant run in scheduling order
+// (FIFO, tie-broken by sequence number), so a given program produces identical
+// results on every run.
+
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace linefs::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time Now() const { return now_; }
+
+  // Schedules `handle` to resume at absolute time `t` (clamped to now).
+  void ScheduleAt(Time t, std::coroutine_handle<> handle) {
+    if (t < now_) {
+      t = now_;
+    }
+    queue_.push(Item{t, next_seq_++, handle});
+  }
+
+  void ScheduleNow(std::coroutine_handle<> handle) { ScheduleAt(now_, handle); }
+
+  // Awaitable: suspends the current task for `d` nanoseconds of simulated time.
+  auto SleepFor(Time d) { return SleepAwaiter{this, now_ + (d < 0 ? 0 : d)}; }
+
+  // Awaitable: suspends the current task until absolute simulated time `t`.
+  auto SleepUntil(Time t) { return SleepAwaiter{this, t}; }
+
+  // Awaitable: reschedules the current task at the current time, letting other
+  // ready tasks run first.
+  auto Yield() { return SleepAwaiter{this, now_}; }
+
+  // Detaches a task as a root simulation process. The engine keeps it alive
+  // until completion; `live_tasks()` counts unfinished root processes.
+  void Spawn(Task<> task);
+
+  // Runs a single event. Returns false when the queue is empty.
+  bool RunOne();
+
+  // Runs until no scheduled events remain.
+  void Run();
+
+  // Runs events with timestamps <= t, then advances the clock to exactly t.
+  void RunUntil(Time t);
+
+  // Spawns `task` and runs the engine until the event queue drains. Aborts if
+  // the task did not complete (i.e. it deadlocked waiting on something).
+  void RunToCompletion(Task<> task);
+
+  int64_t live_tasks() const { return live_tasks_; }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  friend struct RootCleanup;
+
+  struct SleepAwaiter {
+    Engine* engine;
+    Time wake_at;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { engine->ScheduleAt(wake_at, h); }
+    void await_resume() const noexcept {}
+  };
+
+  struct Item {
+    Time t;
+    uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Item& other) const {
+      if (t != other.t) {
+        return t > other.t;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  int64_t live_tasks_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
+};
+
+}  // namespace linefs::sim
+
+#endif  // SRC_SIM_ENGINE_H_

@@ -1,0 +1,86 @@
+// Point-to-point interconnect model: propagation latency plus a serialized
+// (FIFO, store-and-forward at transfer granularity) bandwidth resource.
+//
+// One Link instance models one direction of one interconnect: the DDR/PM bus
+// of a host, the PCIe connection between host and SmartNIC, or a node's
+// network port. Since every data path in this system moves data in chunks
+// (16KB IOs, 4MB pipeline chunks), FIFO serialization approximates fair
+// bandwidth sharing while staying exactly deterministic.
+
+#ifndef SRC_SIM_LINK_H_
+#define SRC_SIM_LINK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace linefs::sim {
+
+class Link {
+ public:
+  Link(Engine* engine, std::string name, double bytes_per_sec, Time latency)
+      : engine_(engine), name_(std::move(name)), bytes_per_sec_(bytes_per_sec),
+        latency_(latency) {}
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Moves `bytes` across the link: waits for the serialization slot, occupies
+  // the link for bytes/bandwidth, then waits the propagation latency.
+  Task<> Transfer(uint64_t bytes) {
+    Time start = std::max(engine_->Now(), next_free_);
+    Time duration = DurationFor(bytes);
+    next_free_ = start + duration;
+    total_bytes_ += bytes;
+    if (series_) {
+      series_->AddSpread(start, next_free_, static_cast<double>(bytes));
+    }
+    co_await engine_->SleepUntil(next_free_ + latency_);
+  }
+
+  // Latency-only round trip (e.g. a doorbell or tiny control message).
+  Task<> Ping() { co_await engine_->SleepFor(latency_); }
+
+  // Records bytes against counters/timeseries without occupying the link
+  // (e.g. receiver-side accounting when the sender link is the bottleneck).
+  void Account(uint64_t bytes) {
+    total_bytes_ += bytes;
+    if (series_) {
+      series_->Add(engine_->Now(), static_cast<double>(bytes));
+    }
+  }
+
+  Time DurationFor(uint64_t bytes) const {
+    return static_cast<Time>(static_cast<double>(bytes) / bytes_per_sec_ * kSecond);
+  }
+
+  // The earliest time a new transfer could begin serializing.
+  Time next_free() const { return next_free_; }
+  Time latency() const { return latency_; }
+  double bytes_per_sec() const { return bytes_per_sec_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  const std::string& name() const { return name_; }
+
+  // Enables per-bucket accounting of moved bytes (for bandwidth timelines).
+  void EnableTimeseries(Time bucket_width) {
+    series_ = std::make_unique<TimeSeries>(bucket_width);
+  }
+  const TimeSeries* timeseries() const { return series_.get(); }
+
+ private:
+  Engine* engine_;
+  std::string name_;
+  double bytes_per_sec_;
+  Time latency_;
+  Time next_free_ = 0;
+  uint64_t total_bytes_ = 0;
+  std::unique_ptr<TimeSeries> series_;
+};
+
+}  // namespace linefs::sim
+
+#endif  // SRC_SIM_LINK_H_

@@ -1,0 +1,43 @@
+#include "src/sim/result.h"
+
+namespace linefs {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kExists:
+      return "EXISTS";
+    case ErrorCode::kPermission:
+      return "PERMISSION";
+    case ErrorCode::kInvalid:
+      return "INVALID";
+    case ErrorCode::kNoSpace:
+      return "NO_SPACE";
+    case ErrorCode::kIo:
+      return "IO";
+    case ErrorCode::kNotDir:
+      return "NOT_DIR";
+    case ErrorCode::kIsDir:
+      return "IS_DIR";
+    case ErrorCode::kNotEmpty:
+      return "NOT_EMPTY";
+    case ErrorCode::kBadFd:
+      return "BAD_FD";
+    case ErrorCode::kStale:
+      return "STALE";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kTimeout:
+      return "TIMEOUT";
+    case ErrorCode::kCorrupt:
+      return "CORRUPT";
+    case ErrorCode::kBusy:
+      return "BUSY";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace linefs

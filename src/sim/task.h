@@ -1,0 +1,120 @@
+// Lazy coroutine task type used by every simulated process.
+//
+// A `Task<T>` is a coroutine that starts suspended and runs when it is either
+// `co_await`ed by another task or detached onto the engine via `Engine::Spawn`.
+// Completion resumes the awaiting coroutine by symmetric transfer, so long
+// await-chains do not consume native stack.
+//
+// The simulation is strictly single-threaded; no synchronization is needed and
+// none is provided.
+
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+namespace linefs::sim {
+
+template <typename T>
+class Task;
+
+namespace internal {
+
+// Storage for a task result. Tasks in this codebase do not propagate
+// exceptions; an escaping exception aborts the simulation.
+template <typename T>
+class PromiseStorage {
+ public:
+  void return_value(T value) { value_.emplace(std::move(value)); }
+  T TakeResult() { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+};
+
+template <>
+class PromiseStorage<void> {
+ public:
+  void return_void() {}
+  void TakeResult() {}
+};
+
+}  // namespace internal
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal::PromiseStorage<T> {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        std::coroutine_handle<> cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void unhandled_exception() { std::abort(); }
+
+    std::coroutine_handle<> continuation;
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() noexcept = default;
+  explicit Task(Handle handle) noexcept : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  // Releases ownership of the coroutine frame to the caller (used by
+  // Engine::Spawn wrappers).
+  Handle Release() { return std::exchange(handle_, nullptr); }
+
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return !handle || handle.done(); }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+      handle.promise().continuation = cont;
+      return handle;  // Start (or resume into) the child task.
+    }
+    T await_resume() { return handle.promise().TakeResult(); }
+  };
+
+  // Awaiting a task starts it and suspends the awaiter until it completes.
+  Awaiter operator co_await() && noexcept { return Awaiter{handle_}; }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_;
+};
+
+}  // namespace linefs::sim
+
+#endif  // SRC_SIM_TASK_H_

@@ -1,0 +1,32 @@
+// Simulated-time definitions for the LineFS discrete-event engine.
+//
+// All simulation time is kept in integer nanoseconds. Helper constants make call
+// sites read naturally, e.g. `engine.SleepFor(5 * kMicrosecond)`.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace linefs::sim {
+
+// Simulated time in nanoseconds since engine start.
+using Time = int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000;
+inline constexpr Time kMillisecond = 1000 * 1000;
+inline constexpr Time kSecond = 1000LL * 1000 * 1000;
+
+// Converts a simulated duration to floating-point seconds.
+constexpr double ToSeconds(Time t) { return static_cast<double>(t) / kSecond; }
+
+// Converts a simulated duration to floating-point microseconds.
+constexpr double ToMicros(Time t) { return static_cast<double>(t) / kMicrosecond; }
+
+// Converts floating-point seconds to simulated time (rounding toward zero).
+constexpr Time FromSeconds(double s) { return static_cast<Time>(s * kSecond); }
+
+}  // namespace linefs::sim
+
+#endif  // SRC_SIM_TIME_H_

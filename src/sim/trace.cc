@@ -1,0 +1,14 @@
+#include "src/sim/trace.h"
+
+#include <cstdlib>
+
+namespace linefs::sim {
+
+namespace {
+bool g_trace_enabled = std::getenv("LINEFS_TRACE") != nullptr;
+}  // namespace
+
+bool TraceEnabled() { return g_trace_enabled; }
+void SetTraceEnabled(bool enabled) { g_trace_enabled = enabled; }
+
+}  // namespace linefs::sim

@@ -1,0 +1,31 @@
+// Lightweight printf-style tracing, disabled by default.
+//
+// Enable with `linefs::sim::SetTraceEnabled(true)` or by setting the
+// LINEFS_TRACE environment variable before process start.
+
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <cstdio>
+
+#include "src/sim/time.h"
+
+namespace linefs::sim {
+
+bool TraceEnabled();
+void SetTraceEnabled(bool enabled);
+
+}  // namespace linefs::sim
+
+// Usage: LFS_TRACE(engine->Now(), "nicfs", "fetched chunk %llu", id);
+#define LFS_TRACE(now, component, ...)                                            \
+  do {                                                                            \
+    if (linefs::sim::TraceEnabled()) {                                            \
+      std::fprintf(stderr, "[%12.6f] %-10s ", linefs::sim::ToSeconds(now),        \
+                   component);                                                    \
+      std::fprintf(stderr, __VA_ARGS__);                                          \
+      std::fprintf(stderr, "\n");                                                 \
+    }                                                                             \
+  } while (0)
+
+#endif  // SRC_SIM_TRACE_H_

@@ -1,0 +1,176 @@
+#include "src/workloads/filebench.h"
+
+#include <algorithm>
+
+namespace linefs::workloads {
+
+Filebench::Filebench(core::LibFs* fs, const Options& options)
+    : fs_(fs), options_(options), rng_(options.seed) {}
+
+uint64_t Filebench::SampleFileSize() {
+  // Filebench uses a gamma distribution around the mean; approximate with a
+  // clamped exponential to keep the same mean and spread.
+  double u = rng_.NextDouble();
+  double factor = 0.25 + 1.5 * u;  // [0.25, 1.75), mean 1.0.
+  uint64_t size = static_cast<uint64_t>(static_cast<double>(options_.mean_file_size) * factor);
+  return std::max<uint64_t>(size, 1024);
+}
+
+std::string Filebench::RandomExistingFile() {
+  return files_[rng_.Uniform(files_.size())];
+}
+
+std::string Filebench::NewFileName() {
+  return options_.dir + "/f" + std::to_string(next_file_id_++);
+}
+
+void Filebench::CountOp() {
+  ++total_ops_;
+  ops_series_.Add(fs_->engine()->Now(), 1.0);
+}
+
+sim::Task<> Filebench::WriteNewFile(const std::string& path, uint64_t size, bool fsync_each) {
+  Result<int> fd = co_await fs_->Open(path, fslib::kOpenCreate | fslib::kOpenWrite);
+  CountOp();  // open/create
+  if (!fd.ok()) {
+    co_return;
+  }
+  uint64_t written = 0;
+  while (written < size) {
+    uint64_t n = std::min(options_.io_size, size - written);
+    Result<uint64_t> w = co_await fs_->PwriteGen(*fd, n, written, static_cast<uint8_t>(written));
+    (void)w;
+    written += n;
+    CountOp();  // write
+  }
+  if (fsync_each) {
+    Status st = co_await fs_->Fsync(*fd);
+    (void)st;
+    CountOp();  // fsync
+  }
+  co_await fs_->Close(*fd);
+  CountOp();  // close
+}
+
+sim::Task<> Filebench::ReadWholeFile(const std::string& path) {
+  Result<int> fd = co_await fs_->Open(path, fslib::kOpenRead);
+  CountOp();  // open
+  if (!fd.ok()) {
+    co_return;
+  }
+  Result<fslib::FileAttr> attr = co_await fs_->Stat(path);
+  uint64_t size = attr.ok() ? attr->size : 0;
+  std::vector<uint8_t> buf(options_.io_size);
+  uint64_t read = 0;
+  while (read < size) {
+    Result<uint64_t> r = co_await fs_->Pread(*fd, buf, read);
+    if (!r.ok() || *r == 0) {
+      break;
+    }
+    read += *r;
+    CountOp();  // read
+  }
+  co_await fs_->Close(*fd);
+  CountOp();  // close
+}
+
+sim::Task<> Filebench::Preallocate() {
+  Status st = co_await fs_->Mkdir(options_.dir);
+  (void)st;
+  int prealloc = options_.nfiles / 2;  // Filebench preallocates ~50%.
+  for (int i = 0; i < prealloc; ++i) {
+    std::string path = NewFileName();
+    co_await WriteNewFile(path, SampleFileSize(), /*fsync_each=*/false);
+    files_.push_back(path);
+  }
+  // Preallocation is setup, not measurement.
+  total_ops_ = 0;
+  ops_series_ = sim::TimeSeries(sim::kSecond);
+}
+
+sim::Task<> Filebench::FileserverFlowlet() {
+  // createfile -> writewholefile -> close; open -> append -> close;
+  // open -> readwholefile -> close; delete; stat. (2:1 write:read, no fsync.)
+  std::string fresh = NewFileName();
+  co_await WriteNewFile(fresh, SampleFileSize(), /*fsync_each=*/false);
+  files_.push_back(fresh);
+
+  std::string victim = RandomExistingFile();
+  Result<int> fd = co_await fs_->Open(victim, fslib::kOpenWrite | fslib::kOpenAppend);
+  CountOp();
+  if (fd.ok()) {
+    Result<fslib::FileAttr> attr = co_await fs_->Stat(victim);
+    uint64_t at = attr.ok() ? attr->size : 0;
+    Result<uint64_t> w = co_await fs_->PwriteGen(*fd, options_.append_size, at, 7);
+    (void)w;
+    CountOp();
+    co_await fs_->Close(*fd);
+    CountOp();
+  }
+
+  co_await ReadWholeFile(RandomExistingFile());
+
+  // Delete one of the older files (keep the set size roughly constant).
+  if (files_.size() > 4) {
+    size_t idx = rng_.Uniform(files_.size());
+    Status del = co_await fs_->Unlink(files_[idx]);
+    if (del.ok()) {
+      files_.erase(files_.begin() + static_cast<long>(idx));
+    }
+    CountOp();
+  }
+  Result<fslib::FileAttr> st = co_await fs_->Stat(RandomExistingFile());
+  (void)st;
+  CountOp();
+}
+
+sim::Task<> Filebench::VarmailFlowlet() {
+  // deletefile; createfile+append+fsync+close; open+read+append+fsync+close;
+  // open+read+close. (1:1 write:read, fsync-heavy.)
+  if (files_.size() > 4) {
+    size_t idx = rng_.Uniform(files_.size());
+    Status del = co_await fs_->Unlink(files_[idx]);
+    if (del.ok()) {
+      files_.erase(files_.begin() + static_cast<long>(idx));
+    }
+    CountOp();
+  }
+
+  std::string fresh = NewFileName();
+  co_await WriteNewFile(fresh, SampleFileSize(), /*fsync_each=*/true);
+  files_.push_back(fresh);
+
+  std::string reread = RandomExistingFile();
+  co_await ReadWholeFile(reread);
+  Result<int> fd = co_await fs_->Open(reread, fslib::kOpenWrite | fslib::kOpenAppend);
+  CountOp();
+  if (fd.ok()) {
+    Result<fslib::FileAttr> attr = co_await fs_->Stat(reread);
+    uint64_t at = attr.ok() ? attr->size : 0;
+    Result<uint64_t> w = co_await fs_->PwriteGen(*fd, options_.append_size, at, 9);
+    (void)w;
+    CountOp();
+    Status st = co_await fs_->Fsync(*fd);
+    (void)st;
+    CountOp();
+    co_await fs_->Close(*fd);
+    CountOp();
+  }
+
+  co_await ReadWholeFile(RandomExistingFile());
+}
+
+sim::Task<> Filebench::Run(sim::Time duration) {
+  sim::Time start = fs_->engine()->Now();
+  sim::Time deadline = start + duration;
+  while (fs_->engine()->Now() < deadline) {
+    if (options_.profile == FilebenchProfile::kFileserver) {
+      co_await FileserverFlowlet();
+    } else {
+      co_await VarmailFlowlet();
+    }
+  }
+  elapsed_ = fs_->engine()->Now() - start;
+}
+
+}  // namespace linefs::workloads

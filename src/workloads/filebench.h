@@ -1,0 +1,92 @@
+// Filebench [54] profile engines: Fileserver and Varmail (§5.3, §5.5).
+//
+//  - Fileserver: 128KB mean file size, whole-file writes/reads + appends,
+//    2:1 write:read, no fsync (relaxed crash consistency).
+//  - Varmail:    16KB mean file size (small mailbox files), create/append/
+//    read flowlets with frequent fsync (write-ahead-log persistence).
+
+#ifndef SRC_WORKLOADS_FILEBENCH_H_
+#define SRC_WORKLOADS_FILEBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/libfs.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+
+namespace linefs::workloads {
+
+enum class FilebenchProfile {
+  kFileserver,
+  kVarmail,
+};
+
+class Filebench {
+ public:
+  struct Options {
+    FilebenchProfile profile = FilebenchProfile::kFileserver;
+    int nfiles = 10000;
+    uint64_t mean_file_size = 128 << 10;  // Fileserver default; Varmail: 16KB.
+    uint64_t append_size = 16 << 10;
+    uint64_t io_size = 64 << 10;
+    uint64_t seed = 42;
+    std::string dir = "/fbench";
+  };
+
+  static Options FileserverOptions(int nfiles = 10000) {
+    Options o;
+    o.profile = FilebenchProfile::kFileserver;
+    o.nfiles = nfiles;
+    o.mean_file_size = 128 << 10;
+    return o;
+  }
+  static Options VarmailOptions(int nfiles = 10000) {
+    Options o;
+    o.profile = FilebenchProfile::kVarmail;
+    o.nfiles = nfiles;
+    o.mean_file_size = 16 << 10;
+    o.io_size = 16 << 10;
+    return o;
+  }
+
+  Filebench(core::LibFs* fs, const Options& options);
+
+  // Creates the working set (half of nfiles preallocated, filebench-style).
+  sim::Task<> Preallocate();
+
+  // Runs flowlets until `duration` of simulated time elapses.
+  sim::Task<> Run(sim::Time duration);
+
+  uint64_t total_ops() const { return total_ops_; }
+  double ops_per_second() const {
+    return elapsed_ > 0 ? static_cast<double>(total_ops_) / sim::ToSeconds(elapsed_) : 0;
+  }
+  sim::Time elapsed() const { return elapsed_; }
+  // Per-second op completions (Fig. 10's Varmail throughput timeline).
+  const sim::TimeSeries& ops_series() const { return ops_series_; }
+
+ private:
+  sim::Task<> FileserverFlowlet();
+  sim::Task<> VarmailFlowlet();
+  sim::Task<> ReadWholeFile(const std::string& path);
+  sim::Task<> WriteNewFile(const std::string& path, uint64_t size, bool fsync_each);
+  uint64_t SampleFileSize();
+  std::string RandomExistingFile();
+  std::string NewFileName();
+  void CountOp();
+
+  core::LibFs* fs_;
+  Options options_;
+  sim::Rng rng_;
+  std::vector<std::string> files_;
+  uint64_t next_file_id_ = 0;
+  uint64_t total_ops_ = 0;
+  sim::Time elapsed_ = 0;
+  sim::TimeSeries ops_series_{sim::kSecond};
+};
+
+}  // namespace linefs::workloads
+
+#endif  // SRC_WORKLOADS_FILEBENCH_H_

@@ -1,0 +1,91 @@
+#include "src/workloads/microbench.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace linefs::workloads {
+
+namespace {
+void CheckOk(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "microbench: %s failed: %s\n", what, st.ToString().c_str());
+    std::abort();
+  }
+}
+}  // namespace
+
+sim::Task<BenchResult> SeqWrite(core::LibFs* fs, const std::string& path, uint64_t total_bytes,
+                                uint64_t io_size, bool fsync_at_end) {
+  BenchResult result;
+  sim::Time start = fs->engine()->Now();
+  Result<int> fd = co_await fs->Open(path, fslib::kOpenCreate | fslib::kOpenWrite);
+  CheckOk(fd.status(), "open");
+  uint64_t written = 0;
+  uint64_t offset = 0;
+  while (written < total_bytes) {
+    uint64_t n = std::min(io_size, total_bytes - written);
+    Result<uint64_t> w = co_await fs->PwriteGen(*fd, n, offset, static_cast<uint8_t>(offset));
+    CheckOk(w.status(), "write");
+    written += n;
+    offset += n;
+    ++result.ops;
+  }
+  if (fsync_at_end) {
+    Status st = co_await fs->Fsync(*fd);
+    CheckOk(st, "fsync");
+  }
+  co_await fs->Close(*fd);
+  result.bytes = written;
+  result.elapsed = fs->engine()->Now() - start;
+  co_return result;
+}
+
+sim::Task<BenchResult> ReadBench(core::LibFs* fs, const std::string& path, uint64_t total_bytes,
+                                 uint64_t io_size, bool random, uint64_t seed) {
+  BenchResult result;
+  sim::Time start = fs->engine()->Now();
+  Result<int> fd = co_await fs->Open(path, fslib::kOpenRead);
+  CheckOk(fd.status(), "open");
+  sim::Rng rng(seed);
+  std::vector<uint8_t> buf(io_size);
+  uint64_t read = 0;
+  uint64_t offset = 0;
+  uint64_t slots = total_bytes > io_size ? total_bytes / io_size : 1;
+  while (read < total_bytes) {
+    uint64_t pos = random ? rng.Uniform(slots) * io_size : offset;
+    Result<uint64_t> r = co_await fs->Pread(*fd, buf, pos);
+    CheckOk(r.status(), "read");
+    read += io_size;
+    offset += io_size;
+    ++result.ops;
+  }
+  co_await fs->Close(*fd);
+  result.bytes = read;
+  result.elapsed = fs->engine()->Now() - start;
+  co_return result;
+}
+
+sim::Task<BenchResult> SyncWriteLatency(core::LibFs* fs, const std::string& path, uint64_t ops,
+                                        uint64_t io_size, sim::LatencyRecorder* recorder) {
+  BenchResult result;
+  sim::Time start = fs->engine()->Now();
+  Result<int> fd = co_await fs->Open(path, fslib::kOpenCreate | fslib::kOpenWrite);
+  CheckOk(fd.status(), "open");
+  uint64_t offset = 0;
+  for (uint64_t i = 0; i < ops; ++i) {
+    sim::Time t0 = fs->engine()->Now();
+    Result<uint64_t> w = co_await fs->PwriteGen(*fd, io_size, offset, static_cast<uint8_t>(i));
+    CheckOk(w.status(), "write");
+    Status st = co_await fs->Fsync(*fd);
+    CheckOk(st, "fsync");
+    recorder->Record(fs->engine()->Now() - t0);
+    offset += io_size;
+    ++result.ops;
+    result.bytes += io_size;
+  }
+  co_await fs->Close(*fd);
+  result.elapsed = fs->engine()->Now() - start;
+  co_return result;
+}
+
+}  // namespace linefs::workloads

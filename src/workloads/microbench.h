@@ -1,0 +1,40 @@
+// Microbenchmark drivers (§5.2): sequential-write throughput, read
+// throughput, and write+fsync latency, run against a LibFS client.
+
+#ifndef SRC_WORKLOADS_MICROBENCH_H_
+#define SRC_WORKLOADS_MICROBENCH_H_
+
+#include <string>
+
+#include "src/core/libfs.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+
+namespace linefs::workloads {
+
+struct BenchResult {
+  uint64_t bytes = 0;
+  uint64_t ops = 0;
+  sim::Time elapsed = 0;
+  double throughput() const { return elapsed > 0 ? static_cast<double>(bytes) / sim::ToSeconds(elapsed) : 0.0; }
+};
+
+// Writes `total_bytes` sequentially in `io_size` units, fsync at the end
+// (§5.2.1's write microbenchmark).
+sim::Task<BenchResult> SeqWrite(core::LibFs* fs, const std::string& path, uint64_t total_bytes,
+                                uint64_t io_size, bool fsync_at_end = true);
+
+// Reads `total_bytes` from `path` in `io_size` units, sequentially or at
+// random offsets (§5.2.2).
+sim::Task<BenchResult> ReadBench(core::LibFs* fs, const std::string& path, uint64_t total_bytes,
+                                 uint64_t io_size, bool random, uint64_t seed);
+
+// Write+fsync latency: each op writes `io_size` bytes then fsyncs; per-op
+// latency recorded (§5.2.5).
+sim::Task<BenchResult> SyncWriteLatency(core::LibFs* fs, const std::string& path, uint64_t ops,
+                                        uint64_t io_size, sim::LatencyRecorder* recorder);
+
+}  // namespace linefs::workloads
+
+#endif  // SRC_WORKLOADS_MICROBENCH_H_

@@ -1,0 +1,216 @@
+#include "src/workloads/minikv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace linefs::workloads {
+
+namespace {
+std::span<const uint8_t> AsBytes(const std::string& s) {
+  return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+}  // namespace
+
+std::string MiniKv::EncodeRecord(const std::string& key, const std::string& value) {
+  std::string record;
+  uint32_t klen = static_cast<uint32_t>(key.size());
+  uint32_t vlen = static_cast<uint32_t>(value.size());
+  record.resize(8);
+  std::memcpy(record.data(), &klen, 4);
+  std::memcpy(record.data() + 4, &vlen, 4);
+  record += key;
+  record += value;
+  return record;
+}
+
+sim::Task<Status> MiniKv::Open() {
+  Status st = co_await fs_->Mkdir(options_.dir);
+  (void)st;  // May already exist.
+  Result<int> wal =
+      co_await fs_->Open(options_.dir + "/wal.log", fslib::kOpenCreate | fslib::kOpenWrite);
+  if (!wal.ok()) {
+    co_return wal.status();
+  }
+  wal_fd_ = *wal;
+  wal_offset_ = 0;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MiniKv::Put(const std::string& key, const std::string& value) {
+  // 1) WAL append (durability).
+  std::string record = EncodeRecord(key, value);
+  Result<uint64_t> w = co_await fs_->Pwrite(wal_fd_, AsBytes(record), wal_offset_);
+  if (!w.ok()) {
+    co_return w.status();
+  }
+  wal_offset_ += record.size();
+  if (options_.sync_writes) {
+    Status st = co_await fs_->Fsync(wal_fd_);
+    if (!st.ok()) {
+      co_return st;
+    }
+  }
+  // 2) Memtable insert.
+  auto [it, inserted] = memtable_.insert_or_assign(key, value);
+  (void)it;
+  memtable_bytes_ += key.size() + value.size() + 32;
+  if (memtable_bytes_ >= options_.memtable_limit) {
+    co_return co_await FlushMemtable();
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MiniKv::FlushMemtable() {
+  if (memtable_.empty()) {
+    co_return Status::Ok();
+  }
+  Table table;
+  table.path = options_.dir + "/table" + std::to_string(next_table_id_++) + ".sst";
+  Result<int> fd = co_await fs_->Open(table.path, fslib::kOpenCreate | fslib::kOpenWrite);
+  if (!fd.ok()) {
+    co_return fd.status();
+  }
+  table.fd = *fd;
+  // Write sorted records in 64KB buffered batches; remember per-key offsets.
+  std::string buffer;
+  uint64_t file_offset = 0;
+  for (const auto& [key, value] : memtable_) {
+    std::string record = EncodeRecord(key, value);
+    IndexEntry entry;
+    entry.key = key;
+    entry.offset = file_offset + buffer.size();
+    entry.record_len = static_cast<uint32_t>(record.size());
+    entry.value_len = static_cast<uint32_t>(value.size());
+    table.index.push_back(std::move(entry));
+    buffer += record;
+    if (buffer.size() >= (64 << 10)) {
+      Result<uint64_t> w = co_await fs_->Pwrite(table.fd, AsBytes(buffer), file_offset);
+      if (!w.ok()) {
+        co_return w.status();
+      }
+      file_offset += buffer.size();
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) {
+    Result<uint64_t> w = co_await fs_->Pwrite(table.fd, AsBytes(buffer), file_offset);
+    if (!w.ok()) {
+      co_return w.status();
+    }
+  }
+  Status st = co_await fs_->Fsync(table.fd);
+  if (!st.ok()) {
+    co_return st;
+  }
+  tables_.push_back(std::move(table));
+  // The WAL is superseded: truncate it (LevelDB switches to a fresh log).
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  st = co_await fs_->Ftruncate(wal_fd_, 0);
+  wal_offset_ = 0;
+  co_return st;
+}
+
+sim::Task<Result<std::string>> MiniKv::Get(const std::string& key) {
+  auto mem = memtable_.find(key);
+  if (mem != memtable_.end()) {
+    co_return mem->second;
+  }
+  for (auto table = tables_.rbegin(); table != tables_.rend(); ++table) {
+    auto it = std::lower_bound(table->index.begin(), table->index.end(), key,
+                               [](const IndexEntry& e, const std::string& k) { return e.key < k; });
+    if (it == table->index.end() || it->key != key) {
+      continue;
+    }
+    std::vector<uint8_t> buf(it->record_len);
+    Result<uint64_t> r = co_await fs_->Pread(table->fd, buf, it->offset);
+    if (!r.ok()) {
+      co_return r.status();
+    }
+    std::string value(reinterpret_cast<const char*>(buf.data()) + (it->record_len - it->value_len),
+                      it->value_len);
+    co_return value;
+  }
+  co_return Status::Error(ErrorCode::kNotFound, "key not found");
+}
+
+sim::Task<Status> MiniKv::Close() {
+  Status st = co_await FlushMemtable();
+  for (Table& table : tables_) {
+    if (table.fd >= 0) {
+      co_await fs_->Close(table.fd);
+      table.fd = -1;
+    }
+  }
+  if (wal_fd_ >= 0) {
+    co_await fs_->Close(wal_fd_);
+    wal_fd_ = -1;
+  }
+  co_return st;
+}
+
+std::string DbBenchKey(uint64_t n) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llu", static_cast<unsigned long long>(n));
+  return buf;
+}
+
+sim::Task<DbBenchResult> DbBenchFill(MiniKv* kv, sim::Engine* engine, uint64_t n,
+                                     uint64_t value_size, bool random_order, uint64_t seed) {
+  DbBenchResult result;
+  sim::Rng rng(seed);
+  std::vector<uint64_t> order(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  if (random_order) {
+    rng.Shuffle(&order);
+  }
+  std::string value(value_size, 'v');
+  sim::Time start = engine->Now();
+  for (uint64_t i = 0; i < n; ++i) {
+    // Vary value content cheaply (affects CRC but keeps generation cost low).
+    value[i % value_size] = static_cast<char>('a' + (i % 26));
+    Status st = co_await kv->Put(DbBenchKey(order[i]), value);
+    if (!st.ok()) {
+      std::fprintf(stderr, "minikv put failed: %s\n", st.ToString().c_str());
+      break;
+    }
+    ++result.ops;
+  }
+  result.elapsed = engine->Now() - start;
+  co_return result;
+}
+
+sim::Task<DbBenchResult> DbBenchRead(MiniKv* kv, sim::Engine* engine, uint64_t n,
+                                     uint64_t key_space, ReadPattern pattern, uint64_t seed) {
+  DbBenchResult result;
+  sim::Rng rng(seed);
+  uint64_t hot_set = std::max<uint64_t>(key_space / 100, 1);  // Hottest 1%.
+  sim::Time start = engine->Now();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key;
+    switch (pattern) {
+      case ReadPattern::kSequential:
+        key = i % key_space;
+        break;
+      case ReadPattern::kRandom:
+        key = rng.Uniform(key_space);
+        break;
+      case ReadPattern::kHot:
+        key = rng.Bernoulli(0.99) ? rng.Uniform(hot_set) : rng.Uniform(key_space);
+        break;
+    }
+    Result<std::string> value = co_await kv->Get(DbBenchKey(key));
+    if (!value.ok()) {
+      std::fprintf(stderr, "minikv get miss: key %llu\n", static_cast<unsigned long long>(key));
+      break;
+    }
+    ++result.ops;
+  }
+  result.elapsed = engine->Now() - start;
+  co_return result;
+}
+
+}  // namespace linefs::workloads

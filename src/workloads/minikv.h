@@ -1,0 +1,91 @@
+// MiniKv: a real LSM key-value store built on LibFS, standing in for LevelDB
+// (§5.3, Fig. 8a). Writes append to a write-ahead log and a sorted memtable;
+// full memtables flush to sorted table files (with in-memory key indexes);
+// reads consult memtable -> tables newest-first. db_bench-style drivers
+// reproduce fillseq / fillrandom / fillsync / readseq / readrandom / readhot.
+
+#ifndef SRC_WORKLOADS_MINIKV_H_
+#define SRC_WORKLOADS_MINIKV_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/libfs.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+
+namespace linefs::workloads {
+
+class MiniKv {
+ public:
+  struct Options {
+    std::string dir = "/kv";
+    uint64_t memtable_limit = 4 << 20;
+    bool sync_writes = false;  // fsync the WAL on every Put (fillsync).
+  };
+
+  MiniKv(core::LibFs* fs, const Options& options) : fs_(fs), options_(options) {}
+
+  sim::Task<Status> Open();
+  sim::Task<Status> Put(const std::string& key, const std::string& value);
+  sim::Task<Result<std::string>> Get(const std::string& key);
+  sim::Task<Status> FlushMemtable();
+  sim::Task<Status> Close();
+
+  size_t table_count() const { return tables_.size(); }
+  uint64_t memtable_bytes() const { return memtable_bytes_; }
+
+ private:
+  struct IndexEntry {
+    std::string key;
+    uint64_t offset = 0;
+    uint32_t record_len = 0;
+    uint32_t value_len = 0;
+  };
+  struct Table {
+    std::string path;
+    int fd = -1;
+    std::vector<IndexEntry> index;  // Sorted by key.
+  };
+
+  static std::string EncodeRecord(const std::string& key, const std::string& value);
+
+  core::LibFs* fs_;
+  Options options_;
+  int wal_fd_ = -1;
+  uint64_t wal_offset_ = 0;
+  std::map<std::string, std::string> memtable_;
+  uint64_t memtable_bytes_ = 0;
+  std::vector<Table> tables_;  // Oldest first.
+  int next_table_id_ = 0;
+};
+
+// db_bench-style drivers. Keys are 16-byte zero-padded decimals; values are
+// `value_size` bytes (1KB by default, the paper's configuration).
+struct DbBenchResult {
+  uint64_t ops = 0;
+  sim::Time elapsed = 0;
+  double AvgLatencyMicros() const {
+    return ops > 0 ? sim::ToMicros(elapsed) / static_cast<double>(ops) : 0;
+  }
+};
+
+enum class ReadPattern {
+  kSequential,
+  kRandom,
+  kHot,  // 1% of keys take most accesses (paper's "skewed read").
+};
+
+std::string DbBenchKey(uint64_t n);
+
+sim::Task<DbBenchResult> DbBenchFill(MiniKv* kv, sim::Engine* engine, uint64_t n,
+                                     uint64_t value_size, bool random_order, uint64_t seed);
+
+sim::Task<DbBenchResult> DbBenchRead(MiniKv* kv, sim::Engine* engine, uint64_t n,
+                                     uint64_t key_space, ReadPattern pattern, uint64_t seed);
+
+}  // namespace linefs::workloads
+
+#endif  // SRC_WORKLOADS_MINIKV_H_

@@ -1,0 +1,57 @@
+// Tencent Sort [35] (§5.4, Fig. 9): a two-phase parallel sort over the DFS.
+//
+// Phase 1 (range partition): P workers radix-partition the input records into
+// S non-overlapping key ranges and write them as temporary DFS files — the
+// replicated intermediate data whose network volume compression attacks.
+// Phase 2 (merge-sort): S workers read their range's temp files, sort
+// (actually sort — the result is verified), and write the output files.
+//
+// The input generator controls the compressibility knob exactly like the
+// paper's modified gensort: a configurable fraction of value bytes is zero.
+
+#ifndef SRC_WORKLOADS_SORTBENCH_H_
+#define SRC_WORKLOADS_SORTBENCH_H_
+
+#include <vector>
+
+#include "src/core/libfs.h"
+#include "src/hw/fabric.h"
+#include "src/sim/random.h"
+#include "src/sim/task.h"
+
+namespace linefs::workloads {
+
+inline constexpr size_t kSortKeyBytes = 10;
+inline constexpr size_t kSortValueBytes = 90;
+inline constexpr size_t kSortRecordBytes = kSortKeyBytes + kSortValueBytes;
+
+struct SortOptions {
+  uint64_t records = 800000;  // Scaled from the paper's 80M (x100 down).
+  int partition_workers = 4;
+  int sort_workers = 4;
+  double zero_fraction = 0.4;  // 40/60/80% knob (Fig. 9).
+  uint64_t seed = 2021;
+  std::string dir = "/sort";
+};
+
+struct SortResult {
+  sim::Time elapsed = 0;
+  sim::Time partition_elapsed = 0;
+  sim::Time sort_elapsed = 0;
+  bool verified = false;
+  uint64_t records = 0;
+};
+
+// Runs the full benchmark. `clients` supplies one LibFS per worker process
+// (partition workers use clients[0..P), sort workers reuse them round-robin).
+sim::Task<SortResult> RunTencentSort(std::vector<core::LibFs*> clients,
+                                     const SortOptions& options);
+
+// iperf3-style background traffic: saturates residual bandwidth from `src`
+// to `dst` until `deadline` (the Fig. 9 contender).
+sim::Task<> IperfTraffic(hw::Fabric* fabric, sim::Engine* engine, int src, int dst,
+                         sim::Time deadline);
+
+}  // namespace linefs::workloads
+
+#endif  // SRC_WORKLOADS_SORTBENCH_H_

@@ -1,0 +1,45 @@
+#include "src/workloads/streamcluster.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace linefs::workloads {
+
+sim::Task<> Streamcluster::Thread() {
+  sim::Engine* engine = node_->engine();
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    // Compute phase: occupy a core while the phase's memory traffic streams;
+    // the iteration cannot finish before its data has moved (streamcluster is
+    // memory-bound), so DRAM/iMC contention directly stretches it.
+    sim::Time start = engine->Now();
+    std::vector<sim::Task<>> phase;
+    phase.push_back(node_->dram().Transfer(options_.bytes_per_iteration));
+    phase.push_back(node_->host_cpu().Run(options_.work_per_iteration, options_.priority,
+                                          node_->acct_app()));
+    co_await sim::AwaitAll(engine, std::move(phase));
+    sim::Time elapsed = engine->Now() - start;
+    if (elapsed > options_.work_per_iteration) {
+      // The thread was displaced (DFS work took its core) or starved of
+      // bandwidth: pay a cache-refill penalty proportional to the disruption.
+      sim::Time penalty = std::min<sim::Time>(4 * (elapsed - options_.work_per_iteration),
+                                              8 * sim::kMillisecond);
+      co_await node_->host_cpu().Run(penalty, options_.priority, node_->acct_app());
+    }
+    // Barrier: a straggler (core stolen by DFS work) stalls every thread.
+    co_await barrier_.Arrive();
+  }
+  done_.Done();
+}
+
+sim::Task<> Streamcluster::Run() {
+  sim::Engine* engine = node_->engine();
+  started_ = engine->Now();
+  done_.Add(options_.threads);
+  for (int t = 0; t < options_.threads; ++t) {
+    engine->Spawn(Thread());
+  }
+  co_await done_.Wait();
+  elapsed_ = engine->Now() - started_;
+}
+
+}  // namespace linefs::workloads

@@ -1,0 +1,44 @@
+// Coroutine-safe gtest assertion macros: gtest's ASSERT_* expands to a plain
+// `return`, which is ill-formed inside a coroutine. These record the failure
+// and `co_return` instead.
+
+#ifndef TESTS_CO_TEST_UTIL_H_
+#define TESTS_CO_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/sim/result.h"
+
+namespace linefs::testutil {
+inline std::string FailureText(const Status& s) { return s.ToString(); }
+template <typename T>
+std::string FailureText(const Result<T>& r) {
+  return r.status().ToString();
+}
+}  // namespace linefs::testutil
+
+#define CO_ASSERT_TRUE(cond)                           \
+  if (!(cond)) {                                       \
+    ADD_FAILURE() << "CO_ASSERT_TRUE failed: " #cond;  \
+    co_return;                                         \
+  } else                                               \
+    (void)0
+
+#define CO_ASSERT_OK(expr)                                                       \
+  if (const auto& co_assert_val_ = (expr); !co_assert_val_.ok()) {               \
+    ADD_FAILURE() << "CO_ASSERT_OK failed: " #expr " = "                         \
+                  << linefs::testutil::FailureText(co_assert_val_);              \
+    co_return;                                                                   \
+  } else                                                                         \
+    (void)0
+
+#define CO_ASSERT_EQ(a, b)                                              \
+  if (!((a) == (b))) {                                                  \
+    ADD_FAILURE() << "CO_ASSERT_EQ failed: " #a " vs " #b;              \
+    co_return;                                                          \
+  } else                                                                \
+    (void)0
+
+#endif  // TESTS_CO_TEST_UTIL_H_

@@ -1,0 +1,115 @@
+// LZW codec tests: round trips, ratio behaviour, corruption detection.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/compress/lzw.h"
+#include "src/sim/random.h"
+
+namespace linefs::compress {
+namespace {
+
+std::vector<uint8_t> RoundTrip(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> compressed = LzwCompress(input);
+  Result<std::vector<uint8_t>> restored = LzwDecompress(compressed);
+  EXPECT_TRUE(restored.ok()) << restored.status().ToString();
+  return restored.ok() ? *restored : std::vector<uint8_t>{};
+}
+
+TEST(Lzw, EmptyInput) {
+  std::vector<uint8_t> empty;
+  EXPECT_EQ(RoundTrip(empty), empty);
+}
+
+TEST(Lzw, SingleByte) {
+  std::vector<uint8_t> one{42};
+  EXPECT_EQ(RoundTrip(one), one);
+}
+
+TEST(Lzw, RepetitiveDataCompressesWell) {
+  std::vector<uint8_t> input(1 << 20, 0);
+  std::vector<uint8_t> compressed = LzwCompress(input);
+  EXPECT_EQ(RoundTrip(input), input);
+  EXPECT_LT(compressed.size(), input.size() / 20);
+}
+
+TEST(Lzw, TextLikeData) {
+  std::string text;
+  for (int i = 0; i < 2000; ++i) {
+    text += "the quick brown fox jumps over the lazy dog ";
+  }
+  std::vector<uint8_t> input(text.begin(), text.end());
+  std::vector<uint8_t> compressed = LzwCompress(input);
+  EXPECT_EQ(RoundTrip(input), input);
+  EXPECT_LT(compressed.size(), input.size() / 3);
+}
+
+TEST(Lzw, RandomDataDoesNotExplode) {
+  sim::Rng rng(99);
+  std::vector<uint8_t> input(256 << 10);
+  for (auto& b : input) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  std::vector<uint8_t> compressed = LzwCompress(input);
+  EXPECT_EQ(RoundTrip(input), input);
+  // Incompressible data grows by at most ~couple of percent (16-bit codes).
+  EXPECT_LT(compressed.size(), input.size() * 21 / 10);
+}
+
+TEST(Lzw, KwKwKPattern) {
+  // Classic LZW stress: "abababab..." triggers the code==next_code case.
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 10000; ++i) {
+    input.push_back('a');
+    input.push_back('b');
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(Lzw, ZeroFillRatioMatchesPaperKnob) {
+  // The Fig. 9 input generator controls the ratio via the share of zero bytes.
+  sim::Rng rng(7);
+  for (double zero_frac : {0.4, 0.6, 0.8}) {
+    std::vector<uint8_t> input(512 << 10);
+    for (auto& b : input) {
+      b = rng.Bernoulli(zero_frac) ? 0 : static_cast<uint8_t>(rng.Next() | 1);
+    }
+    std::vector<uint8_t> compressed = LzwCompress(input);
+    EXPECT_EQ(RoundTrip(input), input);
+    double saved = 1.0 - CompressionRatio(input.size(), compressed.size());
+    // More zeros => more savings; loose monotone sanity bound.
+    EXPECT_GT(saved, zero_frac - 0.35);
+  }
+}
+
+TEST(Lzw, DictionaryResetOnLongDiverseInput) {
+  // > 64K distinct phrases forces a dictionary reset mid-stream.
+  std::vector<uint8_t> input;
+  input.reserve(3 << 20);
+  uint64_t x = 1;
+  for (int i = 0; i < (3 << 20) / 8; ++i) {
+    x = x * 6364136223846793005ULL + 1;
+    for (int b = 0; b < 8; ++b) {
+      input.push_back(static_cast<uint8_t>(x >> (b * 8)));
+    }
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(Lzw, CorruptHeaderRejected) {
+  std::vector<uint8_t> input(1000, 7);
+  std::vector<uint8_t> compressed = LzwCompress(input);
+  compressed[0] ^= 0xFF;
+  EXPECT_FALSE(LzwDecompress(compressed).ok());
+}
+
+TEST(Lzw, TruncatedStreamRejected) {
+  std::vector<uint8_t> input(100000, 3);
+  std::vector<uint8_t> compressed = LzwCompress(input);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_FALSE(LzwDecompress(compressed).ok());
+}
+
+}  // namespace
+}  // namespace linefs::compress

@@ -1,0 +1,117 @@
+// DirStore unit tests: dirent slot management, cache rebuild, growth across
+// blocks, and ancestor walks.
+
+#include <gtest/gtest.h>
+
+#include "src/fslib/dir.h"
+#include "src/fslib/layout.h"
+#include "src/fslib/publicfs.h"
+#include "src/pmem/region.h"
+
+namespace linefs::fslib {
+namespace {
+
+class DirTest : public ::testing::Test {
+ protected:
+  DirTest()
+      : region_(64 << 20),
+        layout_(Layout::Compute(64 << 20, LayoutConfig{1024, 1, 4 << 20})),
+        fs_(&region_, layout_) {
+    fs_.Mkfs();
+  }
+
+  InodeNum MakeDir(InodeNum parent, const std::string& name, InodeNum inum) {
+    Inode inode;
+    inode.inum = inum;
+    inode.type = FileType::kDirectory;
+    inode.nlink = 1;
+    inode.parent = parent;
+    fs_.inodes().Put(inode);
+    EXPECT_TRUE(fs_.dirs().Add(parent, name, inum).ok());
+    return inum;
+  }
+
+  pmem::Region region_;
+  Layout layout_;
+  PublicFs fs_;
+};
+
+TEST_F(DirTest, AddLookupRemove) {
+  ASSERT_TRUE(fs_.dirs().Add(kRootInode, "a", 100).ok());
+  Result<InodeNum> found = fs_.dirs().Lookup(kRootInode, "a");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 100u);
+  ASSERT_TRUE(fs_.dirs().Remove(kRootInode, "a").ok());
+  EXPECT_FALSE(fs_.dirs().Lookup(kRootInode, "a").ok());
+}
+
+TEST_F(DirTest, DuplicateAddRejected) {
+  ASSERT_TRUE(fs_.dirs().Add(kRootInode, "dup", 100).ok());
+  Status st = fs_.dirs().Add(kRootInode, "dup", 101);
+  EXPECT_EQ(st.code(), ErrorCode::kExists);
+}
+
+TEST_F(DirTest, GrowsAcrossManyBlocks) {
+  // 64 dirents per block; add several blocks' worth.
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(fs_.dirs().Add(kRootInode, "f" + std::to_string(i), 100 + i).ok())
+        << "at " << i;
+  }
+  Result<uint64_t> count = fs_.dirs().Count(kRootInode);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 300u);
+  // Spot-check entries in different blocks.
+  for (int i : {0, 63, 64, 127, 128, 299}) {
+    Result<InodeNum> found = fs_.dirs().Lookup(kRootInode, "f" + std::to_string(i));
+    ASSERT_TRUE(found.ok()) << i;
+    EXPECT_EQ(*found, 100u + i);
+  }
+}
+
+TEST_F(DirTest, FreeSlotsAreReused) {
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(fs_.dirs().Add(kRootInode, "g" + std::to_string(i), 200 + i).ok());
+  }
+  uint64_t free_before = fs_.allocator().free_blocks();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(fs_.dirs().Remove(kRootInode, "g" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(fs_.dirs().Add(kRootInode, "h" + std::to_string(i), 300 + i).ok());
+  }
+  // Reused freed slots: no extra dirent blocks were allocated.
+  EXPECT_EQ(fs_.allocator().free_blocks(), free_before);
+}
+
+TEST_F(DirTest, CacheInvalidationRebuildsFromPm) {
+  ASSERT_TRUE(fs_.dirs().Add(kRootInode, "persist", 400).ok());
+  fs_.dirs().InvalidateAll();
+  Result<InodeNum> found = fs_.dirs().Lookup(kRootInode, "persist");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 400u);
+}
+
+TEST_F(DirTest, IsSelfOrAncestorWalksParents) {
+  InodeNum a = MakeDir(kRootInode, "a", 10);
+  InodeNum b = MakeDir(a, "b", 11);
+  InodeNum c = MakeDir(b, "c", 12);
+  EXPECT_TRUE(fs_.dirs().IsSelfOrAncestor(a, c));
+  EXPECT_TRUE(fs_.dirs().IsSelfOrAncestor(c, c));
+  EXPECT_TRUE(fs_.dirs().IsSelfOrAncestor(kRootInode, c));
+  EXPECT_FALSE(fs_.dirs().IsSelfOrAncestor(c, a));
+  EXPECT_FALSE(fs_.dirs().IsSelfOrAncestor(b, a));
+}
+
+TEST_F(DirTest, LookupInNonDirectoryFails) {
+  Inode file;
+  file.inum = 500;
+  file.type = FileType::kRegular;
+  file.nlink = 1;
+  fs_.inodes().Put(file);
+  Result<InodeNum> found = fs_.dirs().Lookup(500, "x");
+  EXPECT_FALSE(found.ok());
+  EXPECT_EQ(found.code(), ErrorCode::kNotDir);
+}
+
+}  // namespace
+}  // namespace linefs::fslib

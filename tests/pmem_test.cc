@@ -1,0 +1,174 @@
+// Unit tests for the persistent-memory emulation: persist/crash semantics and
+// the block allocator.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/pmem/alloc.h"
+#include "src/pmem/region.h"
+
+namespace linefs::pmem {
+namespace {
+
+TEST(Region, FreshRegionReadsZero) {
+  Region region(1 << 20);
+  std::vector<uint8_t> buf(128, 0xFF);
+  region.Read(4096, buf.data(), buf.size());
+  for (uint8_t b : buf) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(Region, WriteReadRoundTrip) {
+  Region region(1 << 20);
+  const char msg[] = "persist-and-publish";
+  region.Write(100, msg, sizeof(msg));
+  char out[sizeof(msg)] = {};
+  region.Read(100, out, sizeof(msg));
+  EXPECT_STREQ(out, msg);
+}
+
+TEST(Region, WriteAcrossSlabBoundary) {
+  Region region(8 << 20);
+  std::vector<uint8_t> data(4 << 20);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31);
+  }
+  uint64_t offset = (2 << 20) - 777;  // Straddles the 2MB slab boundary.
+  region.Write(offset, data.data(), data.size());
+  std::vector<uint8_t> out(data.size());
+  region.Read(offset, out.data(), out.size());
+  EXPECT_EQ(out, data);
+}
+
+TEST(Region, CrashRollsBackUnpersistedWrites) {
+  Region region(1 << 20);
+  uint32_t committed = 0xAAAAAAAA;
+  region.Write(0, &committed, sizeof(committed));
+  region.Persist(0, sizeof(committed));
+
+  uint32_t uncommitted = 0xBBBBBBBB;
+  region.Write(0, &uncommitted, sizeof(uncommitted));
+  EXPECT_GT(region.unpersisted_bytes(), 0u);
+
+  region.Crash();
+  uint32_t out = 0;
+  region.Read(0, &out, sizeof(out));
+  EXPECT_EQ(out, committed);
+  EXPECT_EQ(region.unpersisted_bytes(), 0u);
+}
+
+TEST(Region, CrashRollsBackNewestFirst) {
+  Region region(1 << 20);
+  uint8_t v1 = 1;
+  region.Write(10, &v1, 1);
+  region.Persist(10, 1);
+  uint8_t v2 = 2;
+  region.Write(10, &v2, 1);
+  uint8_t v3 = 3;
+  region.Write(10, &v3, 1);
+  region.Crash();
+  uint8_t out = 0;
+  region.Read(10, &out, 1);
+  EXPECT_EQ(out, 1);
+}
+
+TEST(Region, PersistAllDrainsEverything) {
+  Region region(1 << 20);
+  std::vector<uint8_t> data(1024, 0x42);
+  region.Write(0, data.data(), data.size());
+  region.Write(8192, data.data(), data.size());
+  region.PersistAll();
+  EXPECT_EQ(region.unpersisted_bytes(), 0u);
+  region.Crash();  // No-op now.
+  uint8_t out = 0;
+  region.Read(0, &out, 1);
+  EXPECT_EQ(out, 0x42);
+}
+
+TEST(Region, PartialPersistKeepsOtherWritesVolatile) {
+  Region region(1 << 20);
+  uint8_t a = 1;
+  uint8_t b = 2;
+  region.Write(0, &a, 1);
+  region.Write(100, &b, 1);
+  region.Persist(0, 1);
+  region.Crash();
+  uint8_t out_a = 9;
+  uint8_t out_b = 9;
+  region.Read(0, &out_a, 1);
+  region.Read(100, &out_b, 1);
+  EXPECT_EQ(out_a, 1);
+  EXPECT_EQ(out_b, 0);
+}
+
+TEST(Region, CopyMovesData) {
+  Region region(1 << 20);
+  const char msg[] = "dma copy list";
+  region.Write(0, msg, sizeof(msg));
+  region.Copy(5000, 0, sizeof(msg));
+  char out[sizeof(msg)] = {};
+  region.Read(5000, out, sizeof(msg));
+  EXPECT_STREQ(out, msg);
+}
+
+TEST(Allocator, AllocatesDistinctBlocks) {
+  BlockAllocator alloc(1000, 64);
+  std::vector<uint64_t> blocks;
+  for (int i = 0; i < 64; ++i) {
+    Result<uint64_t> b = alloc.Alloc();
+    ASSERT_TRUE(b.ok());
+    EXPECT_GE(*b, 1000u);
+    EXPECT_LT(*b, 1064u);
+    for (uint64_t prev : blocks) {
+      EXPECT_NE(*b, prev);
+    }
+    blocks.push_back(*b);
+  }
+  EXPECT_EQ(alloc.free_blocks(), 0u);
+  EXPECT_FALSE(alloc.Alloc().ok());
+}
+
+TEST(Allocator, ContiguousRuns) {
+  BlockAllocator alloc(0, 128);
+  Result<uint64_t> run = alloc.Alloc(32);
+  ASSERT_TRUE(run.ok());
+  for (uint64_t i = 0; i < 32; ++i) {
+    EXPECT_TRUE(alloc.IsAllocated(*run + i));
+  }
+  EXPECT_EQ(alloc.free_blocks(), 96u);
+}
+
+TEST(Allocator, FreeAndReuse) {
+  BlockAllocator alloc(0, 16);
+  Result<uint64_t> a = alloc.Alloc(16);
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(alloc.Alloc().ok());
+  alloc.Free(*a + 4, 8);
+  EXPECT_EQ(alloc.free_blocks(), 8u);
+  Result<uint64_t> b = alloc.Alloc(8);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a + 4);
+}
+
+TEST(Allocator, WrapAroundSearch) {
+  BlockAllocator alloc(0, 64);
+  ASSERT_TRUE(alloc.Alloc(60).ok());   // hint near the end
+  alloc.Free(0, 60);                   // free the front
+  Result<uint64_t> b = alloc.Alloc(16);  // must wrap to find it
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(*b, 60u);
+}
+
+TEST(Allocator, MarkAllocatedForRecovery) {
+  BlockAllocator alloc(100, 32);
+  alloc.MarkAllocated(110, 4);
+  EXPECT_EQ(alloc.free_blocks(), 28u);
+  EXPECT_TRUE(alloc.IsAllocated(110));
+  EXPECT_FALSE(alloc.IsAllocated(109));
+}
+
+}  // namespace
+}  // namespace linefs::pmem

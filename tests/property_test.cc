@@ -1,0 +1,386 @@
+// Parameterized property sweeps over core invariants:
+//  - extent lists vs a reference block map under random insert/truncate mixes
+//  - coalescing equivalence: publishing with and without coalescing yields an
+//    identical final file system
+//  - LZW round trip across data distributions
+//  - CPU pool work conservation
+//  - end-to-end replica convergence under random op sequences (all modes)
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tests/co_test_util.h"
+
+#include "src/compress/lzw.h"
+#include "src/core/cluster.h"
+#include "src/core/libfs.h"
+#include "src/fslib/extent.h"
+#include "src/fslib/layout.h"
+#include "src/fslib/publicfs.h"
+#include "src/pmem/region.h"
+#include "src/sim/cpu.h"
+#include "src/sim/random.h"
+
+namespace linefs {
+namespace {
+
+// --- Extent list vs reference model ------------------------------------------------
+
+class ExtentPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExtentPropertyTest, MatchesReferenceBlockMap) {
+  sim::Rng rng(GetParam());
+  pmem::Region region(64 << 20);
+  pmem::BlockAllocator alloc(1024, 8192);
+  fslib::ExtentList extents(&region, &alloc);
+  fslib::Inode inode;
+  inode.inum = 7;
+  inode.type = fslib::FileType::kRegular;
+
+  std::map<uint64_t, uint64_t> reference;  // lblock -> pblock
+  for (int op = 0; op < 200; ++op) {
+    if (rng.Uniform(10) < 8) {
+      uint64_t lblock = rng.Uniform(512);
+      uint64_t count = 1 + rng.Uniform(32);
+      Result<uint64_t> pblock = alloc.Alloc(count);
+      ASSERT_TRUE(pblock.ok());
+      std::vector<fslib::Extent> freed;
+      ASSERT_TRUE(extents.InsertRange(&inode, lblock, count, *pblock, &freed).ok());
+      for (const fslib::Extent& f : freed) {
+        alloc.Free(f.pblock, f.count);
+      }
+      for (uint64_t i = 0; i < count; ++i) {
+        reference[lblock + i] = *pblock + i;
+      }
+    } else {
+      uint64_t cut = rng.Uniform(512);
+      std::vector<fslib::Extent> freed;
+      ASSERT_TRUE(extents.TruncateTo(&inode, cut, &freed).ok());
+      for (const fslib::Extent& f : freed) {
+        alloc.Free(f.pblock, f.count);
+      }
+      reference.erase(reference.lower_bound(cut), reference.end());
+    }
+    // Spot-check a sample of blocks every few ops.
+    if (op % 10 == 9) {
+      for (int probe = 0; probe < 40; ++probe) {
+        uint64_t lblock = rng.Uniform(560);
+        std::optional<fslib::Extent> found = extents.Lookup(inode, lblock);
+        auto it = reference.find(lblock);
+        if (it == reference.end()) {
+          ASSERT_FALSE(found.has_value()) << "phantom mapping at " << lblock;
+        } else {
+          ASSERT_TRUE(found.has_value()) << "missing mapping at " << lblock;
+          ASSERT_EQ(found->pblock, it->second) << "wrong mapping at " << lblock;
+        }
+      }
+    }
+  }
+  // Full final sweep.
+  std::vector<fslib::Extent> all = extents.Load(inode);
+  uint64_t mapped = 0;
+  for (const fslib::Extent& e : all) {
+    for (uint64_t i = 0; i < e.count; ++i) {
+      auto it = reference.find(e.lblock + i);
+      ASSERT_TRUE(it != reference.end());
+      ASSERT_EQ(it->second, e.pblock + i);
+      ++mapped;
+    }
+  }
+  ASSERT_EQ(mapped, reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtentPropertyTest, ::testing::Range<uint64_t>(1, 9));
+
+// --- Coalescing equivalence -----------------------------------------------------------
+
+class CoalescePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoalescePropertyTest, PublishingWithAndWithoutCoalescingIsEquivalent) {
+  sim::Rng rng(GetParam());
+  // Two identical regions; publish the same entries with/without coalescing.
+  auto build = [&](bool coalesce, sim::Rng rng_copy) -> std::vector<uint8_t> {
+    pmem::Region region(64 << 20);
+    fslib::LayoutConfig lc;
+    lc.inode_count = 1024;
+    lc.max_clients = 1;
+    lc.log_size = 8 << 20;
+    fslib::Layout layout = fslib::Layout::Compute(64 << 20, lc);
+    fslib::PublicFs fs(&region, layout);
+    fs.Mkfs();
+    fslib::LogArea log(&region, layout.LogOffset(0), layout.log_size, 0);
+
+    std::vector<fslib::ParsedEntry> batch;
+    auto append = [&](fslib::LogEntryHeader h, std::vector<uint8_t> payload) {
+      Result<uint64_t> pos = log.Append(h, payload);
+      EXPECT_TRUE(pos.ok());
+      Result<std::vector<fslib::ParsedEntry>> back = log.ParseRange(*pos, log.tail());
+      EXPECT_TRUE(back.ok());
+      batch.push_back(back->back());
+    };
+    // Random mix: persistent file + temporary create/write/delete churn.
+    fslib::LogEntryHeader create;
+    create.type = fslib::LogOpType::kCreate;
+    create.inum = 50;
+    create.parent = fslib::kRootInode;
+    create.ftype = fslib::FileType::kRegular;
+    std::string name = "keeper";
+    create.payload_len = static_cast<uint32_t>(name.size());
+    append(create, std::vector<uint8_t>(name.begin(), name.end()));
+    for (int i = 0; i < 30; ++i) {
+      if (rng_copy.Uniform(3) == 0) {
+        // Temporary file lifetime fully inside the batch.
+        fslib::LogEntryHeader tc = create;
+        tc.inum = 100 + i;
+        std::string tn = "tmp" + std::to_string(i);
+        tc.payload_len = static_cast<uint32_t>(tn.size());
+        append(tc, std::vector<uint8_t>(tn.begin(), tn.end()));
+        fslib::LogEntryHeader td;
+        td.type = fslib::LogOpType::kData;
+        td.inum = 100 + i;
+        td.offset = 0;
+        std::vector<uint8_t> tp(2048, static_cast<uint8_t>(i));
+        td.payload_len = static_cast<uint32_t>(tp.size());
+        append(td, tp);
+        fslib::LogEntryHeader tu;
+        tu.type = fslib::LogOpType::kUnlink;
+        tu.inum = 100 + i;
+        tu.parent = fslib::kRootInode;
+        tu.payload_len = static_cast<uint32_t>(tn.size());
+        append(tu, std::vector<uint8_t>(tn.begin(), tn.end()));
+      } else {
+        fslib::LogEntryHeader d;
+        d.type = fslib::LogOpType::kData;
+        d.inum = 50;
+        d.offset = rng_copy.Uniform(32 << 10);
+        std::vector<uint8_t> payload(512 + rng_copy.Uniform(4096));
+        for (auto& b : payload) {
+          b = static_cast<uint8_t>(rng_copy.Next());
+        }
+        d.payload_len = static_cast<uint32_t>(payload.size());
+        append(d, payload);
+      }
+    }
+    if (coalesce) {
+      fslib::CoalesceEntries(&batch);
+    }
+    EXPECT_TRUE(fs.Publish(batch, log, true).ok());
+    Result<fslib::InodeNum> inum = fs.LookupChild(fslib::kRootInode, "keeper");
+    EXPECT_TRUE(inum.ok());
+    Result<fslib::FileAttr> attr = fs.GetAttr(*inum);
+    EXPECT_TRUE(attr.ok());
+    std::vector<uint8_t> content(attr.ok() ? attr->size : 0);
+    EXPECT_TRUE(fs.ReadData(*inum, 0, content).ok());
+    return content;
+  };
+
+  std::vector<uint8_t> with = build(true, rng);
+  std::vector<uint8_t> without = build(false, rng);
+  ASSERT_EQ(with.size(), without.size());
+  ASSERT_EQ(with, without);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalescePropertyTest, ::testing::Range<uint64_t>(10, 18));
+
+// --- LZW round trip across distributions ------------------------------------------------
+
+class LzwPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzwPropertyTest, RoundTripsAcrossDistributions) {
+  int kind = GetParam();
+  sim::Rng rng(kind * 7919 + 1);
+  std::vector<uint8_t> input(200000 + rng.Uniform(200000));
+  for (size_t i = 0; i < input.size(); ++i) {
+    switch (kind % 5) {
+      case 0:  // uniform random
+        input[i] = static_cast<uint8_t>(rng.Next());
+        break;
+      case 1:  // runs
+        input[i] = static_cast<uint8_t>((i / 977) % 7);
+        break;
+      case 2:  // low-entropy alphabet
+        input[i] = static_cast<uint8_t>(rng.Uniform(4));
+        break;
+      case 3:  // periodic
+        input[i] = static_cast<uint8_t>(i % 251);
+        break;
+      case 4:  // mixed zero blocks + noise
+        input[i] = ((i / 512) % 3 == 0) ? 0 : static_cast<uint8_t>(rng.Next());
+        break;
+    }
+  }
+  std::vector<uint8_t> compressed = compress::LzwCompress(input);
+  Result<std::vector<uint8_t>> restored = compress::LzwDecompress(compressed);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(*restored, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, LzwPropertyTest, ::testing::Range(0, 10));
+
+// --- CPU pool work conservation ------------------------------------------------------------
+
+class CpuPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CpuPropertyTest, WorkIsConservedAndBounded) {
+  sim::Rng rng(GetParam());
+  sim::Engine engine;
+  sim::CpuPool::Options opt;
+  opt.cores = 1 + static_cast<int>(rng.Uniform(8));
+  opt.context_switch_cost = 0;
+  opt.dispatch_latency = 0;
+  opt.jitter_prob = 0;
+  sim::CpuPool cpu(&engine, "prop", opt);
+  int acct = cpu.RegisterAccount("w");
+  int tasks = 1 + static_cast<int>(rng.Uniform(16));
+  sim::Time total_work = 0;
+  for (int i = 0; i < tasks; ++i) {
+    sim::Time work = static_cast<sim::Time>((1 + rng.Uniform(20)) * sim::kMillisecond);
+    total_work += work;
+    engine.Spawn(cpu.Run(work, sim::Priority::kNormal, acct));
+  }
+  engine.Run();
+  // All work was executed exactly once...
+  EXPECT_DOUBLE_EQ(cpu.BusySeconds(acct), sim::ToSeconds(total_work));
+  // ...no faster than the core count allows, and work-conserving (within one
+  // quantum of rounding per task).
+  double lower = sim::ToSeconds(total_work) / opt.cores;
+  EXPECT_GE(sim::ToSeconds(engine.Now()) + 1e-9, lower);
+  double serial = sim::ToSeconds(total_work);
+  EXPECT_LE(sim::ToSeconds(engine.Now()), serial + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuPropertyTest, ::testing::Range<uint64_t>(100, 110));
+
+// --- End-to-end replica convergence under random workloads -----------------------------------
+
+class ConvergencePropertyTest
+    : public ::testing::TestWithParam<std::tuple<core::DfsMode, uint64_t>> {};
+
+TEST_P(ConvergencePropertyTest, ReplicasConvergeToClientView) {
+  auto [mode, seed] = GetParam();
+  sim::Engine engine;
+  core::DfsConfig config;
+  config.mode = mode;
+  config.num_nodes = 3;
+  config.pm_size = 256ULL << 20;
+  config.log_size = 8ULL << 20;
+  config.inode_count = 8192;
+  config.chunk_size = 512ULL << 10;
+  config.materialize_data = true;
+  auto cluster = std::make_unique<core::Cluster>(&engine, config);
+  cluster->Start();
+  core::LibFs* fs = cluster->CreateClient(0);
+
+  // Random op script; remember which files survive and a digest of contents.
+  std::map<std::string, std::vector<uint8_t>> expected;
+  bool done = false;
+  engine.Spawn([](core::LibFs* fs, uint64_t seed,
+                  std::map<std::string, std::vector<uint8_t>>* expected,
+                  bool* done) -> sim::Task<> {
+    sim::Rng rng(seed);
+    std::vector<std::string> live;
+    for (int op = 0; op < 40; ++op) {
+      uint32_t kind = rng.Uniform(10);
+      if (live.empty() || kind < 4) {
+        std::string name = "p" + std::to_string(op);
+        Result<int> fd = co_await fs->Open("/" + name,
+                                           fslib::kOpenCreate | fslib::kOpenWrite);
+        CO_ASSERT_OK(fd);
+        std::vector<uint8_t> data(1024 + rng.Uniform(64 << 10));
+        for (auto& b : data) {
+          b = static_cast<uint8_t>(rng.Next());
+        }
+        CO_ASSERT_OK((co_await fs->Write(*fd, data)));
+        co_await fs->Close(*fd);
+        (*expected)["/" + name] = std::move(data);
+        live.push_back(name);
+      } else if (kind < 7) {
+        std::string name = live[rng.Uniform(live.size())];
+        Result<int> fd = co_await fs->Open("/" + name, fslib::kOpenWrite);
+        CO_ASSERT_OK(fd);
+        uint64_t offset = rng.Uniform(expected->at("/" + name).size());
+        std::vector<uint8_t> patch(1 + rng.Uniform(4096));
+        for (auto& b : patch) {
+          b = static_cast<uint8_t>(rng.Next());
+        }
+        CO_ASSERT_OK((co_await fs->Pwrite(*fd, patch, offset)));
+        co_await fs->Close(*fd);
+        std::vector<uint8_t>& model = (*expected)["/" + name];
+        if (model.size() < offset + patch.size()) {
+          model.resize(offset + patch.size());
+        }
+        std::copy(patch.begin(), patch.end(), model.begin() + static_cast<long>(offset));
+      } else if (kind < 9) {
+        size_t idx = rng.Uniform(live.size());
+        std::string name = live[idx];
+        CO_ASSERT_OK(co_await fs->Unlink("/" + name));
+        expected->erase("/" + name);
+        live.erase(live.begin() + static_cast<long>(idx));
+      } else {
+        std::string from = live[rng.Uniform(live.size())];
+        std::string to = from + "r";
+        Status st = co_await fs->Rename("/" + from, "/" + to);
+        if (st.ok()) {
+          (*expected)["/" + to] = std::move((*expected)["/" + from]);
+          expected->erase("/" + from);
+          for (std::string& n : live) {
+            if (n == from) {
+              n = to;
+            }
+          }
+        }
+      }
+    }
+    if (!live.empty()) {
+      Result<int> fd = co_await fs->Open("/" + live[0], fslib::kOpenWrite);
+      if (fd.ok()) {
+        CO_ASSERT_OK(co_await fs->Fsync(*fd));
+      }
+    }
+    *done = true;
+  }(fs, seed, &expected, &done));
+  sim::Time deadline = engine.Now() + 600 * sim::kSecond;
+  while (!done && engine.Now() < deadline && engine.RunOne()) {
+  }
+  ASSERT_TRUE(done);
+  engine.RunUntil(engine.Now() + 8 * sim::kSecond);  // Publication drains everywhere.
+
+  for (int node = 0; node < 3; ++node) {
+    fslib::PublicFs& pub = cluster->dfs_node(node).fs();
+    for (const auto& [path, content] : expected) {
+      std::string name = path.substr(1);
+      Result<fslib::InodeNum> inum = pub.LookupChild(fslib::kRootInode, name);
+      ASSERT_TRUE(inum.ok()) << "node " << node << " missing " << name;
+      Result<fslib::FileAttr> attr = pub.GetAttr(*inum);
+      ASSERT_TRUE(attr.ok());
+      ASSERT_EQ(attr->size, content.size()) << "node " << node << " " << name;
+      std::vector<uint8_t> out(content.size());
+      ASSERT_TRUE(pub.ReadData(*inum, 0, out).ok());
+      ASSERT_EQ(out, content) << "node " << node << " content divergence in " << name;
+    }
+  }
+  cluster->Shutdown();
+  engine.Run();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, ConvergencePropertyTest,
+    ::testing::Combine(::testing::Values(core::DfsMode::kLineFS, core::DfsMode::kAssise,
+                                         core::DfsMode::kAssiseBgRepl,
+                                         core::DfsMode::kAssiseHyperloop),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<std::tuple<core::DfsMode, uint64_t>>& info) {
+      std::string name = core::DfsModeName(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-' || c == '+') {
+          c = '_';
+        }
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace linefs

@@ -1,0 +1,241 @@
+// Tests for the workload substrates: MiniKv (LSM store), Filebench engines,
+// Tencent Sort, streamcluster, microbench drivers, and the CephLike baseline.
+
+#include <gtest/gtest.h>
+
+#include "tests/co_test_util.h"
+
+#include "src/baseline/cephlike.h"
+#include "src/core/cluster.h"
+#include "src/core/libfs.h"
+#include "src/workloads/filebench.h"
+#include "src/workloads/microbench.h"
+#include "src/workloads/minikv.h"
+#include "src/workloads/sortbench.h"
+#include "src/workloads/streamcluster.h"
+
+namespace linefs::workloads {
+namespace {
+
+core::DfsConfig TestConfig(core::DfsMode mode = core::DfsMode::kLineFS) {
+  core::DfsConfig config;
+  config.mode = mode;
+  config.num_nodes = 3;
+  config.pm_size = 512ULL << 20;
+  config.log_size = 16ULL << 20;
+  config.inode_count = 1 << 20;
+  config.chunk_size = 1ULL << 20;
+  config.materialize_data = true;
+  return config;
+}
+
+class Harness {
+ public:
+  explicit Harness(const core::DfsConfig& config) {
+    cluster_ = std::make_unique<core::Cluster>(&engine_, config);
+    cluster_->Start();
+  }
+  ~Harness() {
+    cluster_->Shutdown();
+    engine_.Run();
+  }
+
+  template <typename Fn>
+  void RunTask(Fn&& body) {
+    bool done = false;
+    engine_.Spawn([](Fn body, bool* done) -> sim::Task<> {
+      co_await body();
+      *done = true;
+    }(std::forward<Fn>(body), &done));
+    sim::Time deadline = engine_.Now() + 3600 * sim::kSecond;
+    while (!done && engine_.Now() < deadline && engine_.RunOne()) {
+    }
+    ASSERT_TRUE(done) << "workload task did not finish";
+  }
+
+  sim::Engine engine_;
+  std::unique_ptr<core::Cluster> cluster_;
+};
+
+TEST(MiniKvTest, PutGetRoundTrip) {
+  Harness harness(TestConfig());
+  core::LibFs* fs = harness.cluster_->CreateClient(0);
+  harness.RunTask([&]() -> sim::Task<> {
+    MiniKv kv(fs, MiniKv::Options{});
+    CO_ASSERT_OK(co_await kv.Open());
+    for (int i = 0; i < 100; ++i) {
+      CO_ASSERT_OK(co_await kv.Put(DbBenchKey(i), "value-" + std::to_string(i)));
+    }
+    for (int i = 0; i < 100; ++i) {
+      Result<std::string> v = co_await kv.Get(DbBenchKey(i));
+      CO_ASSERT_OK(v);
+      EXPECT_EQ(*v, "value-" + std::to_string(i));
+    }
+    Result<std::string> missing = co_await kv.Get(DbBenchKey(999999));
+    EXPECT_FALSE(missing.ok());
+    CO_ASSERT_OK(co_await kv.Close());
+  });
+}
+
+TEST(MiniKvTest, FlushedTablesServeReads) {
+  Harness harness(TestConfig());
+  core::LibFs* fs = harness.cluster_->CreateClient(0);
+  harness.RunTask([&]() -> sim::Task<> {
+    MiniKv::Options options;
+    options.memtable_limit = 64 << 10;  // Force frequent flushes.
+    MiniKv kv(fs, options);
+    CO_ASSERT_OK(co_await kv.Open());
+    std::string value(1024, 'x');
+    for (int i = 0; i < 500; ++i) {
+      CO_ASSERT_OK(co_await kv.Put(DbBenchKey(i), value + std::to_string(i)));
+    }
+    EXPECT_GT(kv.table_count(), 3u);  // Flushes happened.
+    // Values must come back from the tables, not just the memtable.
+    for (int i = 0; i < 500; i += 37) {
+      Result<std::string> v = co_await kv.Get(DbBenchKey(i));
+      CO_ASSERT_OK(v);
+      EXPECT_EQ(*v, value + std::to_string(i));
+    }
+    // Overwrite: newest table (or memtable) wins.
+    CO_ASSERT_OK(co_await kv.Put(DbBenchKey(42), "fresh"));
+    Result<std::string> v = co_await kv.Get(DbBenchKey(42));
+    CO_ASSERT_OK(v);
+    EXPECT_EQ(*v, "fresh");
+    CO_ASSERT_OK(co_await kv.Close());
+  });
+}
+
+TEST(MiniKvTest, DbBenchDriversRun) {
+  Harness harness(TestConfig());
+  core::LibFs* fs = harness.cluster_->CreateClient(0);
+  harness.RunTask([&]() -> sim::Task<> {
+    MiniKv kv(fs, MiniKv::Options{});
+    CO_ASSERT_OK(co_await kv.Open());
+    DbBenchResult fill =
+        co_await DbBenchFill(&kv, fs->engine(), 2000, 1024, /*random=*/true, 1);
+    EXPECT_EQ(fill.ops, 2000u);
+    EXPECT_GT(fill.AvgLatencyMicros(), 0.0);
+    DbBenchResult reads =
+        co_await DbBenchRead(&kv, fs->engine(), 500, 2000, ReadPattern::kRandom, 2);
+    EXPECT_EQ(reads.ops, 500u);
+    DbBenchResult hot = co_await DbBenchRead(&kv, fs->engine(), 500, 2000, ReadPattern::kHot, 3);
+    EXPECT_EQ(hot.ops, 500u);
+    CO_ASSERT_OK(co_await kv.Close());
+  });
+}
+
+TEST(FilebenchTest, FileserverRunsAndCountsOps) {
+  Harness harness(TestConfig());
+  core::LibFs* fs = harness.cluster_->CreateClient(0);
+  harness.RunTask([&]() -> sim::Task<> {
+    Filebench::Options options = Filebench::FileserverOptions(/*nfiles=*/64);
+    options.mean_file_size = 32 << 10;
+    Filebench bench(fs, options);
+    co_await bench.Preallocate();
+    co_await bench.Run(2 * sim::kSecond);
+    EXPECT_GT(bench.total_ops(), 100u);
+    EXPECT_GT(bench.ops_per_second(), 0.0);
+  });
+}
+
+TEST(FilebenchTest, VarmailFsyncsFrequently) {
+  Harness harness(TestConfig());
+  core::LibFs* fs = harness.cluster_->CreateClient(0);
+  harness.RunTask([&]() -> sim::Task<> {
+    Filebench::Options options = Filebench::VarmailOptions(/*nfiles=*/64);
+    Filebench bench(fs, options);
+    co_await bench.Preallocate();
+    uint64_t fsyncs_before = fs->stats().fsyncs;
+    co_await bench.Run(2 * sim::kSecond);
+    EXPECT_GT(fs->stats().fsyncs, fsyncs_before + 10);
+    // The per-second op series is populated (Fig. 10 machinery).
+    EXPECT_GT(bench.ops_series().bucket_count(), 0u);
+  });
+}
+
+TEST(SortBenchTest, SortsAndVerifies) {
+  Harness harness(TestConfig());
+  std::vector<core::LibFs*> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.push_back(harness.cluster_->CreateClient(0));
+  }
+  harness.RunTask([&]() -> sim::Task<> {
+    SortOptions options;
+    options.records = 20000;  // 2MB of records.
+    options.partition_workers = 2;
+    options.sort_workers = 2;
+    options.zero_fraction = 0.6;
+    SortResult result = co_await RunTencentSort(clients, options);
+    EXPECT_TRUE(result.verified);
+    EXPECT_GT(result.elapsed, 0);
+    EXPECT_GT(result.partition_elapsed, 0);
+    EXPECT_GT(result.sort_elapsed, 0);
+  });
+}
+
+TEST(StreamclusterTest, SoloRuntimeMatchesModel) {
+  sim::Engine engine;
+  hw::NodeParams params;
+  hw::Node node(&engine, 0, params);
+  Streamcluster::Options options;
+  options.threads = 8;
+  options.iterations = 5;
+  options.work_per_iteration = 10 * sim::kMillisecond;
+  options.bytes_per_iteration = 1 << 20;
+  Streamcluster sc(&node, options);
+  engine.RunToCompletion(sc.Run());
+  // 8 threads on 48 cores: no CPU contention; runtime ~= iterations * work.
+  EXPECT_NEAR(sim::ToSeconds(sc.elapsed()), 0.05, 0.01);
+  EXPECT_LT(sc.SlowdownVsSolo(), 1.2);
+}
+
+TEST(StreamclusterTest, OversubscriptionSlowsDown) {
+  sim::Engine engine;
+  hw::NodeParams params;
+  params.host.cores = 4;
+  hw::Node node(&engine, 0, params);
+  Streamcluster::Options options;
+  options.threads = 8;  // 2x oversubscribed.
+  options.iterations = 5;
+  options.work_per_iteration = 10 * sim::kMillisecond;
+  options.bytes_per_iteration = 1 << 20;
+  Streamcluster sc(&node, options);
+  engine.RunToCompletion(sc.Run());
+  EXPECT_GT(sc.SlowdownVsSolo(), 1.8);
+}
+
+TEST(MicrobenchTest, SeqWriteReportsThroughput) {
+  Harness harness(TestConfig());
+  core::LibFs* fs = harness.cluster_->CreateClient(0);
+  harness.RunTask([&]() -> sim::Task<> {
+    BenchResult result = co_await SeqWrite(fs, "/tput.dat", 8 << 20, 16 << 10);
+    EXPECT_EQ(result.bytes, 8ULL << 20);
+    EXPECT_GT(result.throughput(), 0.0);
+  });
+}
+
+TEST(MicrobenchTest, LatencyRecorderFilled) {
+  Harness harness(TestConfig());
+  core::LibFs* fs = harness.cluster_->CreateClient(0);
+  sim::LatencyRecorder recorder;
+  harness.RunTask([&]() -> sim::Task<> {
+    BenchResult result = co_await SyncWriteLatency(fs, "/lat.dat", 50, 16 << 10, &recorder);
+    EXPECT_EQ(result.ops, 50u);
+  });
+  EXPECT_EQ(recorder.count(), 50u);
+  EXPECT_GT(recorder.Mean(), 0.0);
+  EXPECT_GE(recorder.Percentile(99), recorder.Percentile(50));
+}
+
+TEST(CephLikeTest, ClientCpuStaysLowWhileAssiseStyleGrows) {
+  baseline::CephLike::Options options;
+  options.client_procs = 2;
+  options.bytes_per_proc = 32 << 20;
+  baseline::CephLike::RunResult result = baseline::CephLike::Run(options);
+  EXPECT_GT(result.throughput, 0.5e9);
+  EXPECT_GT(result.client_cpu_cores, 0.1);
+  EXPECT_LT(result.client_cpu_cores, 8.0);
+}
+
+}  // namespace
+}  // namespace linefs::workloads
