@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_copy_methods.dir/bench_fig7_copy_methods.cc.o"
+  "CMakeFiles/bench_fig7_copy_methods.dir/bench_fig7_copy_methods.cc.o.d"
+  "bench_fig7_copy_methods"
+  "bench_fig7_copy_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_copy_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_leveldb.dir/bench_fig8a_leveldb.cc.o"
+  "CMakeFiles/bench_fig8a_leveldb.dir/bench_fig8a_leveldb.cc.o.d"
+  "bench_fig8a_leveldb"
+  "bench_fig8a_leveldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_leveldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_read.dir/bench_table2_read.cc.o"
+  "CMakeFiles/bench_table2_read.dir/bench_table2_read.cc.o.d"
+  "bench_table2_read"
+  "bench_table2_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

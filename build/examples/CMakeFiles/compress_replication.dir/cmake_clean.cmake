@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_replication.dir/compress_replication.cpp.o"
+  "CMakeFiles/compress_replication.dir/compress_replication.cpp.o.d"
+  "compress_replication"
+  "compress_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_app.dir/kvstore_app.cpp.o"
+  "CMakeFiles/kvstore_app.dir/kvstore_app.cpp.o.d"
+  "kvstore_app"
+  "kvstore_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/linefs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/linefs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/fslib/CMakeFiles/linefs_fslib.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/linefs_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/linefs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/linefs_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/linefs_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/linefs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

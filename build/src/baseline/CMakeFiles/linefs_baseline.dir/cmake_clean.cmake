@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linefs_baseline.dir/cephlike.cc.o"
+  "CMakeFiles/linefs_baseline.dir/cephlike.cc.o.d"
+  "liblinefs_baseline.a"
+  "liblinefs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linefs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linefs_compress.dir/lzw.cc.o"
+  "CMakeFiles/linefs_compress.dir/lzw.cc.o.d"
+  "liblinefs_compress.a"
+  "liblinefs_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linefs_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

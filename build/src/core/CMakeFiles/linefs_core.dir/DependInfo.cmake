@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/linefs_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/linefs_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/clustermgr.cc" "src/core/CMakeFiles/linefs_core.dir/clustermgr.cc.o" "gcc" "src/core/CMakeFiles/linefs_core.dir/clustermgr.cc.o.d"
+  "/root/repo/src/core/kworker.cc" "src/core/CMakeFiles/linefs_core.dir/kworker.cc.o" "gcc" "src/core/CMakeFiles/linefs_core.dir/kworker.cc.o.d"
+  "/root/repo/src/core/lease.cc" "src/core/CMakeFiles/linefs_core.dir/lease.cc.o" "gcc" "src/core/CMakeFiles/linefs_core.dir/lease.cc.o.d"
+  "/root/repo/src/core/libfs.cc" "src/core/CMakeFiles/linefs_core.dir/libfs.cc.o" "gcc" "src/core/CMakeFiles/linefs_core.dir/libfs.cc.o.d"
+  "/root/repo/src/core/nicfs.cc" "src/core/CMakeFiles/linefs_core.dir/nicfs.cc.o" "gcc" "src/core/CMakeFiles/linefs_core.dir/nicfs.cc.o.d"
+  "/root/repo/src/core/sharedfs.cc" "src/core/CMakeFiles/linefs_core.dir/sharedfs.cc.o" "gcc" "src/core/CMakeFiles/linefs_core.dir/sharedfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fslib/CMakeFiles/linefs_fslib.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/linefs_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/linefs_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/linefs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/linefs_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/linefs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

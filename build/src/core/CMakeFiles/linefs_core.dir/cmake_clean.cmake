@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linefs_core.dir/cluster.cc.o"
+  "CMakeFiles/linefs_core.dir/cluster.cc.o.d"
+  "CMakeFiles/linefs_core.dir/clustermgr.cc.o"
+  "CMakeFiles/linefs_core.dir/clustermgr.cc.o.d"
+  "CMakeFiles/linefs_core.dir/kworker.cc.o"
+  "CMakeFiles/linefs_core.dir/kworker.cc.o.d"
+  "CMakeFiles/linefs_core.dir/lease.cc.o"
+  "CMakeFiles/linefs_core.dir/lease.cc.o.d"
+  "CMakeFiles/linefs_core.dir/libfs.cc.o"
+  "CMakeFiles/linefs_core.dir/libfs.cc.o.d"
+  "CMakeFiles/linefs_core.dir/nicfs.cc.o"
+  "CMakeFiles/linefs_core.dir/nicfs.cc.o.d"
+  "CMakeFiles/linefs_core.dir/sharedfs.cc.o"
+  "CMakeFiles/linefs_core.dir/sharedfs.cc.o.d"
+  "liblinefs_core.a"
+  "liblinefs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linefs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblinefs_core.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fslib/dir.cc" "src/fslib/CMakeFiles/linefs_fslib.dir/dir.cc.o" "gcc" "src/fslib/CMakeFiles/linefs_fslib.dir/dir.cc.o.d"
+  "/root/repo/src/fslib/extent.cc" "src/fslib/CMakeFiles/linefs_fslib.dir/extent.cc.o" "gcc" "src/fslib/CMakeFiles/linefs_fslib.dir/extent.cc.o.d"
+  "/root/repo/src/fslib/index.cc" "src/fslib/CMakeFiles/linefs_fslib.dir/index.cc.o" "gcc" "src/fslib/CMakeFiles/linefs_fslib.dir/index.cc.o.d"
+  "/root/repo/src/fslib/oplog.cc" "src/fslib/CMakeFiles/linefs_fslib.dir/oplog.cc.o" "gcc" "src/fslib/CMakeFiles/linefs_fslib.dir/oplog.cc.o.d"
+  "/root/repo/src/fslib/publicfs.cc" "src/fslib/CMakeFiles/linefs_fslib.dir/publicfs.cc.o" "gcc" "src/fslib/CMakeFiles/linefs_fslib.dir/publicfs.cc.o.d"
+  "/root/repo/src/fslib/types.cc" "src/fslib/CMakeFiles/linefs_fslib.dir/types.cc.o" "gcc" "src/fslib/CMakeFiles/linefs_fslib.dir/types.cc.o.d"
+  "/root/repo/src/fslib/validate.cc" "src/fslib/CMakeFiles/linefs_fslib.dir/validate.cc.o" "gcc" "src/fslib/CMakeFiles/linefs_fslib.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmem/CMakeFiles/linefs_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/linefs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linefs_fslib.dir/dir.cc.o"
+  "CMakeFiles/linefs_fslib.dir/dir.cc.o.d"
+  "CMakeFiles/linefs_fslib.dir/extent.cc.o"
+  "CMakeFiles/linefs_fslib.dir/extent.cc.o.d"
+  "CMakeFiles/linefs_fslib.dir/index.cc.o"
+  "CMakeFiles/linefs_fslib.dir/index.cc.o.d"
+  "CMakeFiles/linefs_fslib.dir/oplog.cc.o"
+  "CMakeFiles/linefs_fslib.dir/oplog.cc.o.d"
+  "CMakeFiles/linefs_fslib.dir/publicfs.cc.o"
+  "CMakeFiles/linefs_fslib.dir/publicfs.cc.o.d"
+  "CMakeFiles/linefs_fslib.dir/types.cc.o"
+  "CMakeFiles/linefs_fslib.dir/types.cc.o.d"
+  "CMakeFiles/linefs_fslib.dir/validate.cc.o"
+  "CMakeFiles/linefs_fslib.dir/validate.cc.o.d"
+  "liblinefs_fslib.a"
+  "liblinefs_fslib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linefs_fslib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

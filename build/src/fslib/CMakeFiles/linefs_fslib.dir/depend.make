@@ -1,0 +1,2 @@
+# Empty dependencies file for linefs_fslib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linefs_hw.dir/node.cc.o"
+  "CMakeFiles/linefs_hw.dir/node.cc.o.d"
+  "liblinefs_hw.a"
+  "liblinefs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linefs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmem/alloc.cc" "src/pmem/CMakeFiles/linefs_pmem.dir/alloc.cc.o" "gcc" "src/pmem/CMakeFiles/linefs_pmem.dir/alloc.cc.o.d"
+  "/root/repo/src/pmem/region.cc" "src/pmem/CMakeFiles/linefs_pmem.dir/region.cc.o" "gcc" "src/pmem/CMakeFiles/linefs_pmem.dir/region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/linefs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

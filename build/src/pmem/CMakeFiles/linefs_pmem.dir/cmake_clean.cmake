@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linefs_pmem.dir/alloc.cc.o"
+  "CMakeFiles/linefs_pmem.dir/alloc.cc.o.d"
+  "CMakeFiles/linefs_pmem.dir/region.cc.o"
+  "CMakeFiles/linefs_pmem.dir/region.cc.o.d"
+  "liblinefs_pmem.a"
+  "liblinefs_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linefs_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

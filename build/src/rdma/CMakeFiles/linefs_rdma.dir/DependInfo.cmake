@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/rdma.cc" "src/rdma/CMakeFiles/linefs_rdma.dir/rdma.cc.o" "gcc" "src/rdma/CMakeFiles/linefs_rdma.dir/rdma.cc.o.d"
+  "/root/repo/src/rdma/rpc.cc" "src/rdma/CMakeFiles/linefs_rdma.dir/rpc.cc.o" "gcc" "src/rdma/CMakeFiles/linefs_rdma.dir/rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/linefs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/linefs_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/linefs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

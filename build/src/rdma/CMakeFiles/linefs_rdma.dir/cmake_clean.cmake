@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linefs_rdma.dir/rdma.cc.o"
+  "CMakeFiles/linefs_rdma.dir/rdma.cc.o.d"
+  "CMakeFiles/linefs_rdma.dir/rpc.cc.o"
+  "CMakeFiles/linefs_rdma.dir/rpc.cc.o.d"
+  "liblinefs_rdma.a"
+  "liblinefs_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linefs_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

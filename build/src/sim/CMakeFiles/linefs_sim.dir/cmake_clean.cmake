@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linefs_sim.dir/cpu.cc.o"
+  "CMakeFiles/linefs_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/linefs_sim.dir/engine.cc.o"
+  "CMakeFiles/linefs_sim.dir/engine.cc.o.d"
+  "CMakeFiles/linefs_sim.dir/result.cc.o"
+  "CMakeFiles/linefs_sim.dir/result.cc.o.d"
+  "CMakeFiles/linefs_sim.dir/stats.cc.o"
+  "CMakeFiles/linefs_sim.dir/stats.cc.o.d"
+  "CMakeFiles/linefs_sim.dir/trace.cc.o"
+  "CMakeFiles/linefs_sim.dir/trace.cc.o.d"
+  "liblinefs_sim.a"
+  "liblinefs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linefs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linefs_workloads.dir/filebench.cc.o"
+  "CMakeFiles/linefs_workloads.dir/filebench.cc.o.d"
+  "CMakeFiles/linefs_workloads.dir/microbench.cc.o"
+  "CMakeFiles/linefs_workloads.dir/microbench.cc.o.d"
+  "CMakeFiles/linefs_workloads.dir/minikv.cc.o"
+  "CMakeFiles/linefs_workloads.dir/minikv.cc.o.d"
+  "CMakeFiles/linefs_workloads.dir/sortbench.cc.o"
+  "CMakeFiles/linefs_workloads.dir/sortbench.cc.o.d"
+  "CMakeFiles/linefs_workloads.dir/streamcluster.cc.o"
+  "CMakeFiles/linefs_workloads.dir/streamcluster.cc.o.d"
+  "liblinefs_workloads.a"
+  "liblinefs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linefs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

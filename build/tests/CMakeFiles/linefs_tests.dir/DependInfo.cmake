@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/linefs_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/compress_test.cc" "tests/CMakeFiles/linefs_tests.dir/compress_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/compress_test.cc.o.d"
+  "/root/repo/tests/crash_consistency_test.cc" "tests/CMakeFiles/linefs_tests.dir/crash_consistency_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/crash_consistency_test.cc.o.d"
+  "/root/repo/tests/dir_test.cc" "tests/CMakeFiles/linefs_tests.dir/dir_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/dir_test.cc.o.d"
+  "/root/repo/tests/kworker_test.cc" "tests/CMakeFiles/linefs_tests.dir/kworker_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/kworker_test.cc.o.d"
+  "/root/repo/tests/nicfs_mechanics_test.cc" "tests/CMakeFiles/linefs_tests.dir/nicfs_mechanics_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/nicfs_mechanics_test.cc.o.d"
+  "/root/repo/tests/oplog_test.cc" "tests/CMakeFiles/linefs_tests.dir/oplog_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/oplog_test.cc.o.d"
+  "/root/repo/tests/pmem_test.cc" "tests/CMakeFiles/linefs_tests.dir/pmem_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/pmem_test.cc.o.d"
+  "/root/repo/tests/posix_semantics_test.cc" "tests/CMakeFiles/linefs_tests.dir/posix_semantics_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/posix_semantics_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/linefs_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/publicfs_test.cc" "tests/CMakeFiles/linefs_tests.dir/publicfs_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/publicfs_test.cc.o.d"
+  "/root/repo/tests/rdma_test.cc" "tests/CMakeFiles/linefs_tests.dir/rdma_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/rdma_test.cc.o.d"
+  "/root/repo/tests/sim_engine_test.cc" "tests/CMakeFiles/linefs_tests.dir/sim_engine_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/sim_engine_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/linefs_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/linefs_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/linefs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/linefs_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/linefs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/linefs_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/fslib/CMakeFiles/linefs_fslib.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/linefs_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/linefs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/linefs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/linefs_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

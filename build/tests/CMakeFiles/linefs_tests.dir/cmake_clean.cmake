@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linefs_tests.dir/cluster_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/cluster_test.cc.o.d"
+  "CMakeFiles/linefs_tests.dir/compress_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/compress_test.cc.o.d"
+  "CMakeFiles/linefs_tests.dir/crash_consistency_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/crash_consistency_test.cc.o.d"
+  "CMakeFiles/linefs_tests.dir/dir_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/dir_test.cc.o.d"
+  "CMakeFiles/linefs_tests.dir/kworker_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/kworker_test.cc.o.d"
+  "CMakeFiles/linefs_tests.dir/nicfs_mechanics_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/nicfs_mechanics_test.cc.o.d"
+  "CMakeFiles/linefs_tests.dir/oplog_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/oplog_test.cc.o.d"
+  "CMakeFiles/linefs_tests.dir/pmem_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/pmem_test.cc.o.d"
+  "CMakeFiles/linefs_tests.dir/posix_semantics_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/posix_semantics_test.cc.o.d"
+  "CMakeFiles/linefs_tests.dir/property_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/linefs_tests.dir/publicfs_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/publicfs_test.cc.o.d"
+  "CMakeFiles/linefs_tests.dir/rdma_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/rdma_test.cc.o.d"
+  "CMakeFiles/linefs_tests.dir/sim_engine_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/sim_engine_test.cc.o.d"
+  "CMakeFiles/linefs_tests.dir/workloads_test.cc.o"
+  "CMakeFiles/linefs_tests.dir/workloads_test.cc.o.d"
+  "linefs_tests"
+  "linefs_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linefs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
