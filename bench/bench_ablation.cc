@@ -23,7 +23,7 @@ namespace {
 
 constexpr uint64_t kBytes = 192ULL << 20;
 
-double RunThroughput(core::DfsConfig config) {
+double RunThroughput(core::DfsConfig config, const std::string& label) {
   Experiment exp(config);
   core::LibFs* fs = exp.cluster().CreateClient(0);
   sim::Time start = exp.engine().Now();
@@ -33,7 +33,10 @@ double RunThroughput(core::DfsConfig config) {
     (void)r;
   }(fs));
   exp.RunAll(std::move(tasks));
-  return static_cast<double>(kBytes) / sim::ToSeconds(exp.engine().Now() - start);
+  double tput = static_cast<double>(kBytes) / sim::ToSeconds(exp.engine().Now() - start);
+  exp.SetLabel(label);
+  exp.AddScalar("throughput_bytes_per_sec", tput);
+  return tput;
 }
 
 std::map<int, double> g_chunk;
@@ -46,7 +49,7 @@ void BM_ChunkSize(benchmark::State& state) {
   config.chunk_size = chunk_kb << 10;
   double tput = 0;
   for (auto _ : state) {
-    tput = RunThroughput(config);
+    tput = RunThroughput(config, "chunk" + std::to_string(chunk_kb) + "KB");
   }
   g_chunk[static_cast<int>(state.range(0))] = tput;
   state.counters["GB/s"] = tput / 1e9;
@@ -58,7 +61,7 @@ void BM_StageScaling(benchmark::State& state) {
   config.max_stage_workers = max_workers;
   double tput = 0;
   for (auto _ : state) {
-    tput = RunThroughput(config);
+    tput = RunThroughput(config, "max_workers" + std::to_string(max_workers));
   }
   g_scaling[max_workers] = tput;
   state.counters["GB/s"] = tput / 1e9;
@@ -99,6 +102,9 @@ void BM_Coalescing(benchmark::State& state) {
     kops = 800.0 / sim::ToSeconds(exp.engine().Now() - start) / 1000.0;
     // Write amplification proxy: bytes the publication path moved into PM.
     pm_writes = exp.cluster().dfs_node(0).fs().published_bytes();
+    exp.SetLabel(coalesce ? "coalescing_on" : "coalescing_off");
+    exp.AddScalar("throughput_kops_per_sec", kops);
+    exp.AddScalar("published_bytes", static_cast<double>(pm_writes));
   }
   g_coalesce[coalesce ? 1 : 0] = {kops, pm_writes};
   state.counters["kops_s"] = kops;
@@ -147,5 +153,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   linefs::bench::PrintTables();
-  return 0;
+  return linefs::bench::WriteBenchReport("ablation");
 }

@@ -64,6 +64,15 @@ void Run() {
   for (size_t i = 0; i < bench.ops_series().bucket_count(); ++i) {
     g_kops_series.push_back(bench.ops_series().RateAt(i) / 1000.0);
   }
+  double sum = 0;
+  for (double k : g_kops_series) {
+    sum += k;
+  }
+  exp.SetLabel("LineFS/replica_host_crash");
+  exp.AddScalar("throughput_kops_per_sec",
+                g_kops_series.empty() ? 0 : sum / static_cast<double>(g_kops_series.size()));
+  exp.AddScalar("went_isolated", g_went_isolated ? 1 : 0);
+  exp.AddScalar("resumed_host_mode", g_returned ? 1 : 0);
 }
 
 void BM_Fig10(benchmark::State& state) {
@@ -102,5 +111,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   linefs::bench::PrintTable();
-  return 0;
+  return linefs::bench::WriteBenchReport("fig10_availability");
 }

@@ -63,7 +63,11 @@ double RunConfig(core::DfsMode mode, bool busy, int clients) {
   }
   exp.RunAll(std::move(tasks));
   sim::Time elapsed = exp.engine().Now() - start;
-  return static_cast<double>(kBytesPerClient) * clients / sim::ToSeconds(elapsed);
+  double tput = static_cast<double>(kBytesPerClient) * clients / sim::ToSeconds(elapsed);
+  exp.SetLabel(std::string(core::DfsModeName(mode)) + (busy ? "/busy/" : "/idle/") +
+               std::to_string(clients) + "clients");
+  exp.AddScalar("throughput_bytes_per_sec", tput);
+  return tput;
 }
 
 void BM_Fig4(benchmark::State& state) {
@@ -107,5 +111,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   linefs::bench::PrintTable();
-  return 0;
+  return linefs::bench::WriteBenchReport("fig4_throughput");
 }

@@ -36,13 +36,19 @@ Breakdown Run() {
   exp.RunAll(std::move(tasks));
   exp.Drain(10 * sim::kSecond);
 
-  core::NicFs::Stats& stats = exp.cluster().nicfs(0)->stats();
+  core::NicFs::StatsSnapshot stats = exp.cluster().nicfs(0)->stats();
   Breakdown b;
-  b.fetch_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_fetch.Mean()));
-  b.validate_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_validate.Mean()));
-  b.publish_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_publish.Mean()));
-  b.transfer_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_transfer.Mean()));
-  b.ack_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_ack.Mean()));
+  b.fetch_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_fetch.mean));
+  b.validate_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_validate.mean));
+  b.publish_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_publish.mean));
+  b.transfer_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_transfer.mean));
+  b.ack_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_ack.mean));
+  exp.SetLabel("LineFS/pipeline_breakdown");
+  exp.AddScalar("fetch_us", b.fetch_us);
+  exp.AddScalar("validate_us", b.validate_us);
+  exp.AddScalar("publish_us", b.publish_us);
+  exp.AddScalar("transfer_us", b.transfer_us);
+  exp.AddScalar("ack_us", b.ack_us);
   return b;
 }
 
@@ -79,5 +85,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   linefs::bench::PrintTable();
-  return 0;
+  return linefs::bench::WriteBenchReport("fig5_pipeline");
 }

@@ -58,6 +58,10 @@ Row RunConfig(core::DfsMode mode) {
   row.dfs_tput = 2.0 * kBytesPerClient / sim::ToSeconds(dfs_elapsed);
   row.sc_primary_s = sim::ToSeconds(jobs[0]->elapsed());
   row.sc_replica_s = sim::ToSeconds(jobs[1]->elapsed());
+  exp.SetLabel(std::string(core::DfsModeName(mode)) + "/consolidated");
+  exp.AddScalar("throughput_bytes_per_sec", row.dfs_tput);
+  exp.AddScalar("sc_primary_s", row.sc_primary_s);
+  exp.AddScalar("sc_replica_s", row.sc_replica_s);
   return row;
 }
 
@@ -80,6 +84,8 @@ void BM_Fig6_Solo(benchmark::State& state) {
         exp.StartStreamcluster({0}, CoRunnerOptions());
     exp.Drain(60 * sim::kSecond);
     g_solo_s = sim::ToSeconds(jobs[0]->elapsed());
+    exp.SetLabel("streamcluster/solo");
+    exp.AddScalar("solo_s", g_solo_s);
   }
   state.counters["solo_s"] = g_solo_s;
 }
@@ -106,5 +112,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   linefs::bench::PrintTable();
-  return 0;
+  return linefs::bench::WriteBenchReport("fig6_interference");
 }

@@ -57,6 +57,9 @@ Row RunConfig(core::PublishMethod method) {
   Row row;
   row.tput = 4.0 * kBytesPerClient / sim::ToSeconds(dfs_elapsed);
   row.sc_s = sim::ToSeconds(jobs[0]->elapsed());  // Primary-node co-runner.
+  exp.SetLabel(core::PublishMethodName(method));
+  exp.AddScalar("throughput_bytes_per_sec", row.tput);
+  exp.AddScalar("sc_primary_s", row.sc_s);
   return row;
 }
 
@@ -89,5 +92,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   linefs::bench::PrintTable();
-  return 0;
+  return linefs::bench::WriteBenchReport("fig7_copy_methods");
 }

@@ -61,6 +61,8 @@ double RunOne(core::DfsMode mode, int workload) {
     *out = result.AvgLatencyMicros();
   }(fs, workload, &latency_us));
   exp.RunAll(std::move(tasks));
+  exp.SetLabel(std::string(core::DfsModeName(mode)) + "/" + kWorkloads[workload]);
+  exp.AddScalar("avg_latency_us_per_op", latency_us);
   return latency_us;
 }
 
@@ -100,5 +102,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   linefs::bench::PrintTable();
-  return 0;
+  return linefs::bench::WriteBenchReport("fig8a_leveldb");
 }

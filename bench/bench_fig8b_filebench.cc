@@ -41,6 +41,10 @@ double RunOne(core::DfsMode mode, workloads::FilebenchProfile profile) {
     *out = bench.ops_per_second() / 1000.0;
   }(fs, profile, &kops));
   exp.RunAll(std::move(tasks));
+  exp.SetLabel(std::string(core::DfsModeName(mode)) +
+               (profile == workloads::FilebenchProfile::kFileserver ? "/fileserver"
+                                                                    : "/varmail"));
+  exp.AddScalar("throughput_kops_per_sec", kops);
   return kops;
 }
 
@@ -78,5 +82,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   linefs::bench::PrintTable();
-  return 0;
+  return linefs::bench::WriteBenchReport("fig8b_filebench");
 }

@@ -61,7 +61,7 @@ Row RunOne(bool compression, double zero_fraction) {
   exp.Drain(5 * sim::kSecond);
 
   if (compression) {
-    core::NicFs::Stats& stats = exp.cluster().nicfs(0)->stats();
+    core::NicFs::StatsSnapshot stats = exp.cluster().nicfs(0)->stats();
     row.wire_gb = static_cast<double>(stats.wire_bytes) / 1e9;
     row.saved_pct = stats.raw_repl_bytes > 0
                         ? 100.0 * (1.0 - static_cast<double>(stats.wire_bytes) /
@@ -75,6 +75,12 @@ Row RunOne(bool compression, double zero_fraction) {
   for (size_t i = 0; i < ts->bucket_count(); ++i) {
     row.bw_series.push_back(ts->RateAt(i) / 1e9);
   }
+  exp.SetLabel(compression
+                   ? "LineFS/zero" + std::to_string(static_cast<int>(zero_fraction * 100)) + "%"
+                   : "Assise/no_compression");
+  exp.AddScalar("runtime_s", row.runtime_s);
+  exp.AddScalar("wire_gb", row.wire_gb);
+  exp.AddScalar("net_saved_pct", row.saved_pct);
   return row;
 }
 
@@ -135,5 +141,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   linefs::bench::PrintTable();
-  return 0;
+  return linefs::bench::WriteBenchReport("fig9_compression");
 }

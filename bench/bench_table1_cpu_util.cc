@@ -55,6 +55,10 @@ Cell RunAssise(bool fast_net, int procs) {
   // Client (primary-node) CPU: LibFS+SharedFS+kworker busy time.
   sim::CpuPool& cpu = exp.cluster().hw_node(0).host_cpu();
   cell.cores = cpu.TotalBusySeconds() / sim::ToSeconds(elapsed);
+  exp.SetLabel(std::string("Assise/") + (fast_net ? "100GbE/" : "25GbE/") +
+               std::to_string(procs) + "procs");
+  exp.AddScalar("throughput_bytes_per_sec", cell.tput);
+  exp.AddScalar("client_cpu_cores", cell.cores);
   return cell;
 }
 
@@ -115,5 +119,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   linefs::bench::PrintTable();
-  return 0;
+  return linefs::bench::WriteBenchReport("table1_cpu_util");
 }

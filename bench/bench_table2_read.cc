@@ -40,6 +40,8 @@ double RunConfig(core::DfsMode mode, bool random) {
     *out = r.throughput();
   }(fs, random, &tput));
   e->RunAll(std::move(tasks));
+  exp.SetLabel(std::string(core::DfsModeName(mode)) + (random ? "/rand" : "/seq"));
+  exp.AddScalar("throughput_bytes_per_sec", tput);
   return tput;
 }
 
@@ -76,5 +78,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   linefs::bench::PrintTable();
-  return 0;
+  return linefs::bench::WriteBenchReport("table2_read");
 }

@@ -51,6 +51,10 @@ Row RunConfig(core::DfsMode mode, bool busy) {
   row.avg = recorder.Mean() / sim::kMicrosecond;
   row.p99 = sim::ToMicros(recorder.Percentile(99));
   row.p999 = sim::ToMicros(recorder.Percentile(99.9));
+  exp.SetLabel(std::string(core::DfsModeName(mode)) + (busy ? "/busy" : "/idle"));
+  exp.AddScalar("avg_latency_us", row.avg);
+  exp.AddScalar("p99_latency_us", row.p99);
+  exp.AddScalar("p999_latency_us", row.p999);
   return row;
 }
 
@@ -94,5 +98,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   linefs::bench::PrintTable();
-  return 0;
+  return linefs::bench::WriteBenchReport("table3_latency");
 }

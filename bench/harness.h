@@ -1,13 +1,16 @@
 // Shared benchmark harness: one simulated cluster per experiment, helpers to
-// run client tasks to completion, and paper-style table printing.
+// run client tasks to completion, paper-style table printing, and structured
+// JSON reporting (every bench binary writes BENCH_<name>.json on exit).
 
 #ifndef BENCH_HARNESS_H_
 #define BENCH_HARNESS_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/cluster.h"
@@ -15,9 +18,40 @@
 #include "src/core/libfs.h"
 #include "src/core/nicfs.h"
 #include "src/core/sharedfs.h"
+#include "src/obs/report.h"
 #include "src/workloads/streamcluster.h"
 
 namespace linefs::bench {
+
+// Process-wide accumulator for the structured bench report. Every Experiment
+// appends one run (label, scalars, metric snapshot) on destruction; the
+// bench's main() calls WriteBenchReport("<name>") to emit BENCH_<name>.json.
+class BenchReport {
+ public:
+  static BenchReport& Get() {
+    static BenchReport report;
+    return report;
+  }
+
+  void AddRun(obs::BenchRun run) { data_.runs.push_back(std::move(run)); }
+
+  // Writes BENCH_<name>.json into $LINEFS_BENCH_DIR (default "."). Returns a
+  // process exit code so main() can `return WriteBenchReport(...)`.
+  int Write(const std::string& name) {
+    data_.name = name;
+    const char* dir = std::getenv("LINEFS_BENCH_DIR");
+    Status st = obs::WriteBenchJson(data_, dir != nullptr ? dir : ".");
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench: failed to write BENCH_%s.json: %s\n", name.c_str(),
+                   st.message().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  obs::BenchReportData data_;
+};
 
 // Benchmark-scale configuration: payload bytes elided (simulated time is
 // unaffected), capacities scaled (see DESIGN.md).
@@ -37,11 +71,31 @@ class Experiment {
  public:
   explicit Experiment(const core::DfsConfig& config) {
     cluster_ = std::make_unique<core::Cluster>(&engine_, config);
-    cluster_->Start();
+    Status st = cluster_->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench: invalid config: %s\n", st.message().c_str());
+      std::abort();
+    }
   }
   ~Experiment() {
     cluster_->Shutdown();
     engine_.Run();
+    run_.metrics = cluster_->metrics().TakeSnapshot();
+    BenchReport::Get().AddRun(std::move(run_));
+    // Optional structured trace capture: export the last experiment's pipeline
+    // spans as Chrome trace_event JSON (chrome://tracing, Perfetto).
+    if (const char* path = std::getenv("LINEFS_TRACE_JSON")) {
+      if (!cluster_->trace().WriteChromeJson(path)) {
+        std::fprintf(stderr, "bench: cannot write trace to %s\n", path);
+      }
+    }
+  }
+
+  // Labels this run in the JSON report (e.g. "LineFS/busy/4clients").
+  void SetLabel(std::string label) { run_.label = std::move(label); }
+  // Records a bench-specific scalar (throughput, latency, ...) for this run.
+  void AddScalar(const std::string& name, double value) {
+    run_.scalars.emplace_back(name, value);
   }
 
   core::Cluster& cluster() { return *cluster_; }
@@ -86,7 +140,11 @@ class Experiment {
   sim::Engine engine_;
   std::unique_ptr<core::Cluster> cluster_;
   std::vector<std::unique_ptr<workloads::Streamcluster>> co_runners_;
+  obs::BenchRun run_;  // Filled during the run, flushed to BenchReport on destruction.
 };
+
+// Convenience for bench main(): flush the report and return an exit code.
+inline int WriteBenchReport(const std::string& name) { return BenchReport::Get().Write(name); }
 
 // Streamcluster options matching the §5 co-runner: 48 threads, all cores,
 // solo runtime scaled to ~8 simulated seconds (the paper's is ~26s; the

@@ -5,6 +5,7 @@
 //
 //   ./examples/compress_replication
 
+#include <cassert>
 #include <cstdio>
 #include <vector>
 
@@ -29,7 +30,9 @@ double RunWithZeroFraction(double zero_fraction) {
   config.compression = true;        // Enable the compression pipeline stage.
   config.materialize_data = true;   // The codec needs real bytes.
   core::Cluster cluster(&engine, config);
-  cluster.Start();
+  Status start_st = cluster.Start();
+  assert(start_st.ok());
+  (void)start_st;
   core::LibFs* fs = cluster.CreateClient(0);
 
   // Generate data with the requested fraction of zero bytes (the Fig. 9 knob).
@@ -72,7 +75,7 @@ double RunWithZeroFraction(double zero_fraction) {
     intact = r.ok() && out == data;
   }
 
-  core::NicFs::Stats& stats = cluster.nicfs(0)->stats();
+  core::NicFs::StatsSnapshot stats = cluster.nicfs(0)->stats();
   double saved = stats.raw_repl_bytes > 0
                      ? 100.0 * (1.0 - static_cast<double>(stats.wire_bytes) /
                                           static_cast<double>(stats.raw_repl_bytes))

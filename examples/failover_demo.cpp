@@ -8,6 +8,7 @@
 //
 //   ./examples/failover_demo
 
+#include <cassert>
 #include <cstdio>
 #include <vector>
 
@@ -27,7 +28,9 @@ int main() {
   config.log_size = 16ULL << 20;
   config.chunk_size = 1ULL << 20;
   core::Cluster cluster(&engine, config);
-  cluster.Start();
+  Status start_st = cluster.Start();
+  assert(start_st.ok());
+  (void)start_st;
   core::LibFs* fs = cluster.CreateClient(0);
 
   // Fault injector: crash replica-1's host at t=2s, recover at t=5s.
@@ -91,7 +94,7 @@ int main() {
 
   while (!done && engine.RunOne()) {
   }
-  core::NicFs::Stats& stats = cluster.nicfs(1)->stats();
+  core::NicFs::StatsSnapshot stats = cluster.nicfs(1)->stats();
   std::printf("[nicfs1] isolated-mode publications during the crash window: %llu\n",
               static_cast<unsigned long long>(stats.isolated_publishes));
   cluster.Shutdown();

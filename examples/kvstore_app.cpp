@@ -4,6 +4,7 @@
 //
 //   ./examples/kvstore_app
 
+#include <cassert>
 #include <cstdio>
 
 #include "src/core/cluster.h"
@@ -31,7 +32,9 @@ RunStats RunOn(core::DfsMode mode) {
   config.chunk_size = 2ULL << 20;
   config.host_fs_priority = sim::Priority::kHigh;
   core::Cluster cluster(&engine, config);
-  cluster.Start();
+  Status start_st = cluster.Start();
+  assert(start_st.ok());
+  (void)start_st;
   core::LibFs* fs = cluster.CreateClient(0);
 
   // Busy replicas (the paper's §5.3 condition): CPU-hungry co-tenants on both

@@ -4,6 +4,7 @@
 //
 //   ./examples/quickstart
 
+#include <cassert>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -27,7 +28,9 @@ int main() {
   config.chunk_size = 1ULL << 20;
 
   core::Cluster cluster(&engine, config);
-  cluster.Start();
+  Status start_st = cluster.Start();
+  assert(start_st.ok());
+  (void)start_st;
 
   // 2) Create a client process (LibFS) on the primary node and run an
   // application task against it.
@@ -83,7 +86,7 @@ int main() {
     }
   }
 
-  core::NicFs::Stats& stats = cluster.nicfs(0)->stats();
+  core::NicFs::StatsSnapshot stats = cluster.nicfs(0)->stats();
   std::printf("[pipeline] primary NICFS: %llu chunks fetched, %llu transferred, "
               "%llu wire bytes\n",
               static_cast<unsigned long long>(stats.chunks_fetched),

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 build + test cycle (ROADMAP.md), plus an
+# optional ASan+UBSan pass.
+#
+#   scripts/check.sh          # tier-1: configure, build, ctest
+#   scripts/check.sh --asan   # additionally build + test with ASan/UBSan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local dir=$1
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$(nproc)"
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+echo "=== tier-1: build + ctest (build/) ==="
+run_suite build
+
+if [[ "${1:-}" == "--asan" ]]; then
+  echo "=== sanitizers: ASan+UBSan build + ctest (build-asan/) ==="
+  run_suite build-asan -DLINEFS_SANITIZE=ON
+fi
+
+echo "check.sh: all green"

@@ -46,6 +46,10 @@ Cluster::Cluster(sim::Engine* engine, const DfsConfig& config)
     : engine_(engine), config_(config) {
   config_.node_params.host.pm_size = config_.pm_size;
 
+  metrics_ = std::make_unique<obs::MetricsRegistry>();
+  trace_ = std::make_unique<obs::TraceBuffer>(engine_);
+  profiler_ = std::make_unique<obs::PipelineProfiler>(engine_);
+
   fabric_ = std::make_unique<hw::Fabric>(engine_);
   std::vector<hw::Node*> raw_nodes;
   for (int i = 0; i < config_.num_nodes; ++i) {
@@ -62,8 +66,8 @@ Cluster::Cluster(sim::Engine* engine, const DfsConfig& config)
   }
   if (config_.IsLineFs()) {
     for (int i = 0; i < config_.num_nodes; ++i) {
-      kworkers_.push_back(
-          std::make_unique<KernelWorker>(dfs_nodes_[i].get(), &config_, rpc_.get()));
+      kworkers_.push_back(std::make_unique<KernelWorker>(dfs_nodes_[i].get(), &config_,
+                                                         rpc_.get(), metrics_.get()));
     }
     for (int i = 0; i < config_.num_nodes; ++i) {
       nicfs_.push_back(std::make_unique<NicFs>(this, dfs_nodes_[i].get(), kworkers_[i].get(),
@@ -79,8 +83,12 @@ Cluster::Cluster(sim::Engine* engine, const DfsConfig& config)
 
 Cluster::~Cluster() = default;
 
-void Cluster::Start() {
+Status Cluster::Start() {
   assert(!started_);
+  Status valid = config_.Validate();
+  if (!valid.ok()) {
+    return valid;
+  }
   started_ = true;
   for (auto& kw : kworkers_) {
     kw->Start();
@@ -92,9 +100,12 @@ void Cluster::Start() {
     fs->Start();
   }
   manager_->Start();
+  profiler_->Start();
+  return Status::Ok();
 }
 
 void Cluster::Shutdown() {
+  profiler_->Stop();
   manager_->Shutdown();
   for (auto& fs : nicfs_) {
     fs->Shutdown();

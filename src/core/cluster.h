@@ -14,6 +14,9 @@
 #include "src/core/dfs_node.h"
 #include "src/hw/fabric.h"
 #include "src/hw/node.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
 #include "src/rdma/rdma.h"
 #include "src/rdma/rpc.h"
 #include "src/sim/engine.h"
@@ -40,8 +43,9 @@ class Cluster {
   Cluster(sim::Engine* engine, const DfsConfig& config);
   ~Cluster();
 
-  // Builds hardware, services, and the cluster manager; starts service loops.
-  void Start();
+  // Validates the config and starts service loops (services and hardware are
+  // built by the constructor). Refuses to boot on an invalid config.
+  Status Start();
 
   // Stops heartbeats, monitors, and pipelines so Engine::Run() can drain.
   void Shutdown();
@@ -56,14 +60,27 @@ class Cluster {
   rdma::Network& net() { return *net_; }
   rdma::RpcSystem& rpc() { return *rpc_; }
 
-  NicFs* nicfs(int id) { return nicfs_.size() > static_cast<size_t>(id) ? nicfs_[id].get() : nullptr; }
+  // A negative id would wrap around the size_t comparison; guard it explicitly.
+  NicFs* nicfs(int id) {
+    return id >= 0 && static_cast<size_t>(id) < nicfs_.size() ? nicfs_[id].get() : nullptr;
+  }
   SharedFs* sharedfs(int id) {
-    return sharedfs_.size() > static_cast<size_t>(id) ? sharedfs_[id].get() : nullptr;
+    return id >= 0 && static_cast<size_t>(id) < sharedfs_.size() ? sharedfs_[id].get()
+                                                                 : nullptr;
   }
   KernelWorker* kworker(int id) {
-    return kworkers_.size() > static_cast<size_t>(id) ? kworkers_[id].get() : nullptr;
+    return id >= 0 && static_cast<size_t>(id) < kworkers_.size() ? kworkers_[id].get()
+                                                                 : nullptr;
   }
   ClusterManager& manager() { return *manager_; }
+
+  // --- Observability (metrics registry, trace ring, pipeline profiler) ---------
+
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+  obs::TraceBuffer& trace() { return *trace_; }
+  const obs::TraceBuffer& trace() const { return *trace_; }
+  obs::PipelineProfiler& profiler() { return *profiler_; }
 
   // Creates a LibFS client process on `node_id` (clients get globally unique
   // ids; at most config.max_clients per node).
@@ -98,6 +115,11 @@ class Cluster {
  private:
   sim::Engine* engine_;
   DfsConfig config_;
+  // Declared before the services so metrics outlive the components that
+  // reference them during destruction.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::TraceBuffer> trace_;
+  std::unique_ptr<obs::PipelineProfiler> profiler_;
   std::vector<std::unique_ptr<hw::Node>> hw_nodes_;
   std::vector<std::unique_ptr<DfsNode>> dfs_nodes_;
   std::unique_ptr<hw::Fabric> fabric_;

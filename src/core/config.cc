@@ -1,0 +1,91 @@
+#include "src/core/config.h"
+
+#include <string>
+
+namespace linefs::core {
+
+namespace {
+
+Status Invalid(const std::string& message) {
+  return Status::Error(ErrorCode::kInvalid, "DfsConfig: " + message);
+}
+
+}  // namespace
+
+Status DfsConfig::Validate() const {
+  if (num_nodes < 1) {
+    return Invalid("num_nodes must be >= 1, got " + std::to_string(num_nodes));
+  }
+  if (max_clients < 1) {
+    return Invalid("max_clients must be >= 1, got " + std::to_string(max_clients));
+  }
+  if (chunk_size == 0) {
+    return Invalid("chunk_size must be > 0");
+  }
+  if (log_size == 0) {
+    return Invalid("log_size must be > 0");
+  }
+  if (log_size < chunk_size) {
+    return Invalid("log_size (" + std::to_string(log_size) + ") must hold at least one chunk (" +
+                   std::to_string(chunk_size) + ")");
+  }
+  if (pm_size == 0) {
+    return Invalid("pm_size must be > 0");
+  }
+  if (inode_count == 0) {
+    return Invalid("inode_count must be > 0");
+  }
+  if (!(mem_high_watermark > 0.0 && mem_high_watermark < 1.0)) {
+    return Invalid("mem_high_watermark must be in (0,1), got " +
+                   std::to_string(mem_high_watermark));
+  }
+  if (!(mem_low_watermark > 0.0 && mem_low_watermark < 1.0)) {
+    return Invalid("mem_low_watermark must be in (0,1), got " +
+                   std::to_string(mem_low_watermark));
+  }
+  if (mem_low_watermark >= mem_high_watermark) {
+    return Invalid("mem_low_watermark (" + std::to_string(mem_low_watermark) +
+                   ") must be below mem_high_watermark (" +
+                   std::to_string(mem_high_watermark) + ")");
+  }
+  if (max_stage_workers < 1) {
+    return Invalid("max_stage_workers must be >= 1, got " +
+                   std::to_string(max_stage_workers));
+  }
+  if (stage_queue_threshold < 1) {
+    return Invalid("stage_queue_threshold must be >= 1, got " +
+                   std::to_string(stage_queue_threshold));
+  }
+  if (compression_threads < 1) {
+    return Invalid("compression_threads must be >= 1, got " +
+                   std::to_string(compression_threads));
+  }
+  if (bg_repl_threads < 1) {
+    return Invalid("bg_repl_threads must be >= 1, got " + std::to_string(bg_repl_threads));
+  }
+  if (hyperloop_prepost_batch < 1) {
+    return Invalid("hyperloop_prepost_batch must be >= 1, got " +
+                   std::to_string(hyperloop_prepost_batch));
+  }
+  if (kworker_check_interval <= 0) {
+    return Invalid("kworker_check_interval must be positive");
+  }
+  if (kworker_rpc_timeout <= 0) {
+    return Invalid("kworker_rpc_timeout must be positive");
+  }
+  if (heartbeat_interval <= 0) {
+    return Invalid("heartbeat_interval must be positive");
+  }
+  if (heartbeat_timeout <= 0) {
+    return Invalid("heartbeat_timeout must be positive");
+  }
+  if (heartbeat_timeout < heartbeat_interval) {
+    return Invalid("heartbeat_timeout must be >= heartbeat_interval");
+  }
+  if (lease_duration <= 0) {
+    return Invalid("lease_duration must be positive");
+  }
+  return Status::Ok();
+}
+
+}  // namespace linefs::core

@@ -9,6 +9,7 @@
 
 #include "src/fslib/types.h"
 #include "src/hw/params.h"
+#include "src/sim/result.h"
 #include "src/sim/time.h"
 
 namespace linefs::core {
@@ -98,6 +99,11 @@ struct DfsConfig {
     return mode == DfsMode::kLineFS || mode == DfsMode::kLineFSNotParallel;
   }
   bool pipeline_parallel() const { return mode == DfsMode::kLineFS; }
+
+  // Range-checks every knob (watermarks ordered and in (0,1), num_nodes >= 1,
+  // chunk_size > 0, positive timeouts, ...). Cluster::Start() refuses to boot
+  // on a failing config instead of silently misbehaving later.
+  Status Validate() const;
 };
 
 }  // namespace linefs::core

@@ -6,8 +6,13 @@
 
 namespace linefs::core {
 
-KernelWorker::KernelWorker(DfsNode* node, const DfsConfig* config, rdma::RpcSystem* rpc)
-    : node_(node), config_(config), rpc_(rpc), engine_(node->hw().engine()) {}
+KernelWorker::KernelWorker(DfsNode* node, const DfsConfig* config, rdma::RpcSystem* rpc,
+                           obs::MetricsRegistry* metrics)
+    : node_(node), config_(config), rpc_(rpc), engine_(node->hw().engine()) {
+  obs::MetricScope scope(metrics, "kworker." + std::to_string(node->id()));
+  copies_executed_ = scope.CounterAt("copies_executed");
+  bytes_copied_ = scope.CounterAt("bytes_copied");
+}
 
 void KernelWorker::Start() {
   hw::Node& hw = node_->hw();
@@ -61,8 +66,8 @@ sim::Task<Status> KernelWorker::ExecuteCopyList(const fslib::PublishPlan& plan) 
   }
   if (st.ok() && config_->publish_method != PublishMethod::kNoCopy) {
     node_->fs().ExecuteCopies(plan, config_->materialize_data);
-    ++copies_executed_;
-    bytes_copied_ += plan.copy_bytes;
+    copies_executed_->Increment();
+    bytes_copied_->Add(plan.copy_bytes);
   }
   co_return st;
 }

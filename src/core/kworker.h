@@ -12,6 +12,7 @@
 #include "src/core/config.h"
 #include "src/core/dfs_node.h"
 #include "src/core/messages.h"
+#include "src/obs/metrics.h"
 #include "src/rdma/rpc.h"
 #include "src/sim/task.h"
 
@@ -19,7 +20,8 @@ namespace linefs::core {
 
 class KernelWorker {
  public:
-  KernelWorker(DfsNode* node, const DfsConfig* config, rdma::RpcSystem* rpc);
+  KernelWorker(DfsNode* node, const DfsConfig* config, rdma::RpcSystem* rpc,
+               obs::MetricsRegistry* metrics);
 
   // Registers the RPC endpoint ("kworker/<id>").
   void Start();
@@ -36,8 +38,9 @@ class KernelWorker {
     return "kworker/" + std::to_string(node_id);
   }
 
-  uint64_t copies_executed() const { return copies_executed_; }
-  uint64_t bytes_copied() const { return bytes_copied_; }
+  // Value snapshots of the "kworker.<node>" registry counters.
+  uint64_t copies_executed() const { return copies_executed_->value(); }
+  uint64_t bytes_copied() const { return bytes_copied_->value(); }
 
  private:
   sim::Task<Status> CopyWithCpu(const fslib::PublishPlan& plan);
@@ -47,8 +50,8 @@ class KernelWorker {
   const DfsConfig* config_;
   rdma::RpcSystem* rpc_;
   sim::Engine* engine_;
-  uint64_t copies_executed_ = 0;
-  uint64_t bytes_copied_ = 0;
+  obs::Counter* copies_executed_;
+  obs::Counter* bytes_copied_;
 };
 
 }  // namespace linefs::core

@@ -48,7 +48,26 @@ class MutationGuard {
 }  // namespace
 
 LibFs::LibFs(Cluster* cluster, int node_id, int client_id)
-    : cluster_(cluster), node_id_(node_id), client_id_(client_id) {}
+    : cluster_(cluster), node_id_(node_id), client_id_(client_id) {
+  obs::MetricScope scope(&cluster->metrics(), "libfs." + std::to_string(client_id));
+  metrics_.ops = scope.CounterAt("ops");
+  metrics_.opens = scope.CounterAt("opens");
+  metrics_.fsyncs = scope.CounterAt("fsyncs");
+  metrics_.bytes_written = scope.CounterAt("bytes_written");
+  metrics_.bytes_read = scope.CounterAt("bytes_read");
+  metrics_.log_stall_waits = scope.CounterAt("log_stall_waits");
+}
+
+LibFs::Stats LibFs::stats() const {
+  Stats s;
+  s.ops = metrics_.ops->value();
+  s.opens = metrics_.opens->value();
+  s.fsyncs = metrics_.fsyncs->value();
+  s.bytes_written = metrics_.bytes_written->value();
+  s.bytes_read = metrics_.bytes_read->value();
+  s.log_stall_waits = metrics_.log_stall_waits->value();
+  return s;
+}
 
 void LibFs::Attach() {
   node_ = &cluster_->dfs_node(node_id_);
@@ -288,7 +307,7 @@ sim::Task<Status> LibFs::AppendEntry(fslib::LogEntryHeader header,
   hw::Node& hw = node_->hw();
   // Head-of-line blocking: wait for publication+replication to reclaim space.
   while (!log_->HasSpaceFor(header.payload_len)) {
-    ++stats_.log_stall_waits;
+    metrics_.log_stall_waits->Increment();
     KickService();
     co_await space_cv_->Wait();
   }
@@ -365,8 +384,8 @@ void LibFs::KickService() {
 // --- Open / close -----------------------------------------------------------------------
 
 sim::Task<Result<int>> LibFs::Open(const std::string& path, uint32_t flags, uint16_t mode) {
-  ++stats_.ops;
-  ++stats_.opens;
+  metrics_.ops->Increment();
+  metrics_.opens->Increment();
   if (Status up = CheckServiceUp(); !up.ok()) {
     co_return up;
   }
@@ -465,7 +484,7 @@ sim::Task<Result<int>> LibFs::Open(const std::string& path, uint32_t flags, uint
 }
 
 sim::Task<Status> LibFs::Close(int fd) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   if (fd < 0 || fd >= static_cast<int>(fds_.size()) || !fds_[fd].open) {
     co_return Status::Error(ErrorCode::kBadFd, "close");
   }
@@ -526,12 +545,12 @@ sim::Task<Result<uint64_t>> LibFs::WriteInternal(FdState* fd, std::span<const ui
     }
     done += n;
   }
-  stats_.bytes_written += len;
+  metrics_.bytes_written->Add(len);
   co_return len;
 }
 
 sim::Task<Result<uint64_t>> LibFs::Write(int fd, std::span<const uint8_t> data) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   if (fd < 0 || fd >= static_cast<int>(fds_.size()) || !fds_[fd].open) {
     co_return Status::Error(ErrorCode::kBadFd, "write");
   }
@@ -545,7 +564,7 @@ sim::Task<Result<uint64_t>> LibFs::Write(int fd, std::span<const uint8_t> data) 
 
 sim::Task<Result<uint64_t>> LibFs::Pwrite(int fd, std::span<const uint8_t> data,
                                           uint64_t offset) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   if (fd < 0 || fd >= static_cast<int>(fds_.size()) || !fds_[fd].open) {
     co_return Status::Error(ErrorCode::kBadFd, "pwrite");
   }
@@ -554,7 +573,7 @@ sim::Task<Result<uint64_t>> LibFs::Pwrite(int fd, std::span<const uint8_t> data,
 
 sim::Task<Result<uint64_t>> LibFs::PwriteGen(int fd, uint64_t len, uint64_t offset,
                                              uint8_t seed) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   if (fd < 0 || fd >= static_cast<int>(fds_.size()) || !fds_[fd].open) {
     co_return Status::Error(ErrorCode::kBadFd, "pwritegen");
   }
@@ -597,12 +616,12 @@ sim::Task<Result<uint64_t>> LibFs::ReadInternal(FdState* fd, std::span<uint8_t> 
       node_->hw().pm().Read(payload_off, window.data() + (start - offset), end - start);
     }
   }
-  stats_.bytes_read += len;
+  metrics_.bytes_read->Add(len);
   co_return len;
 }
 
 sim::Task<Result<uint64_t>> LibFs::Read(int fd, std::span<uint8_t> out) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   if (fd < 0 || fd >= static_cast<int>(fds_.size()) || !fds_[fd].open) {
     co_return Status::Error(ErrorCode::kBadFd, "read");
   }
@@ -615,7 +634,7 @@ sim::Task<Result<uint64_t>> LibFs::Read(int fd, std::span<uint8_t> out) {
 }
 
 sim::Task<Result<uint64_t>> LibFs::Pread(int fd, std::span<uint8_t> out, uint64_t offset) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   if (fd < 0 || fd >= static_cast<int>(fds_.size()) || !fds_[fd].open) {
     co_return Status::Error(ErrorCode::kBadFd, "pread");
   }
@@ -625,8 +644,8 @@ sim::Task<Result<uint64_t>> LibFs::Pread(int fd, std::span<uint8_t> out, uint64_
 // --- fsync ----------------------------------------------------------------------------------
 
 sim::Task<Status> LibFs::Fsync(int fd) {
-  ++stats_.ops;
-  ++stats_.fsyncs;
+  metrics_.ops->Increment();
+  metrics_.fsyncs->Increment();
   if (fd < 0 || fd >= static_cast<int>(fds_.size()) || !fds_[fd].open) {
     co_return Status::Error(ErrorCode::kBadFd, "fsync");
   }
@@ -659,7 +678,7 @@ sim::Task<Status> LibFs::Fsync(int fd) {
 // --- Namespace ops ----------------------------------------------------------------------------
 
 sim::Task<Status> LibFs::Mkdir(const std::string& path, uint16_t mode) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   Result<std::pair<fslib::InodeNum, std::string>> parent = co_await ResolveParent(path);
   if (!parent.ok()) {
     co_return parent.status();
@@ -685,7 +704,7 @@ sim::Task<Status> LibFs::Mkdir(const std::string& path, uint16_t mode) {
 }
 
 sim::Task<Status> LibFs::Rmdir(const std::string& path) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   if (Status up = CheckServiceUp(); !up.ok()) {
     co_return up;
   }
@@ -722,7 +741,7 @@ sim::Task<Status> LibFs::Rmdir(const std::string& path) {
 }
 
 sim::Task<Status> LibFs::Unlink(const std::string& path) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   Result<std::pair<fslib::InodeNum, std::string>> parent = co_await ResolveParent(path);
   if (!parent.ok()) {
     co_return parent.status();
@@ -747,7 +766,7 @@ sim::Task<Status> LibFs::Unlink(const std::string& path) {
 }
 
 sim::Task<Status> LibFs::Rename(const std::string& from, const std::string& to) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   Result<std::pair<fslib::InodeNum, std::string>> src = co_await ResolveParent(from);
   if (!src.ok()) {
     co_return src.status();
@@ -781,7 +800,7 @@ sim::Task<Status> LibFs::Rename(const std::string& from, const std::string& to) 
 }
 
 sim::Task<Result<fslib::FileAttr>> LibFs::Stat(const std::string& path) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   Result<fslib::InodeNum> inum = co_await ResolvePath(path);
   if (!inum.ok()) {
     co_return inum.status();
@@ -804,7 +823,7 @@ sim::Task<Result<fslib::FileAttr>> LibFs::Stat(const std::string& path) {
 }
 
 sim::Task<Result<fslib::FileAttr>> LibFs::Fstat(int fd) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   if (fd < 0 || fd >= static_cast<int>(fds_.size()) || !fds_[fd].open) {
     co_return Status::Error(ErrorCode::kBadFd, "fstat");
   }
@@ -828,7 +847,7 @@ sim::Task<Result<fslib::FileAttr>> LibFs::Fstat(int fd) {
 }
 
 sim::Task<Status> LibFs::Access(const std::string& path, uint16_t perm) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   Result<fslib::FileAttr> attr = co_await Stat(path);
   if (!attr.ok()) {
     co_return attr.status();
@@ -840,7 +859,7 @@ sim::Task<Status> LibFs::Access(const std::string& path, uint16_t perm) {
 }
 
 sim::Task<Result<std::vector<std::string>>> LibFs::ReadDir(const std::string& path) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   Result<fslib::InodeNum> dir = co_await ResolvePath(path);
   if (!dir.ok()) {
     co_return dir.status();
@@ -867,7 +886,7 @@ sim::Task<Result<std::vector<std::string>>> LibFs::ReadDir(const std::string& pa
 }
 
 sim::Task<Status> LibFs::Ftruncate(int fd, uint64_t size) {
-  ++stats_.ops;
+  metrics_.ops->Increment();
   if (fd < 0 || fd >= static_cast<int>(fds_.size()) || !fds_[fd].open) {
     co_return Status::Error(ErrorCode::kBadFd, "ftruncate");
   }

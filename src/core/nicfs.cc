@@ -14,9 +14,88 @@ namespace {
 constexpr sim::Time kScalingCheckInterval = 2 * sim::kMillisecond;
 }  // namespace
 
+NicFs::Metrics::Metrics(const obs::MetricScope& scope)
+    : chunks_fetched(scope.CounterAt("chunks_fetched")),
+      bytes_fetched(scope.CounterAt("bytes_fetched")),
+      chunks_transferred(scope.CounterAt("chunks_transferred")),
+      wire_bytes(scope.CounterAt("wire_bytes")),
+      raw_repl_bytes(scope.CounterAt("raw_repl_bytes")),
+      coalesce_saved_bytes(scope.CounterAt("coalesce_saved_bytes")),
+      validation_failures(scope.CounterAt("validation_failures")),
+      compression_bypassed(scope.CounterAt("compression_bypassed")),
+      isolated_publishes(scope.CounterAt("isolated_publishes")),
+      flow_ctrl_stall_ns(scope.CounterAt("flow_ctrl_stall_ns")),
+      stage_fetch(scope.Sub("stage").HistogramAt("fetch")),
+      stage_validate(scope.Sub("stage").HistogramAt("validate")),
+      stage_compress(scope.Sub("stage").HistogramAt("compress")),
+      stage_publish(scope.Sub("stage").HistogramAt("publish")),
+      stage_transfer(scope.Sub("stage").HistogramAt("transfer")),
+      stage_ack(scope.Sub("stage").HistogramAt("ack")),
+      qdepth_validate(scope.Sub("qdepth").HistogramAt("validate")),
+      qdepth_compress(scope.Sub("qdepth").HistogramAt("compress")),
+      qdepth_transfer_rb(scope.Sub("qdepth").HistogramAt("transfer_rb")),
+      qdepth_publish_rb(scope.Sub("qdepth").HistogramAt("publish_rb")),
+      workers_validate(scope.Sub("workers").GaugeAt("validate")),
+      workers_compress(scope.Sub("workers").GaugeAt("compress")),
+      nic_mem_utilization(scope.GaugeAt("nic_mem_utilization")) {}
+
+NicFs::StatsSnapshot NicFs::stats() const {
+  StatsSnapshot s;
+  s.chunks_fetched = metrics_.chunks_fetched->value();
+  s.bytes_fetched = metrics_.bytes_fetched->value();
+  s.chunks_transferred = metrics_.chunks_transferred->value();
+  s.wire_bytes = metrics_.wire_bytes->value();
+  s.raw_repl_bytes = metrics_.raw_repl_bytes->value();
+  s.coalesce_saved_bytes = metrics_.coalesce_saved_bytes->value();
+  s.validation_failures = metrics_.validation_failures->value();
+  s.compression_bypassed = metrics_.compression_bypassed->value();
+  s.isolated_publishes = metrics_.isolated_publishes->value();
+  s.flow_ctrl_stall_ns = metrics_.flow_ctrl_stall_ns->value();
+  s.stage_fetch = metrics_.stage_fetch->Summarize();
+  s.stage_validate = metrics_.stage_validate->Summarize();
+  s.stage_compress = metrics_.stage_compress->Summarize();
+  s.stage_publish = metrics_.stage_publish->Summarize();
+  s.stage_transfer = metrics_.stage_transfer->Summarize();
+  s.stage_ack = metrics_.stage_ack->Summarize();
+  return s;
+}
+
+void NicFs::SampleObs() {
+  if (shutdown_) {
+    return;
+  }
+  size_t validate_depth = 0;
+  size_t compress_depth = 0;
+  size_t transfer_backlog = 0;
+  size_t publish_backlog = 0;
+  int validate_workers = 0;
+  int compress_workers = 0;
+  for (const auto& [client, pipe] : pipes_) {
+    validate_depth += pipe->validate_q.size();
+    compress_depth += pipe->compress_q.size();
+    transfer_backlog += pipe->transfer_rb.size();
+    publish_backlog += pipe->publish_rb.size();
+    validate_workers += pipe->validate_workers;
+    compress_workers += pipe->compress_workers;
+  }
+  for (const auto& [client, pipe] : replica_pipes_) {
+    publish_backlog += pipe->publish_rb.size();
+  }
+  metrics_.qdepth_validate->Record(static_cast<sim::Time>(validate_depth));
+  metrics_.qdepth_compress->Record(static_cast<sim::Time>(compress_depth));
+  metrics_.qdepth_transfer_rb->Record(static_cast<sim::Time>(transfer_backlog));
+  metrics_.qdepth_publish_rb->Record(static_cast<sim::Time>(publish_backlog));
+  metrics_.workers_validate->Set(validate_workers);
+  metrics_.workers_compress->Set(compress_workers);
+  metrics_.nic_mem_utilization->Set(node_->hw().nic().mem_utilization());
+}
+
 NicFs::NicFs(Cluster* cluster, DfsNode* node, KernelWorker* kworker, const DfsConfig* config)
     : cluster_(cluster), node_(node), kworker_(kworker), config_(config),
-      engine_(node->hw().engine()) {
+      engine_(node->hw().engine()),
+      component_("nicfs." + std::to_string(node->id())),
+      metrics_(obs::MetricScope(&cluster->metrics(), component_)),
+      trace_(&cluster->trace()) {
   LeaseManager::Context lease_ctx;
   lease_ctx.engine = engine_;
   lease_ctx.net = &cluster->net();
@@ -169,6 +248,10 @@ void NicFs::Start() {
         co_return resp;
       });
 
+  // The profiler starts after every service's Start() (Cluster::Start order),
+  // so registering here is race-free.
+  cluster_->profiler().AddSampler([this] { SampleObs(); });
+
   engine_->Spawn(KworkerMonitor());
 }
 
@@ -241,9 +324,12 @@ sim::Task<NicFs::ChunkPtr> NicFs::FetchOne(ClientPipe* pipe) {
   // until memory drains below the low watermark.
   hw::SmartNic& nic = node_->hw().nic();
   if (nic.mem_utilization() > config_->mem_high_watermark) {
+    sim::Time stall_start = engine_->Now();
     while (!shutdown_ && nic.mem_utilization() > config_->mem_low_watermark) {
       co_await nic.mem_released().Wait();
     }
+    metrics_.flow_ctrl_stall_ns->Add(
+        static_cast<uint64_t>(engine_->Now() - stall_start));
   }
   if (shutdown_) {
     co_return nullptr;
@@ -263,6 +349,7 @@ sim::Task<NicFs::ChunkPtr> NicFs::FetchOne(ClientPipe* pipe) {
   nic.ReserveMem(chunk->mem_reserved);
   pipe->fetch_upto = to;
 
+  obs::Span span(trace_, component_, "fetch", node_->id(), pipe->client, chunk->no);
   sim::Time t0 = engine_->Now();
   // One-sided RDMA read of the log range: host PM -> NIC memory across PCIe.
   co_await cluster_->net().Read(NicInitiator(chunk->urgent),
@@ -272,9 +359,10 @@ sim::Task<NicFs::ChunkPtr> NicFs::FetchOne(ClientPipe* pipe) {
   if (config_->materialize_data) {
     pipe->log->CopyRawOut(chunk->from, chunk->to, &chunk->image);
   }
-  stats_.stage_fetch.Record(engine_->Now() - t0);
-  ++stats_.chunks_fetched;
-  stats_.bytes_fetched += chunk->bytes();
+  span.End();
+  metrics_.stage_fetch->Record(engine_->Now() - t0);
+  metrics_.chunks_fetched->Increment();
+  metrics_.bytes_fetched->Add(chunk->bytes());
   co_return chunk;
 }
 
@@ -295,6 +383,7 @@ sim::Task<> NicFs::FetchLoop(ClientPipe* pipe) {
 // --- Validate stage (shared by both pipelines) ---------------------------------
 
 sim::Task<> NicFs::DoValidate(ClientPipe* pipe, ChunkPtr chunk) {
+  obs::Span span(trace_, component_, "validate", node_->id(), pipe->client, chunk->no);
   sim::Time t0 = engine_->Now();
   Result<std::vector<fslib::ParsedEntry>> parsed =
       config_->materialize_data
@@ -311,12 +400,12 @@ sim::Task<> NicFs::DoValidate(ClientPipe* pipe, ChunkPtr chunk) {
       cycles, chunk->urgent ? sim::Priority::kRealtime : sim::Priority::kNormal,
       node_->hw().nic().nicfs_account());
   if (!parsed.ok()) {
-    ++stats_.validation_failures;
+    metrics_.validation_failures->Increment();
     chunk->failed = true;
   } else {
     Status st = validator_->Validate(*parsed);
     if (!st.ok()) {
-      ++stats_.validation_failures;
+      metrics_.validation_failures->Increment();
       chunk->failed = true;
       std::fprintf(stderr, "nicfs[%d]: VALIDATION of client %d chunk %llu failed: %s\n",
                    node_->id(), chunk->client, (unsigned long long)chunk->no,
@@ -325,7 +414,7 @@ sim::Task<> NicFs::DoValidate(ClientPipe* pipe, ChunkPtr chunk) {
       chunk->entries = std::move(*parsed);
     }
   }
-  stats_.stage_validate.Record(engine_->Now() - t0);
+  metrics_.stage_validate->Record(engine_->Now() - t0);
 }
 
 sim::Task<> NicFs::ValidateWorker(ClientPipe* pipe) {
@@ -358,12 +447,14 @@ sim::Task<> NicFs::CompressWorker(ClientPipe* pipe) {
     // opportunistically disables it for queued chunks (§3.3.2).
     if (pipe->compress_q.size() > static_cast<size_t>(config_->stage_queue_threshold) &&
         pipe->compress_workers >= config_->max_stage_workers) {
-      ++stats_.compression_bypassed;
+      metrics_.compression_bypassed->Increment();
       uint64_t bypass_no = chunk->no;
       pipe->transfer_rb.Push(bypass_no, std::move(chunk));
       continue;
     }
     if (!chunk->failed && config_->materialize_data && !chunk->image.empty()) {
+      obs::Span span(trace_, component_, "compress", node_->id(), pipe->client, chunk->no);
+      sim::Time t0 = engine_->Now();
       // Parallel compression: the chunk is split across SmartNIC cores.
       uint64_t total_cycles = static_cast<uint64_t>(
           config_->fs_costs.compress_cycles_per_byte * static_cast<double>(chunk->bytes()));
@@ -378,6 +469,8 @@ sim::Task<> NicFs::CompressWorker(ClientPipe* pipe) {
       co_await sim::AwaitAll(engine_, std::move(shards));
       chunk->wire = compress::LzwCompress(chunk->image);
       chunk->wire_compressed = true;
+      span.End();
+      metrics_.stage_compress->Record(engine_->Now() - t0);
     }
     uint64_t chunk_no = chunk->no;
     pipe->transfer_rb.Push(chunk_no, std::move(chunk));
@@ -396,6 +489,7 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
     ReleaseChunk(chunk.get());
     co_return;
   }
+  obs::Span span(trace_, component_, "transfer", node_->id(), pipe->client, chunk->no);
   sim::Time t0 = engine_->Now();
   int next = chain[1];
   uint64_t wire_bytes = chunk->wire_compressed ? chunk->wire.size() : chunk->bytes();
@@ -434,10 +528,11 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
       EndpointName(next), chunk->urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
       kRpcReplChunk, msg);
   (void)ack;
-  ++stats_.chunks_transferred;
-  stats_.wire_bytes += wire_bytes;
-  stats_.raw_repl_bytes += chunk->bytes();
-  stats_.stage_transfer.Record(engine_->Now() - t0);
+  span.End();
+  metrics_.chunks_transferred->Increment();
+  metrics_.wire_bytes->Add(wire_bytes);
+  metrics_.raw_repl_bytes->Add(chunk->bytes());
+  metrics_.stage_transfer->Record(engine_->Now() - t0);
   chunk->transfer_done_at = engine_->Now();
   auto pending = pipe->pending_acks.find(chunk->no);
   if (pending != pipe->pending_acks.end()) {
@@ -460,12 +555,13 @@ sim::Task<> NicFs::TransferWorker(ClientPipe* pipe) {
 // --- Publish stage ---------------------------------------------------------------
 
 sim::Task<Status> NicFs::PublishChunk(PipeBase* pipe, ChunkPtr chunk) {
+  obs::Span span(trace_, component_, "publish", node_->id(), pipe->client, chunk->no);
   sim::Time t0 = engine_->Now();
   Status result = Status::Ok();
   if (!chunk->failed) {
     std::vector<fslib::ParsedEntry> to_publish = chunk->entries;
     if (config_->coalescing) {
-      stats_.coalesce_saved_bytes += fslib::CoalesceEntries(&to_publish);
+      metrics_.coalesce_saved_bytes->Add(fslib::CoalesceEntries(&to_publish));
     }
     uint64_t n = to_publish.size();
     co_await node_->hw().nic().cpu().RunCycles(config_->fs_costs.publish_entry_cycles * n,
@@ -497,7 +593,7 @@ sim::Task<Status> NicFs::PublishChunk(PipeBase* pipe, ChunkPtr chunk) {
         // Isolated NICFS operation: the SmartNIC itself moves the data with
         // RDMA across PCIe (read the log bytes up, write the public blocks
         // down) — slower, but host-OS-independent.
-        ++stats_.isolated_publishes;
+        metrics_.isolated_publishes->Increment();
         uint64_t bytes = plan->copy_bytes;
         co_await node_->hw().nic().pcie_h2n().Transfer(bytes);
         co_await node_->hw().nic().pcie_n2h().Transfer(bytes);
@@ -532,7 +628,8 @@ sim::Task<Status> NicFs::PublishChunk(PipeBase* pipe, ChunkPtr chunk) {
   if (pipe->on_published) {
     pipe->on_published(pipe->published_upto);
   }
-  stats_.stage_publish.Record(engine_->Now() - t0);
+  span.End();
+  metrics_.stage_publish->Record(engine_->Now() - t0);
   if (pipe->as_client != nullptr) {
     TryReclaim(pipe->as_client);
   }
@@ -788,7 +885,10 @@ void NicFs::HandleReplAck(const ReplAckMsg& msg) {
       break;
     }
     if (first->second.transfer_done > 0) {
-      stats_.stage_ack.Record(engine_->Now() - first->second.transfer_done);
+      metrics_.stage_ack->Record(engine_->Now() - first->second.transfer_done);
+      trace_->Record(obs::TraceEvent{component_, "ack", node_->id(), pipe->client,
+                                     first->first, first->second.transfer_done,
+                                     engine_->Now()});
     }
     pipe->replicated_upto = std::max(pipe->replicated_upto, first->second.to);
     pipe->pending_acks.erase(first);

@@ -30,6 +30,8 @@
 #include "src/core/lease.h"
 #include "src/core/messages.h"
 #include "src/fslib/validate.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rdma/rpc.h"
 #include "src/sim/queue.h"
 #include "src/sim/stats.h"
@@ -75,8 +77,13 @@ class NicFs {
   sim::Task<Result<uint64_t>> Recover(int peer);
 
   // --- Statistics ------------------------------------------------------------
+  //
+  // Live counters and stage histograms are owned by the cluster's
+  // MetricsRegistry under the "nicfs.<node>" scope (see DESIGN.md,
+  // "Observability"). stats() returns a point-in-time value snapshot — callers
+  // can never mutate the live metrics through it.
 
-  struct Stats {
+  struct StatsSnapshot {
     uint64_t chunks_fetched = 0;
     uint64_t bytes_fetched = 0;
     uint64_t chunks_transferred = 0;
@@ -86,13 +93,15 @@ class NicFs {
     uint64_t validation_failures = 0;
     uint64_t compression_bypassed = 0;    // Chunks skipped when stage backlogged.
     uint64_t isolated_publishes = 0;
-    sim::LatencyRecorder stage_fetch;
-    sim::LatencyRecorder stage_validate;
-    sim::LatencyRecorder stage_publish;
-    sim::LatencyRecorder stage_transfer;
-    sim::LatencyRecorder stage_ack;
+    uint64_t flow_ctrl_stall_ns = 0;      // Fetch time lost to §4 watermark stalls.
+    obs::HistogramSummary stage_fetch;
+    obs::HistogramSummary stage_validate;
+    obs::HistogramSummary stage_compress;
+    obs::HistogramSummary stage_publish;
+    obs::HistogramSummary stage_transfer;
+    obs::HistogramSummary stage_ack;
   };
-  Stats& stats() { return stats_; }
+  StatsSnapshot stats() const;
 
  private:
   friend class Cluster;
@@ -176,6 +185,38 @@ class NicFs {
   sim::Task<> ScalingMonitor(ClientPipe* pipe);
   sim::Task<> KworkerMonitor();
 
+  // Registry-backed metric handles (hot-path increments stay pointer-cheap).
+  struct Metrics {
+    explicit Metrics(const obs::MetricScope& scope);
+    obs::Counter* chunks_fetched;
+    obs::Counter* bytes_fetched;
+    obs::Counter* chunks_transferred;
+    obs::Counter* wire_bytes;
+    obs::Counter* raw_repl_bytes;
+    obs::Counter* coalesce_saved_bytes;
+    obs::Counter* validation_failures;
+    obs::Counter* compression_bypassed;
+    obs::Counter* isolated_publishes;
+    obs::Counter* flow_ctrl_stall_ns;
+    obs::Histogram* stage_fetch;
+    obs::Histogram* stage_validate;
+    obs::Histogram* stage_compress;
+    obs::Histogram* stage_publish;
+    obs::Histogram* stage_transfer;
+    obs::Histogram* stage_ack;
+    // Profiler-sampled pipeline state.
+    obs::Histogram* qdepth_validate;
+    obs::Histogram* qdepth_compress;
+    obs::Histogram* qdepth_transfer_rb;
+    obs::Histogram* qdepth_publish_rb;
+    obs::Gauge* workers_validate;
+    obs::Gauge* workers_compress;
+    obs::Gauge* nic_mem_utilization;
+  };
+
+  // Profiler callback: samples queue depths, worker counts, and NIC memory.
+  void SampleObs();
+
   sim::Task<Status> PublishChunk(PipeBase* pipe, ChunkPtr chunk);
   sim::Task<> HandleReplChunk(ReplChunkMsg msg);
   sim::Task<> ForwardChunk(ReplChunkMsg msg, struct WirePayload payload,
@@ -206,7 +247,9 @@ class NicFs {
   bool shutdown_ = false;
   bool isolated_ = false;
   uint64_t epoch_ = 0;
-  Stats stats_;
+  std::string component_;  // "nicfs.<node>": metric scope and trace category.
+  Metrics metrics_;
+  obs::TraceBuffer* trace_;
 };
 
 }  // namespace linefs::core

@@ -31,6 +31,23 @@ SharedFs::SharedFs(Cluster* cluster, DfsNode* node, const DfsConfig* config)
   replica_validator_ = std::make_unique<fslib::Validator>(
       &node_->fs().inodes(), &node_->fs().dirs(),
       [](uint32_t, fslib::InodeNum) { return true; });
+
+  obs::MetricScope scope(&cluster->metrics(), "sharedfs." + std::to_string(node->id()));
+  metrics_.chunks_digested = scope.CounterAt("chunks_digested");
+  metrics_.bytes_digested = scope.CounterAt("bytes_digested");
+  metrics_.chunks_replicated = scope.CounterAt("chunks_replicated");
+  metrics_.bytes_replicated = scope.CounterAt("bytes_replicated");
+  metrics_.preposts = scope.CounterAt("preposts");
+}
+
+SharedFs::Stats SharedFs::stats() const {
+  Stats s;
+  s.chunks_digested = metrics_.chunks_digested->value();
+  s.bytes_digested = metrics_.bytes_digested->value();
+  s.chunks_replicated = metrics_.chunks_replicated->value();
+  s.bytes_replicated = metrics_.bytes_replicated->value();
+  s.preposts = metrics_.preposts->value();
+  return s;
 }
 
 SharedFs::~SharedFs() = default;
@@ -188,8 +205,8 @@ sim::Task<Status> SharedFs::DigestRange(fslib::LogArea* log, uint64_t from, uint
   if (!cst.ok()) {
     co_return cst;
   }
-  ++stats_.chunks_digested;
-  stats_.bytes_digested += bytes;
+  metrics_.chunks_digested->Increment();
+  metrics_.bytes_digested->Add(bytes);
   if (published_upto != nullptr) {
     *published_upto = std::max(*published_upto, to);
   }
@@ -315,8 +332,8 @@ sim::Task<Status> SharedFs::ReplicateRange(ClientState* state, uint64_t from, ui
     state->repl_mu.Unlock();
     co_return ack.status();
   }
-  ++stats_.chunks_replicated;
-  stats_.bytes_replicated += bytes;
+  metrics_.chunks_replicated->Increment();
+  metrics_.bytes_replicated->Add(bytes);
   state->replicated_upto = std::max(state->replicated_upto, to);
   state->repl_mu.Unlock();
   state->progress.NotifyAll();
@@ -337,7 +354,7 @@ sim::Task<Status> SharedFs::ReplicateHyperloop(ClientState* state, uint64_t from
   // delayed, which is what blows up the 99.9th percentile (Table 3).
   if (++hyperloop_ops_since_prepost_ >= static_cast<uint64_t>(config_->hyperloop_prepost_batch)) {
     hyperloop_ops_since_prepost_ = 0;
-    ++stats_.preposts;
+    metrics_.preposts->Increment();
     for (size_t hop = 1; hop < chain.size(); ++hop) {
       hw::Node& replica_hw = cluster_->hw_node(chain[hop]);
       co_await replica_hw.host_cpu().Run(2 * sim::kMillisecond, config_->host_fs_priority,
@@ -382,8 +399,8 @@ sim::Task<Status> SharedFs::ReplicateHyperloop(ClientState* state, uint64_t from
   // Final ACK travels back over the wire.
   co_await engine_->SleepFor(config_->node_params.nic.net_latency);
 
-  ++stats_.chunks_replicated;
-  stats_.bytes_replicated += bytes;
+  metrics_.chunks_replicated->Increment();
+  metrics_.bytes_replicated->Add(bytes);
   state->replicated_upto = std::max(state->replicated_upto, to);
   state->progress.NotifyAll();
   TryReclaim(state);

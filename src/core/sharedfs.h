@@ -30,6 +30,7 @@
 #include "src/core/lease.h"
 #include "src/core/messages.h"
 #include "src/fslib/validate.h"
+#include "src/obs/metrics.h"
 #include "src/rdma/rpc.h"
 #include "src/sim/queue.h"
 #include "src/sim/sync.h"
@@ -71,6 +72,8 @@ class SharedFs {
   uint64_t published_upto(int client) const;
   uint64_t replicated_upto(int client) const;
 
+  // Counters live in the cluster's MetricsRegistry under "sharedfs.<node>";
+  // stats() returns a value snapshot of them.
   struct Stats {
     uint64_t chunks_digested = 0;
     uint64_t bytes_digested = 0;
@@ -78,7 +81,7 @@ class SharedFs {
     uint64_t bytes_replicated = 0;
     uint64_t preposts = 0;  // Hyperloop verb-batch postings.
   };
-  Stats& stats() { return stats_; }
+  Stats stats() const;
 
  private:
   struct ClientState {
@@ -143,7 +146,16 @@ class SharedFs {
       bg_queues_;
   uint64_t hyperloop_ops_since_prepost_ = 0;
   bool shutdown_ = false;
-  Stats stats_;
+
+  // Registry-backed counters ("sharedfs.<node>" scope); minted in the ctor.
+  struct Metrics {
+    obs::Counter* chunks_digested = nullptr;
+    obs::Counter* bytes_digested = nullptr;
+    obs::Counter* chunks_replicated = nullptr;
+    obs::Counter* bytes_replicated = nullptr;
+    obs::Counter* preposts = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace linefs::core

@@ -1,0 +1,80 @@
+#include "src/obs/metrics.h"
+
+namespace linefs::obs {
+
+HistogramSummary Histogram::Summarize() const {
+  HistogramSummary s;
+  s.count = recorder_.count();
+  if (s.count == 0) {
+    return s;
+  }
+  s.mean = recorder_.Mean();
+  s.min = recorder_.Min();
+  s.max = recorder_.Max();
+  s.p50 = recorder_.Percentile(50);
+  s.p95 = recorder_.Percentile(95);
+  s.p99 = recorder_.Percentile(99);
+  return s;
+}
+
+namespace {
+
+template <typename Map, typename Metric>
+Metric* GetOrCreate(Map* map, std::string_view name) {
+  auto it = map->find(name);
+  if (it != map->end()) {
+    return it->second.get();
+  }
+  auto metric = std::make_unique<Metric>();
+  Metric* raw = metric.get();
+  map->emplace(std::string(name), std::move(metric));
+  return raw;
+}
+
+template <typename Map>
+auto Find(const Map& map, std::string_view name) -> decltype(map.begin()->second.get()) {
+  auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate<decltype(counters_), Counter>(&counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  return GetOrCreate<decltype(gauges_), Gauge>(&gauges_, name);
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetOrCreate<decltype(histograms_), Histogram>(&histograms_, name);
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  return Find(counters_, name);
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  return Find(gauges_, name);
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  return Find(histograms_, name);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Summarize();
+  }
+  return snap;
+}
+
+}  // namespace linefs::obs

@@ -1,0 +1,30 @@
+#include "src/obs/profiler.h"
+
+#include <utility>
+
+namespace linefs::obs {
+
+void PipelineProfiler::Start() {
+  if (samplers_.empty() || running_) {
+    return;
+  }
+  running_ = true;
+  stopped_ = false;
+  engine_->Spawn(Run());
+}
+
+sim::Task<> PipelineProfiler::Run() {
+  while (!stopped_) {
+    co_await engine_->SleepFor(interval_);
+    if (stopped_) {
+      break;
+    }
+    for (const auto& sampler : samplers_) {
+      sampler();
+    }
+    ++samples_taken_;
+  }
+  running_ = false;
+}
+
+}  // namespace linefs::obs

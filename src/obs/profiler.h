@@ -1,0 +1,55 @@
+// Pipeline profiler: a periodic sampler running as a simulation task.
+//
+// Components register sampling callbacks (NICFS samples its per-client stage
+// queue depths, reorder-buffer backlogs, worker counts, and NIC memory
+// utilization into registry histograms/gauges); the profiler invokes every
+// callback each interval until stopped. Sampling in simulated time means the
+// depth histograms weight backlog by how long it persisted, which is exactly
+// the §3.1 stage-scaling signal.
+
+#ifndef SRC_OBS_PROFILER_H_
+#define SRC_OBS_PROFILER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace linefs::obs {
+
+class PipelineProfiler {
+ public:
+  static constexpr sim::Time kDefaultInterval = 500 * sim::kMicrosecond;
+
+  explicit PipelineProfiler(sim::Engine* engine, sim::Time interval = kDefaultInterval)
+      : engine_(engine), interval_(interval <= 0 ? kDefaultInterval : interval) {}
+
+  // Registers a sampling callback. Must happen before Start().
+  void AddSampler(std::function<void()> sampler) { samplers_.push_back(std::move(sampler)); }
+
+  // Spawns the sampling loop (no-op without samplers).
+  void Start();
+
+  // Lets the loop exit at its next tick so the engine can drain.
+  void Stop() { stopped_ = true; }
+
+  bool running() const { return running_; }
+  uint64_t samples_taken() const { return samples_taken_; }
+  sim::Time interval() const { return interval_; }
+
+ private:
+  sim::Task<> Run();
+
+  sim::Engine* engine_;
+  sim::Time interval_;
+  std::vector<std::function<void()>> samplers_;
+  bool running_ = false;
+  bool stopped_ = false;
+  uint64_t samples_taken_ = 0;
+};
+
+}  // namespace linefs::obs
+
+#endif  // SRC_OBS_PROFILER_H_

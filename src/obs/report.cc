@@ -1,0 +1,91 @@
+#include "src/obs/report.h"
+
+#include <cstdio>
+
+namespace linefs::obs {
+
+namespace {
+
+JsonValue StageJson(const HistogramSummary& s) {
+  JsonValue v = JsonValue::Object();
+  v.Set("count", s.count);
+  v.Set("mean_us", s.mean / sim::kMicrosecond);
+  v.Set("min_us", sim::ToMicros(s.min));
+  v.Set("p50_us", sim::ToMicros(s.p50));
+  v.Set("p95_us", sim::ToMicros(s.p95));
+  v.Set("p99_us", sim::ToMicros(s.p99));
+  v.Set("max_us", sim::ToMicros(s.max));
+  return v;
+}
+
+JsonValue RawHistogramJson(const HistogramSummary& s) {
+  JsonValue v = JsonValue::Object();
+  v.Set("count", s.count);
+  v.Set("mean", s.mean);
+  v.Set("min", s.min);
+  v.Set("p50", s.p50);
+  v.Set("p95", s.p95);
+  v.Set("p99", s.p99);
+  v.Set("max", s.max);
+  return v;
+}
+
+}  // namespace
+
+JsonValue ReportJson(const BenchReportData& data) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", data.name);
+  doc.Set("schema_version", 1);
+  JsonValue runs = JsonValue::Array();
+  for (const BenchRun& run : data.runs) {
+    JsonValue r = JsonValue::Object();
+    r.Set("label", run.label);
+    JsonValue scalars = JsonValue::Object();
+    for (const auto& [key, value] : run.scalars) {
+      scalars.Set(key, value);
+    }
+    r.Set("scalars", std::move(scalars));
+    JsonValue stages = JsonValue::Object();
+    JsonValue histograms = JsonValue::Object();
+    for (const auto& [name, summary] : run.metrics.histograms) {
+      if (name.find(".stage.") != std::string::npos) {
+        stages.Set(name, StageJson(summary));
+      } else {
+        histograms.Set(name, RawHistogramJson(summary));
+      }
+    }
+    r.Set("stages", std::move(stages));
+    r.Set("histograms", std::move(histograms));
+    JsonValue counters = JsonValue::Object();
+    for (const auto& [name, value] : run.metrics.counters) {
+      counters.Set(name, value);
+    }
+    r.Set("counters", std::move(counters));
+    JsonValue gauges = JsonValue::Object();
+    for (const auto& [name, value] : run.metrics.gauges) {
+      gauges.Set(name, value);
+    }
+    r.Set("gauges", std::move(gauges));
+    runs.Append(std::move(r));
+  }
+  doc.Set("runs", std::move(runs));
+  return doc;
+}
+
+Status WriteBenchJson(const BenchReportData& data, const std::string& dir) {
+  std::string path = dir + "/BENCH_" + data.name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Error(ErrorCode::kIo, "cannot open " + path);
+  }
+  std::string json = ReportJson(data).Dump(2);
+  json += '\n';
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Error(ErrorCode::kIo, "short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace linefs::obs

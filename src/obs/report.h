@@ -1,0 +1,59 @@
+// JSON bench reporting: turns metric snapshots plus bench-specific scalars
+// into the BENCH_<name>.json files the experiment trajectory consumes.
+//
+// Schema (see DESIGN.md "Observability"):
+//   {
+//     "bench": "<name>",
+//     "schema_version": 1,
+//     "runs": [
+//       {
+//         "label": "<configuration label>",
+//         "scalars": {"throughput_bytes_per_sec": ..., ...},
+//         "stages": {
+//           "nicfs.0.stage.fetch": {"count": n, "mean_us": ..., "p50_us": ...,
+//                                    "p95_us": ..., "p99_us": ..., "max_us": ...},
+//           ...
+//         },
+//         "counters": {...},
+//         "gauges": {...}
+//       }, ...
+//     ]
+//   }
+//
+// Stage entries are every histogram whose name contains ".stage."; remaining
+// histograms (queue depths, op latencies) are exported under "histograms"
+// with raw-unit percentiles.
+
+#ifndef SRC_OBS_REPORT_H_
+#define SRC_OBS_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/sim/result.h"
+
+namespace linefs::obs {
+
+struct BenchRun {
+  std::string label;
+  std::vector<std::pair<std::string, double>> scalars;
+  MetricsRegistry::Snapshot metrics;
+};
+
+struct BenchReportData {
+  std::string name;
+  std::vector<BenchRun> runs;
+};
+
+// Builds the report document (exposed separately so tests can inspect it).
+JsonValue ReportJson(const BenchReportData& data);
+
+// Writes `ReportJson(data)` to "<dir>/BENCH_<name>.json".
+Status WriteBenchJson(const BenchReportData& data, const std::string& dir = ".");
+
+}  // namespace linefs::obs
+
+#endif  // SRC_OBS_REPORT_H_

@@ -1,0 +1,114 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/obs/json.h"
+
+namespace linefs::obs {
+
+TraceBuffer::TraceBuffer(sim::Engine* engine, size_t capacity)
+    : engine_(engine), capacity_(capacity == 0 ? 1 : capacity) {
+  events_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void TraceBuffer::Record(TraceEvent event) {
+  ++total_recorded_;
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+    return;
+  }
+  // Ring full: overwrite the oldest slot.
+  events_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void TraceBuffer::ForEach(const std::function<void(const TraceEvent&)>& fn) const {
+  for (size_t i = 0; i < events_.size(); ++i) {
+    fn(events_[(head_ + i) % events_.size()]);
+  }
+}
+
+void TraceBuffer::Clear() {
+  events_.clear();
+  head_ = 0;
+  dropped_ = 0;
+  total_recorded_ = 0;
+}
+
+std::string TraceBuffer::ToChromeJson() const {
+  // Streamed emission: a 64K-event buffer would be wasteful to round-trip
+  // through the JsonValue DOM.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  ForEach([&](const TraceEvent& e) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(e.stage);
+    out += "\",\"cat\":\"";
+    out += JsonEscape(e.component);
+    out += "\",\"ph\":\"X\"";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,"
+                  "\"args\":{\"chunk_no\":%llu}}",
+                  sim::ToMicros(e.begin), sim::ToMicros(e.end - e.begin), e.node, e.client,
+                  static_cast<unsigned long long>(e.chunk_no));
+    out += buf;
+  });
+  out += "]}";
+  return out;
+}
+
+bool TraceBuffer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string json = ToChromeJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+Span::Span(TraceBuffer* buffer, std::string component, std::string stage, int node,
+           int client, uint64_t chunk_no)
+    : buffer_(buffer) {
+  event_.component = std::move(component);
+  event_.stage = std::move(stage);
+  event_.node = node;
+  event_.client = client;
+  event_.chunk_no = chunk_no;
+  if (buffer_ != nullptr) {
+    event_.begin = buffer_->engine()->Now();
+  }
+}
+
+Span::Span(Span&& other) noexcept
+    : buffer_(std::exchange(other.buffer_, nullptr)), event_(std::move(other.event_)) {}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    buffer_ = std::exchange(other.buffer_, nullptr);
+    event_ = std::move(other.event_);
+  }
+  return *this;
+}
+
+Span::~Span() { End(); }
+
+void Span::End() {
+  if (buffer_ == nullptr) {
+    return;
+  }
+  event_.end = buffer_->engine()->Now();
+  buffer_->Record(std::move(event_));
+  buffer_ = nullptr;
+}
+
+}  // namespace linefs::obs

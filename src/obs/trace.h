@@ -1,0 +1,95 @@
+// Structured pipeline tracing: the machine-readable sibling of LFS_TRACE.
+//
+// Components record TraceEvents (component, stage, client, chunk, sim-time
+// begin/end) into a bounded ring buffer; when full, the oldest events are
+// overwritten so a long run keeps its most recent window. The buffer exports
+// Chrome trace_event JSON ("catapult" format): open chrome://tracing or
+// https://ui.perfetto.dev and load the file to see a whole pipeline run
+// (fetch -> validate -> compress -> transfer -> publish -> ack) on a
+// per-node, per-client timeline.
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace linefs::obs {
+
+struct TraceEvent {
+  std::string component;  // e.g. "nicfs.0"; becomes the trace category.
+  std::string stage;      // e.g. "fetch"; becomes the event name.
+  int node = 0;           // Chrome pid lane.
+  int client = 0;         // Chrome tid lane.
+  uint64_t chunk_no = 0;
+  sim::Time begin = 0;
+  sim::Time end = 0;
+};
+
+class TraceBuffer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceBuffer(sim::Engine* engine, size_t capacity = kDefaultCapacity);
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  void Record(TraceEvent event);
+
+  size_t size() const { return events_.size(); }
+  size_t capacity() const { return capacity_; }
+  // Events overwritten because the ring was full.
+  uint64_t dropped() const { return dropped_; }
+  uint64_t total_recorded() const { return total_recorded_; }
+  sim::Engine* engine() const { return engine_; }
+
+  // Visits retained events oldest-first.
+  void ForEach(const std::function<void(const TraceEvent&)>& fn) const;
+
+  void Clear();
+
+  // Chrome trace_event JSON (ts/dur in microseconds of simulated time).
+  std::string ToChromeJson() const;
+  // Returns false when the file cannot be opened for writing.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  sim::Engine* engine_;
+  size_t capacity_;
+  size_t head_ = 0;  // Index of the oldest event once the ring has wrapped.
+  uint64_t dropped_ = 0;
+  uint64_t total_recorded_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+// RAII span: stamps `begin` from the engine clock at construction and records
+// the event on End() (or destruction, if End() was never called). Move-only;
+// a moved-from span records nothing.
+class Span {
+ public:
+  Span() = default;
+  Span(TraceBuffer* buffer, std::string component, std::string stage, int node, int client,
+       uint64_t chunk_no);
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  void End();
+  bool active() const { return buffer_ != nullptr; }
+  sim::Time begin() const { return event_.begin; }
+
+ private:
+  TraceBuffer* buffer_ = nullptr;
+  TraceEvent event_;
+};
+
+}  // namespace linefs::obs
+
+#endif  // SRC_OBS_TRACE_H_

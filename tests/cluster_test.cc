@@ -37,7 +37,8 @@ class ClusterHarness {
  public:
   explicit ClusterHarness(const DfsConfig& config) {
     cluster_ = std::make_unique<Cluster>(&engine_, config);
-    cluster_->Start();
+    Status start_st = cluster_->Start();
+    EXPECT_TRUE(start_st.ok()) << start_st.ToString();
   }
 
   ~ClusterHarness() {
@@ -525,12 +526,12 @@ TEST(LineFsTest, PipelineStageStatsPopulated) {
     CO_ASSERT_OK((co_await fs->Fsync(*fd)));
   });
   harness.Drain(3 * sim::kSecond);
-  NicFs::Stats& stats = harness.cluster().nicfs(0)->stats();
+  NicFs::StatsSnapshot stats = harness.cluster().nicfs(0)->stats();
   EXPECT_GT(stats.chunks_fetched, 0u);
-  EXPECT_GT(stats.stage_fetch.count(), 0u);
-  EXPECT_GT(stats.stage_validate.count(), 0u);
-  EXPECT_GT(stats.stage_publish.count(), 0u);
-  EXPECT_GT(stats.stage_transfer.count(), 0u);
+  EXPECT_GT(stats.stage_fetch.count, 0u);
+  EXPECT_GT(stats.stage_validate.count, 0u);
+  EXPECT_GT(stats.stage_publish.count, 0u);
+  EXPECT_GT(stats.stage_transfer.count, 0u);
   EXPECT_EQ(stats.validation_failures, 0u);
 }
 

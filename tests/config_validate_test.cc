@@ -1,0 +1,160 @@
+// DfsConfig::Validate() rejects out-of-range configurations with a Status,
+// and Cluster::Start() refuses to boot with one.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/cluster.h"
+#include "src/core/config.h"
+#include "src/sim/engine.h"
+
+namespace linefs::core {
+namespace {
+
+DfsConfig SmallConfig() {
+  DfsConfig config;
+  config.num_nodes = 3;
+  config.pm_size = 64ULL << 20;
+  config.log_size = 4ULL << 20;
+  config.chunk_size = 256ULL << 10;
+  config.inode_count = 4096;
+  return config;
+}
+
+TEST(DfsConfigValidate, DefaultAndScaledConfigsAreValid) {
+  DfsConfig defaults;
+  EXPECT_TRUE(defaults.Validate().ok()) << defaults.Validate().ToString();
+  EXPECT_TRUE(SmallConfig().Validate().ok());
+}
+
+TEST(DfsConfigValidate, RejectsBadNodeAndClientCounts) {
+  DfsConfig config = SmallConfig();
+  config.num_nodes = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.num_nodes = -2;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.max_clients = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+}
+
+TEST(DfsConfigValidate, RejectsBadSizes) {
+  DfsConfig config = SmallConfig();
+  config.chunk_size = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.log_size = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  // A log smaller than one pipeline chunk can never form a work item.
+  config = SmallConfig();
+  config.log_size = config.chunk_size / 2;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.pm_size = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.inode_count = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+}
+
+TEST(DfsConfigValidate, RejectsBadWatermarks) {
+  DfsConfig config = SmallConfig();
+  config.mem_high_watermark = 1.2;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.mem_high_watermark = 0.0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.mem_low_watermark = -0.1;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  // Watermarks must be ordered low < high.
+  config = SmallConfig();
+  config.mem_low_watermark = 0.8;
+  config.mem_high_watermark = 0.5;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.mem_low_watermark = 0.5;
+  config.mem_high_watermark = 0.5;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+}
+
+TEST(DfsConfigValidate, RejectsBadWorkerCounts) {
+  DfsConfig config = SmallConfig();
+  config.max_stage_workers = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.stage_queue_threshold = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.compression_threads = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.bg_repl_threads = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.hyperloop_prepost_batch = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+}
+
+TEST(DfsConfigValidate, RejectsBadTimeouts) {
+  DfsConfig config = SmallConfig();
+  config.kworker_check_interval = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.kworker_rpc_timeout = -sim::kSecond;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.heartbeat_interval = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.heartbeat_timeout = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  // A timeout below the probe interval would declare every node dead.
+  config = SmallConfig();
+  config.heartbeat_timeout = config.heartbeat_interval / 2;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+  config = SmallConfig();
+  config.lease_duration = 0;
+  EXPECT_EQ(config.Validate().code(), ErrorCode::kInvalid);
+}
+
+TEST(DfsConfigValidate, ErrorsNameTheOffendingKnob) {
+  DfsConfig config = SmallConfig();
+  config.mem_high_watermark = 2.0;
+  Status st = config.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("mem_high_watermark"), std::string::npos) << st.ToString();
+}
+
+TEST(ClusterStart, RefusesInvalidConfig) {
+  sim::Engine engine;
+  DfsConfig config = SmallConfig();
+  config.mem_low_watermark = 0.9;
+  config.mem_high_watermark = 0.1;
+  Cluster cluster(&engine, config);
+  Status st = cluster.Start();
+  EXPECT_EQ(st.code(), ErrorCode::kInvalid);
+}
+
+TEST(ClusterStart, BootsValidConfigAndGuardsBadIds) {
+  sim::Engine engine;
+  Cluster cluster(&engine, SmallConfig());
+  Status st = cluster.Start();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // Out-of-range (including negative) service ids return nullptr, not UB.
+  EXPECT_NE(cluster.nicfs(0), nullptr);
+  EXPECT_EQ(cluster.nicfs(-1), nullptr);
+  EXPECT_EQ(cluster.nicfs(99), nullptr);
+  EXPECT_EQ(cluster.sharedfs(-1), nullptr);
+  EXPECT_EQ(cluster.sharedfs(0), nullptr);  // LineFS mode: no SharedFS.
+  EXPECT_NE(cluster.kworker(0), nullptr);
+  EXPECT_EQ(cluster.kworker(-1), nullptr);
+  EXPECT_EQ(cluster.kworker(99), nullptr);
+  cluster.Shutdown();
+  engine.Run();
+}
+
+}  // namespace
+}  // namespace linefs::core

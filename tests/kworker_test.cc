@@ -30,7 +30,8 @@ DfsConfig Config(PublishMethod method) {
 std::pair<double, uint64_t> RunWith(PublishMethod method) {
   sim::Engine engine;
   auto cluster = std::make_unique<Cluster>(&engine, Config(method));
-  cluster->Start();
+  Status start_st = cluster->Start();
+  EXPECT_TRUE(start_st.ok()) << start_st.ToString();
   LibFs* fs = cluster->CreateClient(0);
   bool done = false;
   engine.Spawn([](LibFs* fs, bool* done) -> sim::Task<> {

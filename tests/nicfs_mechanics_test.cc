@@ -30,7 +30,8 @@ class NicFsMechanicsTest : public ::testing::Test {
  protected:
   void Start(const DfsConfig& config) {
     cluster_ = std::make_unique<Cluster>(&engine_, config);
-    cluster_->Start();
+    Status start_st = cluster_->Start();
+    EXPECT_TRUE(start_st.ok()) << start_st.ToString();
   }
   void TearDown() override {
     if (cluster_) {
@@ -109,7 +110,7 @@ TEST_F(NicFsMechanicsTest, CompressionBypassesWhenBacklogged) {
     CO_ASSERT_OK(co_await fs->Fsync(*fd));
   });
   engine_.RunUntil(engine_.Now() + 5 * sim::kSecond);
-  NicFs::Stats& stats = cluster_->nicfs(0)->stats();
+  NicFs::StatsSnapshot stats = cluster_->nicfs(0)->stats();
   // Some chunks skipped the overloaded compression stage (§3.3.2)...
   EXPECT_GT(stats.compression_bypassed, 0u);
   // ...but everything still replicated correctly.

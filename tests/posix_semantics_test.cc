@@ -32,7 +32,8 @@ class PosixTest : public ::testing::TestWithParam<DfsMode> {
  protected:
   PosixTest() {
     cluster_ = std::make_unique<Cluster>(&engine_, Config(GetParam()));
-    cluster_->Start();
+    Status start_st = cluster_->Start();
+    EXPECT_TRUE(start_st.ok()) << start_st.ToString();
     fs_ = cluster_->CreateClient(0);
   }
   ~PosixTest() override {

@@ -271,7 +271,8 @@ TEST_P(ConvergencePropertyTest, ReplicasConvergeToClientView) {
   config.chunk_size = 512ULL << 10;
   config.materialize_data = true;
   auto cluster = std::make_unique<core::Cluster>(&engine, config);
-  cluster->Start();
+  Status start_st = cluster->Start();
+  EXPECT_TRUE(start_st.ok()) << start_st.ToString();
   core::LibFs* fs = cluster->CreateClient(0);
 
   // Random op script; remember which files survive and a digest of contents.

@@ -33,7 +33,8 @@ class Harness {
  public:
   explicit Harness(const core::DfsConfig& config) {
     cluster_ = std::make_unique<core::Cluster>(&engine_, config);
-    cluster_->Start();
+    Status start_st = cluster_->Start();
+    EXPECT_TRUE(start_st.ok()) << start_st.ToString();
   }
   ~Harness() {
     cluster_->Shutdown();
