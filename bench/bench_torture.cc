@@ -1,0 +1,149 @@
+// Torture sweep: Varmail under seeded randomized fault schedules.
+//
+// Runs the workload under N seeded fault::RandomPlan schedules (default seeds
+// 1..8 — any 5 consecutive seeds cover every fault class), reporting per-seed
+// throughput, retransmit work, and fault/drop counters. Two environment knobs:
+//
+//   LINEFS_TORTURE_SEEDS=<n>   sweep seeds 1..n instead of 1..8
+//   LINEFS_FAULT_PLAN=<spec>   replay exactly this plan (single run, no sweep)
+//
+// The second is the replay path: any schedule printed by a failing run (or a
+// torture test) can be re-executed verbatim from its one-line spec.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/nicfs.h"
+#include "src/fault/injector.h"
+#include "src/fault/plan.h"
+#include "src/fault/schedule.h"
+#include "src/workloads/filebench.h"
+
+namespace linefs::bench {
+namespace {
+
+constexpr sim::Time kRunFor = 8 * sim::kSecond;
+
+struct TortureRow {
+  std::string label;
+  std::string spec;
+  double kops = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t retransmits = 0;
+  uint64_t fault_edges = 0;
+};
+
+std::vector<TortureRow> g_rows;
+
+void RunOne(const std::string& label, fault::FaultPlan plan) {
+  core::DfsConfig config = BenchConfig(core::DfsMode::kLineFS);
+  // Fast failure detection: fault windows are short.
+  config.heartbeat_interval = 200 * sim::kMillisecond;
+  config.heartbeat_timeout = 300 * sim::kMillisecond;
+  Experiment exp(config);
+  core::LibFs* fs = exp.cluster().CreateClient(0);
+
+  TortureRow row;
+  row.label = label;
+  row.spec = plan.ToSpec();
+
+  fault::Injector injector(&exp.cluster(), std::move(plan));
+  Status armed = injector.Arm();
+  if (!armed.ok()) {
+    std::fprintf(stderr, "bench_torture: cannot arm %s: %s\n", label.c_str(),
+                 armed.message().c_str());
+    std::abort();
+  }
+
+  workloads::Filebench bench(fs, workloads::Filebench::VarmailOptions(200));
+  std::vector<sim::Task<>> tasks;
+  tasks.push_back([](workloads::Filebench* bench) -> sim::Task<> {
+    co_await bench->Preallocate();
+    co_await bench->Run(kRunFor);
+  }(&bench));
+  exp.RunAll(std::move(tasks));
+  exp.Drain(2 * sim::kSecond);  // Let the last heals land and sweepers settle.
+
+  row.kops = bench.ops_per_second() / 1000.0;
+  row.messages_dropped = injector.messages_dropped();
+  row.fault_edges = injector.edges_applied();
+  for (int n = 0; n < exp.cluster().num_nodes(); ++n) {
+    if (exp.cluster().nicfs(n) != nullptr) {
+      row.retransmits += exp.cluster().nicfs(n)->stats().repl_retransmits;
+    }
+  }
+
+  exp.SetLabel("torture/" + label);
+  exp.AddScalar("throughput_kops_per_sec", row.kops);
+  exp.AddScalar("messages_dropped", static_cast<double>(row.messages_dropped));
+  exp.AddScalar("repl_retransmits", static_cast<double>(row.retransmits));
+  exp.AddScalar("fault_edges_applied", static_cast<double>(row.fault_edges));
+  g_rows.push_back(std::move(row));
+}
+
+void RunSweep() {
+  g_rows.clear();
+
+  // Replay path: an explicit plan short-circuits the seed sweep.
+  Result<fault::FaultPlan> env_plan = fault::FaultPlan::FromEnv();
+  if (!env_plan.ok()) {
+    std::fprintf(stderr, "bench_torture: bad LINEFS_FAULT_PLAN: %s\n",
+                 env_plan.status().message().c_str());
+    std::abort();
+  }
+  if (!env_plan->empty()) {
+    RunOne("env_plan", std::move(*env_plan));
+    return;
+  }
+
+  uint64_t seeds = 8;
+  if (const char* env = std::getenv("LINEFS_TORTURE_SEEDS")) {
+    seeds = std::strtoull(env, nullptr, 10);
+  }
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    fault::ScheduleOptions sched;
+    sched.num_nodes = 3;
+    sched.first_fault = sim::kSecond;
+    sched.last_heal = 7 * sim::kSecond;
+    RunOne("seed" + std::to_string(seed), fault::RandomPlan(seed, sched));
+  }
+}
+
+void BM_Torture(benchmark::State& state) {
+  for (auto _ : state) {
+    RunSweep();
+  }
+}
+
+void PrintTable() {
+  std::printf("\n=== Torture sweep: Varmail under seeded fault schedules ===\n");
+  std::printf("%-10s %10s %10s %12s %8s  %s\n", "run", "kops/s", "dropped", "retransmits",
+              "edges", "plan");
+  for (const TortureRow& row : g_rows) {
+    std::string one_line = row.spec;
+    for (char& c : one_line) {
+      if (c == '\n') {
+        c = ';';
+      }
+    }
+    std::printf("%-10s %10.1f %10llu %12llu %8llu  %s\n", row.label.c_str(), row.kops,
+                (unsigned long long)row.messages_dropped, (unsigned long long)row.retransmits,
+                (unsigned long long)row.fault_edges, one_line.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace linefs::bench
+
+BENCHMARK(linefs::bench::BM_Torture)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  linefs::bench::PrintTable();
+  return linefs::bench::WriteBenchReport("torture");
+}

@@ -85,6 +85,12 @@ Status DfsConfig::Validate() const {
   if (lease_duration <= 0) {
     return Invalid("lease_duration must be positive");
   }
+  if (repl_retry_interval <= 0) {
+    return Invalid("repl_retry_interval must be positive");
+  }
+  if (repl_retry_timeout < repl_retry_interval) {
+    return Invalid("repl_retry_timeout must be >= repl_retry_interval");
+  }
   return Status::Ok();
 }
 

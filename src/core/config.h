@@ -84,6 +84,13 @@ struct DfsConfig {
   sim::Time heartbeat_interval = sim::kSecond;  // Cluster manager (§3.6).
   sim::Time heartbeat_timeout = 2 * sim::kSecond;
 
+  // Replication retransmit sweeper: an unacked head-of-line chunk is re-sent
+  // point-to-point after repl_retry_timeout of silence (lost to a drop window
+  // or partition); the sweeper also re-evaluates liveness so chunks waiting on
+  // a declared-dead replica unblock without a resend.
+  sim::Time repl_retry_interval = 50 * sim::kMillisecond;
+  sim::Time repl_retry_timeout = 150 * sim::kMillisecond;
+
   // Lease management.
   sim::Time lease_duration = sim::kSecond;
 

@@ -74,6 +74,19 @@ class LeaseManager {
   // Fail-over: the cluster manager expires every lease this arbiter issued.
   void ExpireAll() { records_.clear(); }
 
+  // Safety audit (torture harness): every inode with an unexpired write grant,
+  // mapped to the holding client. Across all arbiters, an inode must never
+  // appear with two different holders at one instant (single-writer safety).
+  std::unordered_map<fslib::InodeNum, uint32_t> ActiveWriters(sim::Time now) const {
+    std::unordered_map<fslib::InodeNum, uint32_t> writers;
+    for (const auto& [inum, record] : records_) {
+      if (record.writer != 0 && record.expires_at > now) {
+        writers[inum] = record.writer - 1;
+      }
+    }
+    return writers;
+  }
+
   size_t active_leases() const { return records_.size(); }
   uint64_t grants() const { return grants_; }
 

@@ -25,6 +25,7 @@ NicFs::Metrics::Metrics(const obs::MetricScope& scope)
       compression_bypassed(scope.CounterAt("compression_bypassed")),
       isolated_publishes(scope.CounterAt("isolated_publishes")),
       flow_ctrl_stall_ns(scope.CounterAt("flow_ctrl_stall_ns")),
+      repl_retransmits(scope.CounterAt("repl_retransmits")),
       stage_fetch(scope.Sub("stage").HistogramAt("fetch")),
       stage_validate(scope.Sub("stage").HistogramAt("validate")),
       stage_compress(scope.Sub("stage").HistogramAt("compress")),
@@ -51,6 +52,7 @@ NicFs::StatsSnapshot NicFs::stats() const {
   s.compression_bypassed = metrics_.compression_bypassed->value();
   s.isolated_publishes = metrics_.isolated_publishes->value();
   s.flow_ctrl_stall_ns = metrics_.flow_ctrl_stall_ns->value();
+  s.repl_retransmits = metrics_.repl_retransmits->value();
   s.stage_fetch = metrics_.stage_fetch->Summarize();
   s.stage_validate = metrics_.stage_validate->Summarize();
   s.stage_compress = metrics_.stage_compress->Summarize();
@@ -310,6 +312,8 @@ void NicFs::RegisterClient(int client, ClientHooks hooks) {
   } else {
     engine_->Spawn(SequentialLoop(raw));
   }
+  // Both modes: sweep for chunks wedged by dropped messages or dead replicas.
+  engine_->Spawn(ReplRetryMonitor(raw));
 }
 
 // --- Fetch stage --------------------------------------------------------------
@@ -495,8 +499,14 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
   uint64_t wire_bytes = chunk->wire_compressed ? chunk->wire.size() : chunk->bytes();
 
   // Register the pending acks BEFORE any await: acks race with this coroutine.
-  pipe->pending_acks[chunk->no] =
-      ClientPipe::AckState{chunk->to, 0, static_cast<int>(chain.size()) - 1, 0};
+  {
+    ClientPipe::AckState st;
+    st.to = chunk->to;
+    st.from = chunk->from;
+    st.last_send = engine_->Now();
+    st.urgent = chunk->urgent;
+    pipe->pending_acks[chunk->no] = std::move(st);
+  }
 
   WirePayload payload;
   if (chunk->wire_compressed) {
@@ -763,9 +773,14 @@ sim::Task<> NicFs::HandleReplChunk(ReplChunkMsg msg) {
 
   co_await sim::AwaitAll(engine_, std::move(parallel));
 
-  // (c) Feed the replica's own publication pipeline.
-  if (config_->replica_publish) {
-    ReplicaPipe* rp = GetReplicaPipe(static_cast<int>(msg.client));
+  // (c) Feed the replica's own publication pipeline. Retransmitted chunks the
+  // pipe already published (or that recovery skipped past) must not be pushed
+  // again: a reorder-buffer slot below next_seq would never be popped.
+  ReplicaPipe* rp_guard = config_->replica_publish
+                              ? GetReplicaPipe(static_cast<int>(msg.client))
+                              : nullptr;
+  if (rp_guard != nullptr && msg.chunk_no >= rp_guard->publish_rb.next_seq()) {
+    ReplicaPipe* rp = rp_guard;
     auto chunk = std::make_shared<Chunk>();
     chunk->client = static_cast<int>(msg.client);
     chunk->no = msg.chunk_no;
@@ -874,14 +889,34 @@ void NicFs::HandleReplAck(const ReplAckMsg& msg) {
   ClientPipe* pipe = pit->second.get();
   auto it = pipe->pending_acks.find(msg.chunk_no);
   if (it == pipe->pending_acks.end()) {
-    return;
+    return;  // Duplicate delivery of an already-completed chunk.
   }
-  ++it->second.acks;
+  it->second.acked.insert(msg.replica_node);
+  AdvanceReplicated(pipe);
+}
+
+bool NicFs::AckComplete(const ClientPipe::AckState& state) const {
+  // A chunk is replicated once every *currently live* replica has acked it.
+  // Replicas the cluster manager has declared dead stop gating progress (the
+  // chain heals around them, §3.6); a readmitted replica that never acked is
+  // re-required — the retry sweeper re-sends until it answers.
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    if (n == node_->id()) {
+      continue;
+    }
+    if (cluster_->service_alive(n) && !state.acked.contains(n)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void NicFs::AdvanceReplicated(ClientPipe* pipe) {
   // Advance replicated_upto through contiguous fully-acked chunks.
   bool advanced = false;
   while (!pipe->pending_acks.empty()) {
     auto first = pipe->pending_acks.begin();
-    if (first->second.acks < first->second.needed) {
+    if (!AckComplete(first->second)) {
       break;
     }
     if (first->second.transfer_done > 0) {
@@ -897,6 +932,79 @@ void NicFs::HandleReplAck(const ReplAckMsg& msg) {
   if (advanced) {
     pipe->progress.NotifyAll();
     TryReclaim(pipe);
+  }
+}
+
+sim::Task<> NicFs::ReplRetryMonitor(ClientPipe* pipe) {
+  while (!shutdown_) {
+    co_await engine_->SleepFor(config_->repl_retry_interval);
+    if (shutdown_) {
+      break;
+    }
+    // Liveness may have changed since the last ack arrived (a replica declared
+    // dead no longer gates the head of line) — re-evaluate unconditionally.
+    AdvanceReplicated(pipe);
+    if (pipe->pending_acks.empty()) {
+      continue;
+    }
+    auto it = pipe->pending_acks.begin();
+    if (engine_->Now() - it->second.last_send < config_->repl_retry_timeout) {
+      continue;
+    }
+    // Head-of-line chunk is stale: a request/ack was lost, or a replica was
+    // unreachable at transfer time. Snapshot the entry (acks racing with the
+    // awaits below may erase it) and re-send point-to-point.
+    uint64_t chunk_no = it->first;
+    it->second.last_send = engine_->Now();
+    co_await RetransmitChunk(pipe, chunk_no, it->second.from, it->second.to,
+                             it->second.acked, it->second.urgent);
+  }
+}
+
+sim::Task<> NicFs::RetransmitChunk(ClientPipe* pipe, uint64_t chunk_no, uint64_t from,
+                                   uint64_t to, std::set<int> already_acked, bool urgent) {
+  // The log range is still resident: reclaim never passes an unreplicated
+  // chunk, so the bytes can be re-read straight from the client log.
+  std::vector<uint8_t> image;
+  std::vector<fslib::ParsedEntry> entries;
+  if (config_->materialize_data) {
+    pipe->log->CopyRawOut(from, to, &image);
+  } else {
+    Result<std::vector<fslib::ParsedEntry>> parsed = pipe->log->ParseRange(from, to);
+    if (parsed.ok()) {
+      entries = std::move(*parsed);
+    }
+  }
+  for (int replica = 0; replica < cluster_->num_nodes(); ++replica) {
+    if (replica == node_->id() || already_acked.contains(replica) ||
+        !cluster_->service_alive(replica)) {
+      continue;
+    }
+    WirePayload payload;
+    payload.raw = image;
+    payload.entries = entries;
+    cluster_->StashWire(Cluster::WireKey(replica, pipe->client, chunk_no), std::move(payload));
+    co_await cluster_->net().Write(NicInitiator(urgent),
+                                   rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+                                   rdma::MemAddr{replica, rdma::Space::kNicMem}, to - from);
+    ReplChunkMsg msg;
+    msg.client = static_cast<uint32_t>(pipe->client);
+    msg.chunk_no = chunk_no;
+    msg.from = from;
+    msg.to = to;
+    msg.wire_bytes = to - from;
+    msg.compressed = 0;
+    msg.urgent = urgent ? 1 : 0;
+    msg.origin_node = node_->id();
+    // Terminal hop: retransmits fan out point-to-point, never chain-forward
+    // (the original chain may have partially succeeded).
+    msg.hop = cluster_->num_nodes();
+    Result<Ack> ack = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
+        NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+        EndpointName(replica), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
+        kRpcReplChunk, msg);
+    (void)ack;
+    metrics_.repl_retransmits->Increment();
   }
 }
 
@@ -1018,6 +1126,24 @@ sim::Task<Result<uint64_t>> NicFs::Recover(int peer) {
   // 4) Local update logs that touch recovered inodes are invalidated; our
   // scaled model simply resets pipeline progress to the logs' reclaimed state.
   SetEpoch(cluster_->manager().epoch());
+  // 5) Replica-side pipelines skip chunks the chain transferred while this
+  // node was excluded: their effects just arrived via the resync above, and
+  // the chunks themselves will never be re-delivered. Publication resumes at
+  // each origin's current transfer position.
+  for (auto& [client, rp] : replica_pipes_) {
+    for (int n = 0; n < cluster_->num_nodes(); ++n) {
+      NicFs* origin = cluster_->nicfs(n);
+      if (origin == nullptr || origin == this) {
+        continue;
+      }
+      auto oit = origin->pipes_.find(client);
+      if (oit == origin->pipes_.end()) {
+        continue;
+      }
+      rp->publish_rb.FastForwardTo(oit->second->next_chunk_no);
+      rp->published_upto = std::max(rp->published_upto, oit->second->fetch_upto);
+    }
+  }
   co_return synced;
 }
 

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -94,6 +95,7 @@ class NicFs {
     uint64_t compression_bypassed = 0;    // Chunks skipped when stage backlogged.
     uint64_t isolated_publishes = 0;
     uint64_t flow_ctrl_stall_ns = 0;      // Fetch time lost to §4 watermark stalls.
+    uint64_t repl_retransmits = 0;        // Chunk re-sends by the retry sweeper.
     obs::HistogramSummary stage_fetch;
     obs::HistogramSummary stage_validate;
     obs::HistogramSummary stage_compress;
@@ -154,9 +156,11 @@ class NicFs {
     sim::Condition fetch_cv;
     struct AckState {
       uint64_t to = 0;
-      int acks = 0;
-      int needed = 0;  // Live replicas at transfer time.
+      uint64_t from = 0;
+      std::set<int> acked;         // Replica nodes that confirmed this chunk.
       sim::Time transfer_done = 0;
+      sim::Time last_send = 0;     // Retransmit sweeper staleness clock.
+      bool urgent = false;
     };
     std::map<uint64_t, AckState> pending_acks;  // Keyed by chunk number.
     uint64_t replicated_upto = 0;
@@ -184,6 +188,15 @@ class NicFs {
   sim::Task<> SequentialLoop(ClientPipe* pipe);
   sim::Task<> ScalingMonitor(ClientPipe* pipe);
   sim::Task<> KworkerMonitor();
+  // Replication robustness under faults: acks are tracked per replica node,
+  // completion is re-evaluated against *current* liveness (a declared-dead
+  // replica stops gating the head of line), and stale head-of-line chunks are
+  // retransmitted point-to-point to every live replica that has not acked.
+  bool AckComplete(const ClientPipe::AckState& state) const;
+  void AdvanceReplicated(ClientPipe* pipe);
+  sim::Task<> ReplRetryMonitor(ClientPipe* pipe);
+  sim::Task<> RetransmitChunk(ClientPipe* pipe, uint64_t chunk_no, uint64_t from, uint64_t to,
+                              std::set<int> already_acked, bool urgent);
 
   // Registry-backed metric handles (hot-path increments stay pointer-cheap).
   struct Metrics {
@@ -198,6 +211,7 @@ class NicFs {
     obs::Counter* compression_bypassed;
     obs::Counter* isolated_publishes;
     obs::Counter* flow_ctrl_stall_ns;
+    obs::Counter* repl_retransmits;
     obs::Histogram* stage_fetch;
     obs::Histogram* stage_validate;
     obs::Histogram* stage_compress;

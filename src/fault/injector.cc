@@ -1,0 +1,208 @@
+#include "src/fault/injector.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/hw/fabric.h"
+#include "src/hw/node.h"
+#include "src/obs/trace.h"
+#include "src/sim/engine.h"
+
+namespace linefs::fault {
+
+namespace {
+
+std::string Fmt(const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace
+
+Injector::Injector(core::Cluster* cluster, FaultPlan plan)
+    : cluster_(cluster), plan_(std::move(plan)),
+      edges_counter_(obs::MetricScope(&cluster->metrics(), "fault").CounterAt("edges_applied")),
+      messages_dropped_(
+          obs::MetricScope(&cluster->metrics(), "fault").CounterAt("messages_dropped")) {}
+
+Injector::~Injector() { Disarm(); }
+
+Status Injector::Arm() {
+  if (armed_) {
+    return Status::Error(ErrorCode::kInvalid, "Injector: already armed");
+  }
+  Status valid = plan_.Validate(cluster_->num_nodes());
+  if (!valid.ok()) {
+    return valid;
+  }
+  const std::vector<FaultEvent>& events = plan_.events();
+  actions_.clear();
+  for (size_t i = 0; i < events.size(); ++i) {
+    actions_.push_back(Action{events[i].at, i, /*begin=*/true});
+    actions_.push_back(Action{events[i].until, i, /*begin=*/false});
+    if (events[i].type == FaultType::kRpcDrop || events[i].type == FaultType::kPartition) {
+      DropWindow w;
+      w.src = events[i].node;
+      w.dst = events[i].peer;
+      w.at = events[i].at;
+      w.until = events[i].until;
+      w.bidirectional = events[i].type == FaultType::kPartition;
+      w.p = events[i].type == FaultType::kPartition ? 1.0 : events[i].drop_p;
+      w.rng = sim::Rng(events[i].seed);
+      drop_windows_.push_back(std::move(w));
+    }
+  }
+  // Timestamp order; plan order breaks ties (satisfied automatically for the
+  // single sequential applier below, but the sort must not reorder equal-time
+  // edges either).
+  std::stable_sort(actions_.begin(), actions_.end(),
+                   [](const Action& a, const Action& b) { return a.at < b.at; });
+  cluster_->rpc().SetDropFilter(
+      [this](int src, int dst, rdma::Channel) { return ShouldDrop(src, dst); });
+  armed_ = true;
+  cluster_->engine()->Spawn(ApplyLoop());
+  return Status::Ok();
+}
+
+void Injector::Disarm() {
+  if (armed_) {
+    cluster_->rpc().ClearDropFilter();
+    armed_ = false;
+  }
+}
+
+std::string Injector::EventLogText() const {
+  std::string out;
+  for (const std::string& line : event_log_) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+sim::Task<> Injector::ApplyLoop() {
+  sim::Engine* engine = cluster_->engine();
+  for (const Action& action : actions_) {
+    if (engine->Now() < action.at) {
+      co_await engine->SleepUntil(action.at);
+    }
+    const FaultEvent& event = plan_.events()[action.event_index];
+    if (action.begin) {
+      ApplyBegin(event);
+    } else {
+      ApplyEnd(event);
+    }
+    edges_counter_->Increment();
+    ++applied_;
+    if (!action.begin) {
+      cluster_->trace().Record(obs::TraceEvent{"fault", FaultTypeName(event.type), event.node,
+                                               /*client=*/-1, action.event_index, event.at,
+                                               event.until});
+    }
+  }
+}
+
+void Injector::ApplyBegin(const FaultEvent& event) {
+  sim::Time now = cluster_->engine()->Now();
+  obs::MetricScope scope(&cluster_->metrics(), "fault");
+  switch (event.type) {
+    case FaultType::kHostCrash:
+      cluster_->hw_node(event.node).CrashHost();
+      scope.CounterAt("host_crash")->Increment();
+      Log(Fmt("t=%llu host_crash node=%d", (unsigned long long)now, event.node));
+      break;
+    case FaultType::kPowerFail:
+      // Full power loss: unpersisted PM writes vanish, the host stops, and the
+      // SmartNIC goes dark with it (heartbeats will declare the service dead).
+      cluster_->hw_node(event.node).PowerFail();
+      cluster_->hw_node(event.node).CrashHost();
+      cluster_->hw_node(event.node).StallNic();
+      scope.CounterAt("power_fail")->Increment();
+      Log(Fmt("t=%llu power_fail node=%d", (unsigned long long)now, event.node));
+      break;
+    case FaultType::kNicStall:
+      cluster_->hw_node(event.node).StallNic();
+      scope.CounterAt("nic_stall")->Increment();
+      Log(Fmt("t=%llu nic_stall node=%d", (unsigned long long)now, event.node));
+      break;
+    case FaultType::kLinkDegrade:
+      cluster_->fabric().tx(event.node).SetDegradation(event.bw_multiplier,
+                                                       event.latency_multiplier);
+      cluster_->fabric().rx(event.node).SetDegradation(event.bw_multiplier,
+                                                       event.latency_multiplier);
+      scope.CounterAt("link_degrade")->Increment();
+      Log(Fmt("t=%llu link_degrade node=%d bw=%.6f lat=%.6f", (unsigned long long)now,
+              event.node, event.bw_multiplier, event.latency_multiplier));
+      break;
+    case FaultType::kRpcDrop:
+      scope.CounterAt("rpc_drop_window")->Increment();
+      Log(Fmt("t=%llu rpc_drop_begin src=%d dst=%d p=%.6f seed=%llu", (unsigned long long)now,
+              event.node, event.peer, event.drop_p, (unsigned long long)event.seed));
+      break;
+    case FaultType::kPartition:
+      scope.CounterAt("partition")->Increment();
+      Log(Fmt("t=%llu partition_begin a=%d b=%d", (unsigned long long)now, event.node,
+              event.peer));
+      break;
+  }
+}
+
+void Injector::ApplyEnd(const FaultEvent& event) {
+  sim::Time now = cluster_->engine()->Now();
+  switch (event.type) {
+    case FaultType::kHostCrash:
+      cluster_->hw_node(event.node).RecoverHost();
+      Log(Fmt("t=%llu host_recover node=%d", (unsigned long long)now, event.node));
+      break;
+    case FaultType::kPowerFail:
+      cluster_->hw_node(event.node).ResumeNic();
+      cluster_->hw_node(event.node).RecoverHost();
+      Log(Fmt("t=%llu power_restore node=%d", (unsigned long long)now, event.node));
+      break;
+    case FaultType::kNicStall:
+      cluster_->hw_node(event.node).ResumeNic();
+      Log(Fmt("t=%llu nic_resume node=%d", (unsigned long long)now, event.node));
+      break;
+    case FaultType::kLinkDegrade:
+      cluster_->fabric().tx(event.node).ClearDegradation();
+      cluster_->fabric().rx(event.node).ClearDegradation();
+      Log(Fmt("t=%llu link_restore node=%d", (unsigned long long)now, event.node));
+      break;
+    case FaultType::kRpcDrop:
+      Log(Fmt("t=%llu rpc_drop_end src=%d dst=%d", (unsigned long long)now, event.node,
+              event.peer));
+      break;
+    case FaultType::kPartition:
+      Log(Fmt("t=%llu partition_heal a=%d b=%d", (unsigned long long)now, event.node,
+              event.peer));
+      break;
+  }
+}
+
+bool Injector::ShouldDrop(int src, int dst) {
+  sim::Time now = cluster_->engine()->Now();
+  for (DropWindow& w : drop_windows_) {
+    if (now < w.at || now >= w.until) {
+      continue;
+    }
+    bool match = (w.src == src && w.dst == dst) ||
+                 (w.bidirectional && w.src == dst && w.dst == src);
+    if (!match) {
+      continue;
+    }
+    if (w.p >= 1.0 || w.rng.Bernoulli(w.p)) {
+      messages_dropped_->Increment();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Injector::Log(const std::string& line) { event_log_.push_back(line); }
+
+}  // namespace linefs::fault

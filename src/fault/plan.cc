@@ -1,0 +1,473 @@
+#include "src/fault/plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace linefs::fault {
+
+namespace {
+
+Status Invalid(const std::string& message) {
+  return Status::Error(ErrorCode::kInvalid, "FaultPlan: " + message);
+}
+
+// Which hardware resources a fault window occupies. Windows whose resource
+// sets intersect on the same target must not overlap in time: the injector
+// applies begin/end edges independently, so e.g. a NIC stall resuming inside
+// a power-fail window would wake hardware the other fault still holds down.
+enum Resource : unsigned {
+  kResHost = 1u << 0,
+  kResNic = 1u << 1,
+  kResPort = 1u << 2,
+  kResMessages = 1u << 3,
+};
+
+unsigned ResourcesOf(FaultType type) {
+  switch (type) {
+    case FaultType::kHostCrash:
+      return kResHost;
+    case FaultType::kPowerFail:
+      return kResHost | kResNic;
+    case FaultType::kNicStall:
+      return kResNic;
+    case FaultType::kLinkDegrade:
+      return kResPort;
+    case FaultType::kRpcDrop:
+    case FaultType::kPartition:
+      return kResMessages;
+  }
+  return 0;
+}
+
+std::string Describe(const FaultEvent& e) {
+  return std::string(FaultTypeName(e.type)) + " at t=" + std::to_string(e.at);
+}
+
+// --- Spec parsing ------------------------------------------------------------
+
+std::vector<std::string> SplitEvents(const std::string& spec) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_comment = false;
+  for (char c : spec) {
+    if (c == '#') {
+      in_comment = true;
+    }
+    if (c == '\n' || c == ';') {
+      in_comment = false;
+      if (!current.empty()) {
+        out.push_back(std::move(current));
+        current.clear();
+      }
+      continue;
+    }
+    if (!in_comment) {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    out.push_back(std::move(current));
+  }
+  return out;
+}
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    out.push_back(token);
+  }
+  return out;
+}
+
+Result<sim::Time> ParseTime(const std::string& text) {
+  size_t pos = 0;
+  double value = 0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (...) {
+    return Invalid("bad time value '" + text + "'");
+  }
+  std::string unit = text.substr(pos);
+  double scale = 0;
+  if (unit == "ns") {
+    scale = 1;
+  } else if (unit == "us") {
+    scale = static_cast<double>(sim::kMicrosecond);
+  } else if (unit == "ms") {
+    scale = static_cast<double>(sim::kMillisecond);
+  } else if (unit == "s") {
+    scale = static_cast<double>(sim::kSecond);
+  } else {
+    return Invalid("time '" + text + "' needs an ns/us/ms/s suffix");
+  }
+  return static_cast<sim::Time>(value * scale);
+}
+
+Result<int> ParseInt(const std::string& text) {
+  try {
+    size_t pos = 0;
+    int v = std::stoi(text, &pos);
+    if (pos != text.size()) {
+      return Invalid("bad integer '" + text + "'");
+    }
+    return v;
+  } catch (...) {
+    return Invalid("bad integer '" + text + "'");
+  }
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  try {
+    size_t pos = 0;
+    double v = std::stod(text, &pos);
+    if (pos != text.size()) {
+      return Invalid("bad number '" + text + "'");
+    }
+    return v;
+  } catch (...) {
+    return Invalid("bad number '" + text + "'");
+  }
+}
+
+Result<uint64_t> ParseU64(const std::string& text) {
+  try {
+    size_t pos = 0;
+    uint64_t v = std::stoull(text, &pos);
+    if (pos != text.size()) {
+      return Invalid("bad u64 '" + text + "'");
+    }
+    return v;
+  } catch (...) {
+    return Invalid("bad u64 '" + text + "'");
+  }
+}
+
+Result<std::map<std::string, std::string>> KeyValues(
+    const std::vector<std::string>& tokens) {
+  std::map<std::string, std::string> kv;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= tokens[i].size()) {
+      return Invalid("expected key=value, got '" + tokens[i] + "'");
+    }
+    kv[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return kv;
+}
+
+std::string FormatTime(sim::Time t) { return std::to_string(t) + "ns"; }
+
+std::string FormatDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", v);
+  return buffer;
+}
+
+}  // namespace
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kHostCrash:
+      return "crash";
+    case FaultType::kPowerFail:
+      return "powerfail";
+    case FaultType::kNicStall:
+      return "stall";
+    case FaultType::kLinkDegrade:
+      return "degrade";
+    case FaultType::kRpcDrop:
+      return "drop";
+    case FaultType::kPartition:
+      return "partition";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::CrashHost(int node, sim::Time at, sim::Time recover_at) {
+  FaultEvent e;
+  e.type = FaultType::kHostCrash;
+  e.node = node;
+  e.at = at;
+  e.until = recover_at;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::PowerFail(int node, sim::Time at, sim::Time restore_at) {
+  FaultEvent e;
+  e.type = FaultType::kPowerFail;
+  e.node = node;
+  e.at = at;
+  e.until = restore_at;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::StallNic(int node, sim::Time at, sim::Time resume_at) {
+  FaultEvent e;
+  e.type = FaultType::kNicStall;
+  e.node = node;
+  e.at = at;
+  e.until = resume_at;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::DegradeLink(int node, sim::Time at, sim::Time until, double bw_multiplier,
+                                  double latency_multiplier) {
+  FaultEvent e;
+  e.type = FaultType::kLinkDegrade;
+  e.node = node;
+  e.at = at;
+  e.until = until;
+  e.bw_multiplier = bw_multiplier;
+  e.latency_multiplier = latency_multiplier;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::DropRpcs(int src, int dst, sim::Time at, sim::Time until,
+                               double probability, uint64_t seed) {
+  FaultEvent e;
+  e.type = FaultType::kRpcDrop;
+  e.node = src;
+  e.peer = dst;
+  e.at = at;
+  e.until = until;
+  e.drop_p = probability;
+  e.seed = seed;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::Partition(int a, int b, sim::Time at, sim::Time heal_at) {
+  FaultEvent e;
+  e.type = FaultType::kPartition;
+  e.node = a;
+  e.peer = b;
+  e.at = at;
+  e.until = heal_at;
+  events_.push_back(e);
+  return *this;
+}
+
+Status FaultPlan::Validate(int num_nodes) const {
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    bool pairwise = e.type == FaultType::kRpcDrop || e.type == FaultType::kPartition;
+    if (e.node < 0 || e.node >= num_nodes) {
+      return Invalid(Describe(e) + ": node " + std::to_string(e.node) + " out of range");
+    }
+    if (pairwise) {
+      if (e.peer < 0 || e.peer >= num_nodes) {
+        return Invalid(Describe(e) + ": peer " + std::to_string(e.peer) + " out of range");
+      }
+      if (e.peer == e.node) {
+        return Invalid(Describe(e) + ": node and peer must differ");
+      }
+    }
+    if (e.at < 0 || e.until <= e.at) {
+      return Invalid(Describe(e) + ": window must satisfy 0 <= at < until");
+    }
+    if (e.type == FaultType::kLinkDegrade) {
+      if (!(e.bw_multiplier > 0.0 && e.bw_multiplier <= 1.0)) {
+        return Invalid(Describe(e) + ": bw multiplier must be in (0,1]");
+      }
+      if (e.latency_multiplier < 1.0) {
+        return Invalid(Describe(e) + ": latency multiplier must be >= 1");
+      }
+    }
+    if (e.type == FaultType::kRpcDrop && !(e.drop_p > 0.0 && e.drop_p <= 1.0)) {
+      return Invalid(Describe(e) + ": drop probability must be in (0,1]");
+    }
+    // Overlap: same node (or same unordered pair for message faults) and
+    // intersecting resource sets.
+    for (size_t j = 0; j < i; ++j) {
+      const FaultEvent& o = events_[j];
+      if ((ResourcesOf(e.type) & ResourcesOf(o.type)) == 0) {
+        continue;
+      }
+      bool same_target;
+      if (ResourcesOf(e.type) & kResMessages) {
+        // Only identical-type, identical-pair windows conflict: a partition
+        // and an overlapping probabilistic drop filter compose (logical OR).
+        same_target = e.type == o.type &&
+                      std::minmax(e.node, e.peer) == std::minmax(o.node, o.peer);
+      } else {
+        same_target = e.node == o.node;
+      }
+      if (same_target && e.at < o.until && o.at < e.until) {
+        return Invalid(Describe(e) + " overlaps " + Describe(o) + " on the same target");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string FaultPlan::ToSpec() const {
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    out += FaultTypeName(e.type);
+    switch (e.type) {
+      case FaultType::kHostCrash:
+      case FaultType::kPowerFail:
+      case FaultType::kNicStall:
+        out += " node=" + std::to_string(e.node);
+        break;
+      case FaultType::kLinkDegrade:
+        out += " node=" + std::to_string(e.node);
+        break;
+      case FaultType::kRpcDrop:
+        out += " src=" + std::to_string(e.node) + " dst=" + std::to_string(e.peer);
+        break;
+      case FaultType::kPartition:
+        out += " a=" + std::to_string(e.node) + " b=" + std::to_string(e.peer);
+        break;
+    }
+    out += " at=" + FormatTime(e.at) + " until=" + FormatTime(e.until);
+    if (e.type == FaultType::kLinkDegrade) {
+      out += " bw=" + FormatDouble(e.bw_multiplier) + " lat=" + FormatDouble(e.latency_multiplier);
+    }
+    if (e.type == FaultType::kRpcDrop) {
+      out += " p=" + FormatDouble(e.drop_p) + " seed=" + std::to_string(e.seed);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& line : SplitEvents(spec)) {
+    std::vector<std::string> tokens = Tokens(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    Result<std::map<std::string, std::string>> kv = KeyValues(tokens);
+    if (!kv.ok()) {
+      return kv.status();
+    }
+    auto need = [&](const char* key) -> Result<std::string> {
+      auto it = kv->find(key);
+      if (it == kv->end()) {
+        return Invalid("'" + tokens[0] + "' event is missing " + key + "=");
+      }
+      return it->second;
+    };
+    auto need_time = [&](const char* key) -> Result<sim::Time> {
+      Result<std::string> raw = need(key);
+      if (!raw.ok()) {
+        return raw.status();
+      }
+      return ParseTime(*raw);
+    };
+    auto need_int = [&](const char* key) -> Result<int> {
+      Result<std::string> raw = need(key);
+      if (!raw.ok()) {
+        return raw.status();
+      }
+      return ParseInt(*raw);
+    };
+
+    const std::string& type = tokens[0];
+    Result<sim::Time> at = need_time("at");
+    Result<sim::Time> until = need_time("until");
+    if (!at.ok()) {
+      return at.status();
+    }
+    if (!until.ok()) {
+      return until.status();
+    }
+    if (type == "crash" || type == "powerfail" || type == "stall") {
+      Result<int> node = need_int("node");
+      if (!node.ok()) {
+        return node.status();
+      }
+      if (type == "crash") {
+        plan.CrashHost(*node, *at, *until);
+      } else if (type == "powerfail") {
+        plan.PowerFail(*node, *at, *until);
+      } else {
+        plan.StallNic(*node, *at, *until);
+      }
+    } else if (type == "degrade") {
+      Result<int> node = need_int("node");
+      Result<std::string> bw_raw = need("bw");
+      Result<std::string> lat_raw = need("lat");
+      if (!node.ok()) {
+        return node.status();
+      }
+      if (!bw_raw.ok()) {
+        return bw_raw.status();
+      }
+      if (!lat_raw.ok()) {
+        return lat_raw.status();
+      }
+      Result<double> bw = ParseDouble(*bw_raw);
+      Result<double> lat = ParseDouble(*lat_raw);
+      if (!bw.ok()) {
+        return bw.status();
+      }
+      if (!lat.ok()) {
+        return lat.status();
+      }
+      plan.DegradeLink(*node, *at, *until, *bw, *lat);
+    } else if (type == "drop") {
+      Result<int> src = need_int("src");
+      Result<int> dst = need_int("dst");
+      Result<std::string> p_raw = need("p");
+      Result<std::string> seed_raw = need("seed");
+      if (!src.ok()) {
+        return src.status();
+      }
+      if (!dst.ok()) {
+        return dst.status();
+      }
+      if (!p_raw.ok()) {
+        return p_raw.status();
+      }
+      if (!seed_raw.ok()) {
+        return seed_raw.status();
+      }
+      Result<double> p = ParseDouble(*p_raw);
+      Result<uint64_t> seed = ParseU64(*seed_raw);
+      if (!p.ok()) {
+        return p.status();
+      }
+      if (!seed.ok()) {
+        return seed.status();
+      }
+      plan.DropRpcs(*src, *dst, *at, *until, *p, *seed);
+    } else if (type == "partition") {
+      Result<int> a = need_int("a");
+      Result<int> b = need_int("b");
+      if (!a.ok()) {
+        return a.status();
+      }
+      if (!b.ok()) {
+        return b.status();
+      }
+      plan.Partition(*a, *b, *at, *until);
+    } else {
+      return Invalid("unknown event type '" + type + "'");
+    }
+  }
+  return plan;
+}
+
+Result<FaultPlan> FaultPlan::FromEnv(const char* env_var) {
+  const char* spec = std::getenv(env_var);
+  if (spec == nullptr || spec[0] == '\0') {
+    return FaultPlan{};
+  }
+  return Parse(spec);
+}
+
+}  // namespace linefs::fault

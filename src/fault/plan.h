@@ -1,0 +1,97 @@
+// Deterministic fault-injection plans.
+//
+// A FaultPlan is an ordered schedule of typed fault windows, applied to a
+// running cluster by fault::Injector at exact virtual timestamps. Plans are
+// built programmatically (torture harness, availability benchmarks) or parsed
+// from a text spec (the LINEFS_FAULT_PLAN environment variable), and the two
+// forms round-trip: Parse(plan.ToSpec()) reproduces the plan exactly.
+//
+// Every fault is a *window* [at, until): the begin edge injects the fault and
+// the end edge heals it. Because the simulator is deterministic, the same plan
+// against the same workload and seed produces byte-identical execution —
+// including the injector's fault event log — which is what makes crash
+// schedules replayable from a single line of text.
+
+#ifndef SRC_FAULT_PLAN_H_
+#define SRC_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/result.h"
+#include "src/sim/time.h"
+
+namespace linefs::fault {
+
+enum class FaultType {
+  kHostCrash,    // Host OS stops scheduling; PM contents survive (§3.5).
+  kPowerFail,    // Full power loss: unpersisted PM writes are dropped, host
+                 // and SmartNIC are both down until the end of the window.
+  kNicStall,     // SmartNIC core pool frozen (firmware hang / thermal stall).
+  kLinkDegrade,  // The node's fabric port loses bandwidth / gains latency.
+  kRpcDrop,      // Directional src->dst message loss with probability p.
+  kPartition,    // Bidirectional total message loss between two nodes.
+};
+
+const char* FaultTypeName(FaultType type);
+
+struct FaultEvent {
+  FaultType type = FaultType::kHostCrash;
+  int node = -1;   // Fault target. kRpcDrop: source node. kPartition: side a.
+  int peer = -1;   // kRpcDrop: destination node. kPartition: side b.
+  sim::Time at = 0;
+  sim::Time until = 0;
+  double bw_multiplier = 1.0;       // kLinkDegrade: effective bandwidth factor.
+  double latency_multiplier = 1.0;  // kLinkDegrade: latency inflation factor.
+  double drop_p = 1.0;              // kRpcDrop: per-message loss probability.
+  uint64_t seed = 0;                // kRpcDrop: per-window RNG seed.
+};
+
+class FaultPlan {
+ public:
+  // Builders append one window each and return *this for chaining.
+  FaultPlan& CrashHost(int node, sim::Time at, sim::Time recover_at);
+  FaultPlan& PowerFail(int node, sim::Time at, sim::Time restore_at);
+  FaultPlan& StallNic(int node, sim::Time at, sim::Time resume_at);
+  FaultPlan& DegradeLink(int node, sim::Time at, sim::Time until, double bw_multiplier,
+                         double latency_multiplier);
+  FaultPlan& DropRpcs(int src, int dst, sim::Time at, sim::Time until, double probability,
+                      uint64_t seed);
+  FaultPlan& Partition(int a, int b, sim::Time at, sim::Time heal_at);
+
+  // Range-checks every event against the cluster size and rejects overlapping
+  // windows that contend for the same hardware resource (two crash windows on
+  // one node, a power-fail overlapping a NIC stall, the same drop pair twice,
+  // ...). The Injector refuses to arm with an invalid plan.
+  Status Validate(int num_nodes) const;
+
+  // Canonical text form, one event per line, times in nanoseconds.
+  std::string ToSpec() const;
+
+  // Parses a spec: events separated by newlines or ';', each
+  //   crash node=N at=T until=T
+  //   powerfail node=N at=T until=T
+  //   stall node=N at=T until=T
+  //   degrade node=N at=T until=T bw=F lat=F
+  //   drop src=N dst=N at=T until=T p=F seed=U
+  //   partition a=N b=N at=T until=T
+  // where T is a number with an ns/us/ms/s suffix (e.g. "2s", "150ms",
+  // "2500000000ns"). '#' starts a comment that runs to end of line.
+  static Result<FaultPlan> Parse(const std::string& spec);
+
+  // Parses the LINEFS_FAULT_PLAN environment variable. Returns an empty plan
+  // when the variable is unset or empty.
+  static Result<FaultPlan> FromEnv(const char* env_var = "LINEFS_FAULT_PLAN");
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace linefs::fault
+
+#endif  // SRC_FAULT_PLAN_H_

@@ -1,0 +1,89 @@
+#include "src/fault/schedule.h"
+
+#include "src/sim/random.h"
+
+namespace linefs::fault {
+
+namespace {
+
+// The classes guaranteed by `seed % 5` (the torture harness iterates seeds, so
+// any window of 5 consecutive seeds exercises every entry).
+enum class Class { kCrash, kPowerFail, kPartition, kDegrade, kStall, kDrop };
+
+Class GuaranteedClass(uint64_t seed) {
+  switch (seed % 5) {
+    case 0:
+      return Class::kCrash;
+    case 1:
+      return Class::kPowerFail;
+    case 2:
+      return Class::kPartition;
+    case 3:
+      return Class::kDegrade;
+    default:
+      return Class::kStall;
+  }
+}
+
+}  // namespace
+
+FaultPlan RandomPlan(uint64_t seed, const ScheduleOptions& options) {
+  sim::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  FaultPlan plan;
+
+  int windows = 1 + static_cast<int>(rng.Uniform(options.max_extra_faults + 1));
+  // One disjoint time slot per window: trivially satisfies the plan's
+  // no-overlap rule regardless of which targets the draws pick.
+  sim::Time span = options.last_heal - options.first_fault;
+  sim::Time slot = span / windows;
+
+  for (int i = 0; i < windows; ++i) {
+    Class cls;
+    if (i == 0) {
+      cls = GuaranteedClass(seed);
+    } else {
+      cls = static_cast<Class>(rng.Uniform(6));
+    }
+    sim::Time slot_begin = options.first_fault + i * slot;
+    // Start within the first third of the slot, heal before it ends.
+    sim::Time at = slot_begin + static_cast<sim::Time>(rng.NextDouble() * 0.3 *
+                                                       static_cast<double>(slot));
+    sim::Time duration = static_cast<sim::Time>(
+        (0.3 + 0.4 * rng.NextDouble()) * static_cast<double>(slot));
+    sim::Time until = at + duration;
+
+    // Node-down faults target replicas (node 0 hosts the workload driver);
+    // message and link faults may involve any pair.
+    int replica = options.num_nodes > 1
+                      ? 1 + static_cast<int>(rng.Uniform(options.num_nodes - 1))
+                      : 0;
+    int a = static_cast<int>(rng.Uniform(options.num_nodes));
+    int b = (a + 1 + static_cast<int>(rng.Uniform(options.num_nodes - 1))) % options.num_nodes;
+
+    switch (cls) {
+      case Class::kCrash:
+        plan.CrashHost(replica, at, until);
+        break;
+      case Class::kPowerFail:
+        plan.PowerFail(replica, at, until);
+        break;
+      case Class::kPartition:
+        plan.Partition(a, b, at, until);
+        break;
+      case Class::kDegrade:
+        plan.DegradeLink(a, at, until, /*bw_multiplier=*/0.1 + 0.4 * rng.NextDouble(),
+                         /*latency_multiplier=*/2.0 + 6.0 * rng.NextDouble());
+        break;
+      case Class::kStall:
+        plan.StallNic(replica, at, until);
+        break;
+      case Class::kDrop:
+        plan.DropRpcs(a, b, at, until, /*probability=*/0.3 + 0.6 * rng.NextDouble(),
+                      /*seed=*/rng.Next());
+        break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace linefs::fault

@@ -1,0 +1,32 @@
+// Seeded random fault-schedule generation for the torture harness.
+//
+// RandomPlan(seed) produces a valid (non-overlapping) FaultPlan whose first
+// window's type is fully determined by `seed % 5`, cycling through host crash,
+// power failure, network partition, link degradation, and NIC stall — so any
+// 5+ consecutive seeds cover every fault class — plus a seed-dependent number
+// of extra random windows. All windows begin and end inside
+// [first_fault, last_heal], leaving the tail of the run fault-free for
+// drain + recovery.
+
+#ifndef SRC_FAULT_SCHEDULE_H_
+#define SRC_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+
+#include "src/fault/plan.h"
+#include "src/sim/time.h"
+
+namespace linefs::fault {
+
+struct ScheduleOptions {
+  int num_nodes = 3;
+  sim::Time first_fault = sim::kSecond;
+  sim::Time last_heal = 8 * sim::kSecond;
+  int max_extra_faults = 3;
+};
+
+FaultPlan RandomPlan(uint64_t seed, const ScheduleOptions& options = {});
+
+}  // namespace linefs::fault
+
+#endif  // SRC_FAULT_SCHEDULE_H_

@@ -75,4 +75,14 @@ void Node::RecoverHost() {
   host_state_changed_.NotifyAll();
 }
 
+void Node::StallNic() {
+  nic_stalled_ = true;
+  nic_.cpu().Stop();
+}
+
+void Node::ResumeNic() {
+  nic_stalled_ = false;
+  nic_.cpu().Resume();
+}
+
 }  // namespace linefs::hw

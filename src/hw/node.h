@@ -107,6 +107,14 @@ class Node {
   // Power failure (crash-consistency testing): unpersisted PM writes are lost.
   void PowerFail() { pm_.Crash(); }
 
+  // SmartNIC core-pool stall (fault injection): the NIC's ARM cores stop
+  // granting new quanta — RPC handlers, pipeline stages, and heartbeat
+  // responses freeze until ResumeNic(). Models firmware hangs / thermal
+  // throttling of the off-path SoC as a failure domain distinct from the host.
+  bool nic_stalled() const { return nic_stalled_; }
+  void StallNic();
+  void ResumeNic();
+
   // Host CPU accounting buckets.
   int acct_app() const { return acct_app_; }
   int acct_fs() const { return acct_fs_; }
@@ -125,6 +133,7 @@ class Node {
   SmartNic nic_;
   sim::Condition host_state_changed_;
   bool host_up_ = true;
+  bool nic_stalled_ = false;
   int acct_app_;
   int acct_fs_;
   int acct_kworker_;

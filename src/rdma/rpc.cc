@@ -70,6 +70,7 @@ sim::Task<Result<std::vector<uint8_t>>> RpcSystem::CallRaw(const Initiator& call
                                                            sim::Time timeout) {
   sim::Engine* engine = network_->engine();
   const hw::RdmaCosts& costs = network_->costs();
+  sim::Time deadline = engine->Now() + timeout;
 
   // Client posts the request (send verb).
   if (caller.cpu != nullptr) {
@@ -80,6 +81,13 @@ sim::Task<Result<std::vector<uint8_t>>> RpcSystem::CallRaw(const Initiator& call
   if (endpoint == nullptr || !endpoint->alive()) {
     co_await engine->SleepFor(timeout);
     co_return Status::Error(ErrorCode::kUnavailable, "rpc target down: " + target);
+  }
+
+  // Fault injection: a partitioned/lossy fabric eats the request; the caller
+  // waits out its timeout, exactly as if the receiver never answered.
+  if (drop_filter_ && drop_filter_(caller_addr.node, endpoint->addr().node, channel)) {
+    co_await engine->SleepUntil(deadline);
+    co_return Status::Error(ErrorCode::kUnavailable, "rpc request dropped: " + target);
   }
 
   // Request wire transfer (control-sized message).
@@ -114,6 +122,15 @@ sim::Task<Result<std::vector<uint8_t>>> RpcSystem::CallRaw(const Initiator& call
     co_return Status::Error(ErrorCode::kUnavailable, "rpc timed out: " + target);
   }
   std::vector<uint8_t> response = std::move(state->response.value());
+
+  // Fault injection, response direction: the handler ran but its answer is
+  // lost. The caller still burns the full call timeout before giving up.
+  if (drop_filter_ && drop_filter_(endpoint->addr().node, caller_addr.node, channel)) {
+    if (engine->Now() < deadline) {
+      co_await engine->SleepUntil(deadline);
+    }
+    co_return Status::Error(ErrorCode::kUnavailable, "rpc response dropped: " + target);
+  }
 
   // Response wire transfer.
   uint64_t resp_bytes = std::max<uint64_t>(costs.control_bytes, response.size());

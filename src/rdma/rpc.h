@@ -112,6 +112,17 @@ class RpcSystem {
  public:
   explicit RpcSystem(Network* network) : network_(network) {}
 
+  // Fault-injection hook (fault::Injector): consulted once for the request
+  // wire direction and once for the response direction of every call, on both
+  // channels. Returning true silently discards the message — the caller then
+  // waits out its timeout and observes kUnavailable, exactly like a lossy or
+  // partitioned RoCE fabric. Message processing is otherwise unaffected, so a
+  // dropped *response* still executes the handler (the classic ambiguity that
+  // replication protocols must tolerate).
+  using DropFilter = std::function<bool(int src_node, int dst_node, Channel channel)>;
+  void SetDropFilter(DropFilter filter) { drop_filter_ = std::move(filter); }
+  void ClearDropFilter() { drop_filter_ = nullptr; }
+
   RpcEndpoint* CreateEndpoint(std::string name, MemAddr addr, sim::CpuPool* cpu, int account,
                               bool has_low_lat_poller);
   RpcEndpoint* Find(const std::string& name);
@@ -145,6 +156,7 @@ class RpcSystem {
  private:
   Network* network_;
   std::unordered_map<std::string, std::unique_ptr<RpcEndpoint>> endpoints_;
+  DropFilter drop_filter_;
 };
 
 }  // namespace linefs::rdma

@@ -39,11 +39,11 @@ class Link {
     if (series_) {
       series_->AddSpread(start, next_free_, static_cast<double>(bytes));
     }
-    co_await engine_->SleepUntil(next_free_ + latency_);
+    co_await engine_->SleepUntil(next_free_ + EffectiveLatency());
   }
 
   // Latency-only round trip (e.g. a doorbell or tiny control message).
-  Task<> Ping() { co_await engine_->SleepFor(latency_); }
+  Task<> Ping() { co_await engine_->SleepFor(EffectiveLatency()); }
 
   // Records bytes against counters/timeseries without occupying the link
   // (e.g. receiver-side accounting when the sender link is the bottleneck).
@@ -55,7 +55,26 @@ class Link {
   }
 
   Time DurationFor(uint64_t bytes) const {
-    return static_cast<Time>(static_cast<double>(bytes) / bytes_per_sec_ * kSecond);
+    return static_cast<Time>(static_cast<double>(bytes) /
+                             (bytes_per_sec_ * bw_multiplier_) * kSecond);
+  }
+
+  // --- Fault injection (fault::Injector link-degradation events) -------------
+  //
+  // A degraded link serves transfers at bandwidth * bw_multiplier (<= 1) with
+  // propagation latency * latency_multiplier (>= 1). Transfers already
+  // serialized keep their reserved slot; only new arrivals see the new rates.
+  void SetDegradation(double bw_multiplier, double latency_multiplier) {
+    bw_multiplier_ = bw_multiplier;
+    latency_multiplier_ = latency_multiplier;
+  }
+  void ClearDegradation() {
+    bw_multiplier_ = 1.0;
+    latency_multiplier_ = 1.0;
+  }
+  bool degraded() const { return bw_multiplier_ != 1.0 || latency_multiplier_ != 1.0; }
+  Time EffectiveLatency() const {
+    return static_cast<Time>(static_cast<double>(latency_) * latency_multiplier_);
   }
 
   // The earliest time a new transfer could begin serializing.
@@ -76,6 +95,8 @@ class Link {
   std::string name_;
   double bytes_per_sec_;
   Time latency_;
+  double bw_multiplier_ = 1.0;
+  double latency_multiplier_ = 1.0;
   Time next_free_ = 0;
   uint64_t total_bytes_ = 0;
   std::unique_ptr<TimeSeries> series_;

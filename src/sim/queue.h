@@ -140,6 +140,19 @@ class ReorderBuffer {
   size_t size() const { return slots_.size(); }
   uint64_t next_seq() const { return next_; }
 
+  // Recovery support: abandon every sequence number below `seq` (their items
+  // will never be processed — e.g. chunks a rejoining replica already received
+  // through state resync) and resume popping at `seq`. No-op if the buffer is
+  // already past that point.
+  void FastForwardTo(uint64_t seq) {
+    if (seq <= next_) {
+      return;
+    }
+    slots_.erase(slots_.begin(), slots_.lower_bound(seq));
+    next_ = seq;
+    cv_.NotifyAll();
+  }
+
  private:
   Engine* engine_;
   Condition cv_;

@@ -37,8 +37,22 @@ class Rng {
     return result;
   }
 
-  // Uniform in [0, bound).
-  uint64_t Uniform(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+  // Uniform in [0, bound), bias-free. `Next() % bound` over-weights the low
+  // residues whenever 2^64 is not a multiple of `bound`; rejection sampling
+  // (discard draws below `2^64 mod bound`, the arc4random_uniform trick)
+  // makes every value exactly equally likely while staying deterministic per
+  // seed: the draw sequence is a pure function of the generator state.
+  uint64_t Uniform(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    uint64_t threshold = -bound % bound;  // == 2^64 mod bound.
+    uint64_t r = Next();
+    while (r < threshold) {
+      r = Next();
+    }
+    return r % bound;
+  }
 
   // Uniform in [lo, hi].
   int64_t UniformRange(int64_t lo, int64_t hi) {

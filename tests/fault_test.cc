@@ -1,0 +1,315 @@
+// Unit tests for the fault-injection subsystem: FaultPlan spec round-trip,
+// malformed/overlapping spec rejection, and Injector edge ordering (events
+// scheduled at the same virtual time apply in plan order).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/clustermgr.h"
+#include "src/fault/injector.h"
+#include "src/fault/plan.h"
+#include "src/fault/schedule.h"
+#include "src/sim/engine.h"
+
+namespace linefs::fault {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+// --- FaultPlan builders + Validate ------------------------------------------------
+
+TEST(FaultPlanTest, ValidPlanPasses) {
+  FaultPlan plan;
+  plan.CrashHost(1, kSecond, 2 * kSecond)
+      .PowerFail(2, kSecond, 2 * kSecond)
+      .StallNic(0, 3 * kSecond, 4 * kSecond)
+      .DegradeLink(1, 3 * kSecond, 4 * kSecond, 0.25, 4.0)
+      .DropRpcs(0, 2, kSecond, 5 * kSecond, 0.5, 42)
+      .Partition(1, 2, 5 * kSecond, 6 * kSecond);
+  EXPECT_TRUE(plan.Validate(3).ok());
+  EXPECT_EQ(plan.size(), 6u);
+}
+
+TEST(FaultPlanTest, RejectsOutOfRangeNode) {
+  FaultPlan plan;
+  plan.CrashHost(3, kSecond, 2 * kSecond);
+  EXPECT_FALSE(plan.Validate(3).ok());
+}
+
+TEST(FaultPlanTest, RejectsEmptyWindow) {
+  FaultPlan plan;
+  plan.CrashHost(1, 2 * kSecond, 2 * kSecond);  // until == at.
+  EXPECT_FALSE(plan.Validate(3).ok());
+}
+
+TEST(FaultPlanTest, RejectsBadMultipliersAndProbability) {
+  {
+    FaultPlan plan;
+    plan.DegradeLink(1, kSecond, 2 * kSecond, 0.0, 4.0);  // bw must be > 0.
+    EXPECT_FALSE(plan.Validate(3).ok());
+  }
+  {
+    FaultPlan plan;
+    plan.DegradeLink(1, kSecond, 2 * kSecond, 0.5, 0.5);  // lat must be >= 1.
+    EXPECT_FALSE(plan.Validate(3).ok());
+  }
+  {
+    FaultPlan plan;
+    plan.DropRpcs(0, 1, kSecond, 2 * kSecond, 1.5, 7);  // p must be in (0, 1].
+    EXPECT_FALSE(plan.Validate(3).ok());
+  }
+}
+
+TEST(FaultPlanTest, RejectsOverlappingCrashWindowsOnSameNode) {
+  FaultPlan plan;
+  plan.CrashHost(1, kSecond, 3 * kSecond).CrashHost(1, 2 * kSecond, 4 * kSecond);
+  EXPECT_FALSE(plan.Validate(3).ok());
+}
+
+TEST(FaultPlanTest, AllowsOverlappingCrashWindowsOnDifferentNodes) {
+  FaultPlan plan;
+  plan.CrashHost(1, kSecond, 3 * kSecond).CrashHost(2, 2 * kSecond, 4 * kSecond);
+  EXPECT_TRUE(plan.Validate(3).ok());
+}
+
+TEST(FaultPlanTest, PowerFailConflictsWithBothCrashAndStall) {
+  {
+    // Power failure takes the host down; an overlapping host crash on the same
+    // node contends for the same resource.
+    FaultPlan plan;
+    plan.PowerFail(1, kSecond, 3 * kSecond).CrashHost(1, 2 * kSecond, 4 * kSecond);
+    EXPECT_FALSE(plan.Validate(3).ok());
+  }
+  {
+    // ... and it takes the NIC down, so an overlapping stall conflicts too.
+    FaultPlan plan;
+    plan.PowerFail(1, kSecond, 3 * kSecond).StallNic(1, 2 * kSecond, 4 * kSecond);
+    EXPECT_FALSE(plan.Validate(3).ok());
+  }
+  {
+    // A crash and a stall on the same node touch different resources.
+    FaultPlan plan;
+    plan.CrashHost(1, kSecond, 3 * kSecond).StallNic(1, 2 * kSecond, 4 * kSecond);
+    EXPECT_TRUE(plan.Validate(3).ok());
+  }
+}
+
+TEST(FaultPlanTest, RejectsSamePairPartitionOverlap) {
+  FaultPlan plan;
+  // Same unordered pair, given in opposite order: still an overlap.
+  plan.Partition(1, 2, kSecond, 3 * kSecond).Partition(2, 1, 2 * kSecond, 4 * kSecond);
+  EXPECT_FALSE(plan.Validate(3).ok());
+}
+
+TEST(FaultPlanTest, AllowsDropAndPartitionOverlap) {
+  // Drop and partition filters compose (a message is lost if either matches),
+  // so overlapping windows of *different* message-fault types are legal.
+  FaultPlan plan;
+  plan.Partition(1, 2, kSecond, 3 * kSecond).DropRpcs(1, 2, 2 * kSecond, 4 * kSecond, 0.5, 9);
+  EXPECT_TRUE(plan.Validate(3).ok());
+}
+
+TEST(FaultPlanTest, NonOverlappingSameResourceWindowsPass) {
+  FaultPlan plan;
+  plan.CrashHost(1, kSecond, 2 * kSecond).CrashHost(1, 2 * kSecond, 3 * kSecond);
+  EXPECT_TRUE(plan.Validate(3).ok());
+}
+
+// --- Spec parsing ------------------------------------------------------------------
+
+TEST(FaultPlanTest, SpecRoundTripsExactly) {
+  FaultPlan plan;
+  plan.CrashHost(1, kSecond, 2 * kSecond)
+      .PowerFail(2, 2500 * kMillisecond, 3 * kSecond)
+      .StallNic(0, 3 * kSecond, 4 * kSecond)
+      .DegradeLink(1, 4 * kSecond, 5 * kSecond, 0.125, 3.5)
+      .DropRpcs(0, 2, 5 * kSecond, 6 * kSecond, 0.75, 12345)
+      .Partition(1, 2, 6 * kSecond, 7 * kSecond);
+
+  Result<FaultPlan> reparsed = FaultPlan::Parse(plan.ToSpec());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->size(), plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const FaultEvent& a = plan.events()[i];
+    const FaultEvent& b = reparsed->events()[i];
+    EXPECT_EQ(a.type, b.type) << "event " << i;
+    EXPECT_EQ(a.node, b.node) << "event " << i;
+    EXPECT_EQ(a.peer, b.peer) << "event " << i;
+    EXPECT_EQ(a.at, b.at) << "event " << i;
+    EXPECT_EQ(a.until, b.until) << "event " << i;
+    EXPECT_DOUBLE_EQ(a.bw_multiplier, b.bw_multiplier) << "event " << i;
+    EXPECT_DOUBLE_EQ(a.latency_multiplier, b.latency_multiplier) << "event " << i;
+    EXPECT_DOUBLE_EQ(a.drop_p, b.drop_p) << "event " << i;
+    EXPECT_EQ(a.seed, b.seed) << "event " << i;
+  }
+  // The canonical form is a fixed point of parse/print.
+  EXPECT_EQ(reparsed->ToSpec(), plan.ToSpec());
+}
+
+TEST(FaultPlanTest, ParsesHumanUnitsAndSeparators) {
+  Result<FaultPlan> plan = FaultPlan::Parse(
+      "# take replica 1 down for a second\n"
+      "crash node=1 at=1s until=2s ; stall node=2 at=1500ms until=2500ms\n"
+      "degrade node=0 at=3000000us until=4000000000ns bw=0.5 lat=2");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->size(), 3u);
+  EXPECT_EQ(plan->events()[0].at, kSecond);
+  EXPECT_EQ(plan->events()[0].until, 2 * kSecond);
+  EXPECT_EQ(plan->events()[1].at, 1500 * kMillisecond);
+  EXPECT_EQ(plan->events()[2].at, 3 * kSecond);
+  EXPECT_EQ(plan->events()[2].until, 4 * kSecond);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  // Unknown event type.
+  EXPECT_FALSE(FaultPlan::Parse("meteor node=1 at=1s until=2s").ok());
+  // Missing required key.
+  EXPECT_FALSE(FaultPlan::Parse("crash node=1 at=1s").ok());
+  EXPECT_FALSE(FaultPlan::Parse("drop src=0 at=1s until=2s p=0.5 seed=1").ok());
+  // Bad time (no digits / unknown unit).
+  EXPECT_FALSE(FaultPlan::Parse("crash node=1 at=soon until=2s").ok());
+  EXPECT_FALSE(FaultPlan::Parse("crash node=1 at=1fortnight until=2s").ok());
+  // Bad integer.
+  EXPECT_FALSE(FaultPlan::Parse("crash node=one at=1s until=2s").ok());
+  // Stray token.
+  EXPECT_FALSE(FaultPlan::Parse("crash node=1 at=1s until=2s loudly").ok());
+}
+
+TEST(FaultPlanTest, FromEnvUnsetIsEmpty) {
+  Result<FaultPlan> plan = FaultPlan::FromEnv("LINEFS_FAULT_PLAN_TEST_UNSET");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+}
+
+// --- Schedule generation -----------------------------------------------------------
+
+TEST(FaultScheduleTest, GeneratedPlansValidateAndCoverAllClasses) {
+  bool saw[6] = {false, false, false, false, false, false};
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FaultPlan plan = RandomPlan(seed);
+    EXPECT_TRUE(plan.Validate(3).ok()) << "seed " << seed;
+    ASSERT_FALSE(plan.empty()) << "seed " << seed;
+    for (const FaultEvent& e : plan.events()) {
+      saw[static_cast<int>(e.type)] = true;
+    }
+  }
+  // Any 5 consecutive seeds guarantee the five first-window classes.
+  EXPECT_TRUE(saw[static_cast<int>(FaultType::kHostCrash)]);
+  EXPECT_TRUE(saw[static_cast<int>(FaultType::kPowerFail)]);
+  EXPECT_TRUE(saw[static_cast<int>(FaultType::kPartition)]);
+  EXPECT_TRUE(saw[static_cast<int>(FaultType::kLinkDegrade)]);
+  EXPECT_TRUE(saw[static_cast<int>(FaultType::kNicStall)]);
+}
+
+TEST(FaultScheduleTest, SameSeedSamePlan) {
+  EXPECT_EQ(RandomPlan(7).ToSpec(), RandomPlan(7).ToSpec());
+  EXPECT_NE(RandomPlan(7).ToSpec(), RandomPlan(8).ToSpec());
+}
+
+// --- Injector ordering -------------------------------------------------------------
+
+core::DfsConfig TinyConfig() {
+  core::DfsConfig config;
+  config.mode = core::DfsMode::kLineFS;
+  config.num_nodes = 3;
+  config.pm_size = 64ULL << 20;
+  config.log_size = 4ULL << 20;
+  config.inode_count = 1024;
+  config.chunk_size = 1ULL << 20;
+  config.materialize_data = true;
+  // Fast failure detection keeps the partition test short.
+  config.heartbeat_interval = 200 * kMillisecond;
+  config.heartbeat_timeout = 300 * kMillisecond;
+  return config;
+}
+
+TEST(InjectorTest, SameTimeEdgesApplyInPlanOrder) {
+  sim::Engine engine;
+  core::Cluster cluster(&engine, TinyConfig());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // Three different fault types, all beginning — and ending — at the same
+  // virtual instant. The event log must list them in plan order at both edges.
+  FaultPlan plan;
+  plan.StallNic(2, kSecond, 2 * kSecond)
+      .CrashHost(1, kSecond, 2 * kSecond)
+      .DegradeLink(0, kSecond, 2 * kSecond, 0.5, 2.0);
+
+  Injector injector(&cluster, plan);
+  ASSERT_TRUE(injector.Arm().ok());
+  engine.RunUntil(engine.Now() + 3 * sim::kSecond);
+  EXPECT_TRUE(injector.done());
+
+  const std::vector<std::string>& log = injector.event_log();
+  ASSERT_EQ(log.size(), 6u);
+  EXPECT_NE(log[0].find("nic_stall node=2"), std::string::npos) << log[0];
+  EXPECT_NE(log[1].find("host_crash node=1"), std::string::npos) << log[1];
+  EXPECT_NE(log[2].find("link_degrade node=0"), std::string::npos) << log[2];
+  EXPECT_NE(log[3].find("nic_resume node=2"), std::string::npos) << log[3];
+  EXPECT_NE(log[4].find("host_recover node=1"), std::string::npos) << log[4];
+  EXPECT_NE(log[5].find("link_restore node=0"), std::string::npos) << log[5];
+  // Begin edges all stamped at t=1s, end edges at t=2s.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(log[i].find("t=1000000000 "), std::string::npos) << log[i];
+    EXPECT_NE(log[i + 3].find("t=2000000000 "), std::string::npos) << log[i + 3];
+  }
+
+  injector.Disarm();
+  cluster.Shutdown();
+  engine.Run();
+}
+
+TEST(InjectorTest, RefusesToArmInvalidPlan) {
+  sim::Engine engine;
+  core::Cluster cluster(&engine, TinyConfig());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  FaultPlan plan;
+  plan.CrashHost(1, kSecond, 3 * kSecond).CrashHost(1, 2 * kSecond, 4 * kSecond);
+  Injector injector(&cluster, plan);
+  EXPECT_FALSE(injector.Arm().ok());
+  EXPECT_EQ(injector.edges_applied(), 0u);
+
+  cluster.Shutdown();
+  engine.Run();
+}
+
+TEST(InjectorTest, PartitionDropsMessagesAndHeals) {
+  sim::Engine engine;
+  core::Cluster cluster(&engine, TinyConfig());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // Partition node 2 away from both peers over several heartbeat rounds: the
+  // cluster manager must declare its service dead, then readmit it after heal.
+  FaultPlan plan;
+  plan.Partition(0, 2, kSecond, 4 * kSecond).Partition(1, 2, kSecond, 4 * kSecond);
+  Injector injector(&cluster, plan);
+  ASSERT_TRUE(injector.Arm().ok());
+
+  engine.RunUntil(engine.Now() + 3 * sim::kSecond);
+  EXPECT_GT(injector.messages_dropped(), 0u);
+  EXPECT_FALSE(cluster.service_alive(2));
+
+  engine.RunUntil(engine.Now() + 4 * sim::kSecond);
+  EXPECT_TRUE(injector.done());
+  // Healing the fabric does not auto-readmit: a declared-dead service rejoins
+  // only when the recovery driver marks it alive again (§3.6), after which the
+  // heartbeat loop formally readmits it and bumps the epoch.
+  EXPECT_FALSE(cluster.service_alive(2));
+  uint64_t epoch_before = cluster.manager().epoch();
+  cluster.SetServiceAlive(2, true);
+  engine.RunUntil(engine.Now() + sim::kSecond);
+  EXPECT_TRUE(cluster.service_alive(2));
+  EXPECT_GT(cluster.manager().epoch(), epoch_before);
+
+  injector.Disarm();
+  cluster.Shutdown();
+  engine.Run();
+}
+
+}  // namespace
+}  // namespace linefs::fault
