@@ -12,7 +12,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "src/fault/injector.h"
 #include "src/fault/plan.h"
 #include "src/fault/schedule.h"
+#include "src/obs/critical_path.h"
 #include "src/workloads/filebench.h"
 
 namespace linefs::bench {
@@ -35,7 +38,52 @@ struct TortureRow {
   uint64_t messages_dropped = 0;
   uint64_t retransmits = 0;
   uint64_t fault_edges = 0;
+  // Per fault window: the canonical stage that dominated the critical path
+  // while the window was open ("<fault>:<stage>", in plan order).
+  std::vector<std::string> window_dominant;
 };
+
+// Intersects every operation's attributed critical-path segments with each
+// fault window and reports, per window, how the pipeline spent its time while
+// the fault was open — the "which stage did this fault hurt" view.
+obs::JsonValue AttributeFaultWindows(const obs::CriticalPathAnalyzer& analyzer,
+                                     const std::vector<fault::FaultEvent>& windows,
+                                     TortureRow* row) {
+  std::vector<obs::OpBreakdown> ops = analyzer.Operations();
+  obs::JsonValue out = obs::JsonValue::Array();
+  for (const fault::FaultEvent& w : windows) {
+    std::map<std::string, sim::Time> in_window;
+    for (const obs::OpBreakdown& op : ops) {
+      for (const obs::CriticalSegment& seg : op.segments) {
+        sim::Time begin = std::max(seg.begin, w.at);
+        sim::Time end = std::min(seg.end, w.until);
+        if (end > begin) {
+          in_window[seg.stage] += end - begin;
+        }
+      }
+    }
+    std::string dominant = "-";
+    sim::Time dominant_ns = 0;
+    obs::JsonValue stages = obs::JsonValue::Object();
+    for (const auto& [stage, ns] : in_window) {
+      stages.Set(stage, sim::ToMicros(ns));
+      if (ns > dominant_ns) {
+        dominant = stage;
+        dominant_ns = ns;
+      }
+    }
+    obs::JsonValue wj = obs::JsonValue::Object();
+    wj.Set("fault", fault::FaultTypeName(w.type));
+    wj.Set("node", w.node);
+    wj.Set("at_us", sim::ToMicros(w.at));
+    wj.Set("until_us", sim::ToMicros(w.until));
+    wj.Set("dominant_stage", dominant);
+    wj.Set("stages_us", std::move(stages));
+    out.Append(std::move(wj));
+    row->window_dominant.push_back(std::string(fault::FaultTypeName(w.type)) + ":" + dominant);
+  }
+  return out;
+}
 
 std::vector<TortureRow> g_rows;
 
@@ -50,6 +98,7 @@ void RunOne(const std::string& label, fault::FaultPlan plan) {
   TortureRow row;
   row.label = label;
   row.spec = plan.ToSpec();
+  std::vector<fault::FaultEvent> windows = plan.events();
 
   fault::Injector injector(&exp.cluster(), std::move(plan));
   Status armed = injector.Arm();
@@ -82,6 +131,11 @@ void RunOne(const std::string& label, fault::FaultPlan plan) {
   exp.AddScalar("messages_dropped", static_cast<double>(row.messages_dropped));
   exp.AddScalar("repl_retransmits", static_cast<double>(row.retransmits));
   exp.AddScalar("fault_edges_applied", static_cast<double>(row.fault_edges));
+
+  obs::CriticalPathAnalyzer analyzer(&exp.cluster().trace());
+  obs::JsonValue extra = obs::JsonValue::Object();
+  extra.Set("fault_windows", AttributeFaultWindows(analyzer, windows, &row));
+  exp.SetExtra(std::move(extra));
   g_rows.push_back(std::move(row));
 }
 
@@ -133,6 +187,16 @@ void PrintTable() {
     std::printf("%-10s %10.1f %10llu %12llu %8llu  %s\n", row.label.c_str(), row.kops,
                 (unsigned long long)row.messages_dropped, (unsigned long long)row.retransmits,
                 (unsigned long long)row.fault_edges, one_line.c_str());
+    // Which pipeline stage dominated the critical path inside each window.
+    std::string dominant;
+    for (const std::string& d : row.window_dominant) {
+      if (!dominant.empty()) {
+        dominant += ", ";
+      }
+      dominant += d;
+    }
+    std::printf("%-10s %*s stage-in-window: %s\n", "", 10, "",
+                dominant.empty() ? "-" : dominant.c_str());
   }
 }
 

@@ -5,6 +5,7 @@
 #ifndef BENCH_HARNESS_H_
 #define BENCH_HARNESS_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -18,6 +19,7 @@
 #include "src/core/libfs.h"
 #include "src/core/nicfs.h"
 #include "src/core/sharedfs.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/report.h"
 #include "src/workloads/streamcluster.h"
 
@@ -39,6 +41,9 @@ class BenchReport {
   // process exit code so main() can `return WriteBenchReport(...)`.
   int Write(const std::string& name) {
     data_.name = name;
+    data_.git_sha = GitSha();
+    data_.wall_runtime_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
     const char* dir = std::getenv("LINEFS_BENCH_DIR");
     Status st = obs::WriteBenchJson(data_, dir != nullptr ? dir : ".");
     if (!st.ok()) {
@@ -50,7 +55,28 @@ class BenchReport {
   }
 
  private:
+  // Provenance: $LINEFS_GIT_SHA (CI stamps ${{ github.sha }}), then the local
+  // git checkout, else "unknown". Never fails the bench.
+  static std::string GitSha() {
+    if (const char* sha = std::getenv("LINEFS_GIT_SHA")) {
+      return sha;
+    }
+    std::string out;
+    if (std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+      char buf[128];
+      while (std::fgets(buf, sizeof(buf), p) != nullptr) {
+        out += buf;
+      }
+      ::pclose(p);
+    }
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+    return out.empty() ? "unknown" : out;
+  }
+
   obs::BenchReportData data_;
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
 };
 
 // Benchmark-scale configuration: payload bytes elided (simulated time is
@@ -81,6 +107,10 @@ class Experiment {
     cluster_->Shutdown();
     engine_.Run();
     run_.metrics = cluster_->metrics().TakeSnapshot();
+    run_.virtual_time_us = sim::ToMicros(engine_.Now());
+    run_.config = ConfigJson(cluster_->config());
+    // Per-stage critical-path attribution of every traced operation.
+    run_.critical_path = obs::CriticalPathAnalyzer(&cluster_->trace()).ReportJson();
     BenchReport::Get().AddRun(std::move(run_));
     // Optional structured trace capture: export the last experiment's pipeline
     // spans as Chrome trace_event JSON (chrome://tracing, Perfetto).
@@ -96,6 +126,23 @@ class Experiment {
   // Records a bench-specific scalar (throughput, latency, ...) for this run.
   void AddScalar(const std::string& name, double value) {
     run_.scalars.emplace_back(name, value);
+  }
+  // Attaches a bench-specific structured payload to this run's JSON.
+  void SetExtra(obs::JsonValue extra) { run_.extra = std::move(extra); }
+
+  // The config knobs that shape performance, stamped into every run.
+  static obs::JsonValue ConfigJson(const core::DfsConfig& c) {
+    obs::JsonValue v = obs::JsonValue::Object();
+    v.Set("mode", core::DfsModeName(c.mode));
+    v.Set("num_nodes", c.num_nodes);
+    v.Set("chunk_size", c.chunk_size);
+    v.Set("materialize_data", c.materialize_data);
+    v.Set("compression", c.compression);
+    v.Set("coalescing", c.coalescing);
+    v.Set("publish_method", core::PublishMethodName(c.publish_method));
+    v.Set("replica_publish", c.replica_publish);
+    v.Set("max_stage_workers", c.max_stage_workers);
+    return v;
   }
 
   core::Cluster& cluster() { return *cluster_; }

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare BENCH_*.json reports against committed baselines.
+
+Usage:
+    scripts/bench_compare.py --baseline bench/baselines --candidate bench-out \
+        [--threshold 15] [--bench fig4_throughput --bench fig5_pipeline ...]
+
+For every BENCH_<name>.json in the baseline directory (optionally restricted
+with --bench), the candidate directory must contain a report with the same
+name, the same run labels, and the same scalar keys. Each scalar is classified
+by name:
+
+  higher-is-better:  contains "throughput", "kops", or "ops_per_sec"
+  lower-is-better:   ends in "_us" or contains "latency"
+  informational:     everything else (drop counts, fault edges, ...) -- never
+                     gates, printed for context only.
+
+A gated scalar that is more than --threshold percent worse than its baseline
+fails the comparison; a missing candidate report, run, or scalar also fails
+(silently dropping a bench is itself a regression). The "meta" block (git sha,
+wall runtime) is provenance and is always ignored. Exit status: 0 clean,
+1 regression or structural mismatch, 2 usage/IO error.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HIGHER_BETTER = ("throughput", "kops", "ops_per_sec")
+LOWER_BETTER = ("latency",)
+LOWER_BETTER_SUFFIX = "_us"
+
+
+def classify(name):
+    """Returns +1 (higher better), -1 (lower better), or 0 (informational)."""
+    lowered = name.lower()
+    if any(tag in lowered for tag in HIGHER_BETTER):
+        return 1
+    if lowered.endswith(LOWER_BETTER_SUFFIX) or any(tag in lowered for tag in LOWER_BETTER):
+        return -1
+    return 0
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def runs_by_label(report, path):
+    out = {}
+    for run in report.get("runs", []):
+        label = run.get("label", "")
+        if label in out:
+            raise SystemExit(f"error: duplicate run label {label!r} in {path}")
+        out[label] = run
+    return out
+
+
+def compare_report(name, base, cand, threshold_pct, failures, rows):
+    base_runs = runs_by_label(base, name)
+    cand_runs = runs_by_label(cand, name)
+    for label, base_run in base_runs.items():
+        cand_run = cand_runs.get(label)
+        if cand_run is None:
+            failures.append(f"{name}: run {label!r} missing from candidate")
+            continue
+        base_scalars = base_run.get("scalars", {})
+        cand_scalars = cand_run.get("scalars", {})
+        for key, base_val in base_scalars.items():
+            direction = classify(key)
+            cand_val = cand_scalars.get(key)
+            if cand_val is None:
+                failures.append(f"{name}/{label}: scalar {key!r} missing from candidate")
+                continue
+            delta_pct = None
+            if base_val != 0:
+                delta_pct = 100.0 * (cand_val - base_val) / abs(base_val)
+            verdict = "info"
+            if direction != 0:
+                verdict = "ok"
+                if base_val == 0:
+                    # Can't compute a ratio; gate only on a worse sign.
+                    worse = cand_val < 0 if direction > 0 else cand_val > 0
+                else:
+                    worse_pct = -delta_pct if direction > 0 else delta_pct
+                    worse = worse_pct > threshold_pct
+                if worse:
+                    verdict = "FAIL"
+                    failures.append(
+                        f"{name}/{label}: {key} regressed "
+                        f"{base_val:g} -> {cand_val:g} "
+                        f"({delta_pct:+.1f}%, limit {threshold_pct:.0f}%)"
+                    )
+            rows.append((name, label, key, base_val, cand_val, delta_pct, verdict))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="directory of baseline BENCH_*.json")
+    parser.add_argument("--candidate", required=True, help="directory of fresh BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="max tolerated regression, percent (default 15)")
+    parser.add_argument("--bench", action="append", default=None,
+                        help="gate only BENCH_<name>.json (repeatable; default: all baselines)")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.baseline):
+        print(f"error: baseline dir {args.baseline!r} not found", file=sys.stderr)
+        return 2
+    names = sorted(
+        f[len("BENCH_"):-len(".json")]
+        for f in os.listdir(args.baseline)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
+    if args.bench:
+        missing = [b for b in args.bench if b not in names]
+        if missing:
+            print(f"error: no baseline for {missing}", file=sys.stderr)
+            return 2
+        names = [n for n in names if n in args.bench]
+    if not names:
+        print("error: no BENCH_*.json baselines found", file=sys.stderr)
+        return 2
+
+    failures = []
+    rows = []
+    for name in names:
+        base_path = os.path.join(args.baseline, f"BENCH_{name}.json")
+        cand_path = os.path.join(args.candidate, f"BENCH_{name}.json")
+        try:
+            base = load_report(base_path)
+        except (OSError, ValueError) as e:
+            print(f"error: cannot read {base_path}: {e}", file=sys.stderr)
+            return 2
+        if not os.path.exists(cand_path):
+            failures.append(f"{name}: candidate report {cand_path} missing")
+            continue
+        try:
+            cand = load_report(cand_path)
+        except (OSError, ValueError) as e:
+            failures.append(f"{name}: cannot read candidate: {e}")
+            continue
+        compare_report(name, base, cand, args.threshold, failures, rows)
+
+    width = max((len(f"{n}/{l}") for n, l, *_ in rows), default=20)
+    print(f"{'bench/run':<{width}}  {'scalar':<28} {'baseline':>14} {'candidate':>14} "
+          f"{'delta':>8}  verdict")
+    for name, label, key, base_val, cand_val, delta_pct, verdict in rows:
+        delta = f"{delta_pct:+.1f}%" if delta_pct is not None else "n/a"
+        print(f"{name + '/' + label:<{width}}  {key:<28} {base_val:>14.3f} "
+              f"{cand_val:>14.3f} {delta:>8}  {verdict}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(rows)} scalars within {args.threshold:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,7 @@ Cluster::Cluster(sim::Engine* engine, const DfsConfig& config)
 
   metrics_ = std::make_unique<obs::MetricsRegistry>();
   trace_ = std::make_unique<obs::TraceBuffer>(engine_);
+  trace_->SetDroppedCounter(obs::MetricScope(metrics_.get(), "obs.trace").CounterAt("dropped"));
   profiler_ = std::make_unique<obs::PipelineProfiler>(engine_);
 
   fabric_ = std::make_unique<hw::Fabric>(engine_);
@@ -59,6 +60,7 @@ Cluster::Cluster(sim::Engine* engine, const DfsConfig& config)
   }
   net_ = std::make_unique<rdma::Network>(engine_, fabric_.get(), raw_nodes, config_.rdma_costs);
   rpc_ = std::make_unique<rdma::RpcSystem>(net_.get());
+  rpc_->SetTrace(trace_.get());
   service_alive_.resize(config_.num_nodes, true);
 
   for (int i = 0; i < config_.num_nodes; ++i) {
@@ -67,7 +69,8 @@ Cluster::Cluster(sim::Engine* engine, const DfsConfig& config)
   if (config_.IsLineFs()) {
     for (int i = 0; i < config_.num_nodes; ++i) {
       kworkers_.push_back(std::make_unique<KernelWorker>(dfs_nodes_[i].get(), &config_,
-                                                         rpc_.get(), metrics_.get()));
+                                                         rpc_.get(), metrics_.get(),
+                                                         trace_.get()));
     }
     for (int i = 0; i < config_.num_nodes; ++i) {
       nicfs_.push_back(std::make_unique<NicFs>(this, dfs_nodes_[i].get(), kworkers_[i].get(),

@@ -7,8 +7,9 @@
 namespace linefs::core {
 
 KernelWorker::KernelWorker(DfsNode* node, const DfsConfig* config, rdma::RpcSystem* rpc,
-                           obs::MetricsRegistry* metrics)
-    : node_(node), config_(config), rpc_(rpc), engine_(node->hw().engine()) {
+                           obs::MetricsRegistry* metrics, obs::TraceBuffer* trace)
+    : node_(node), config_(config), rpc_(rpc), engine_(node->hw().engine()), trace_(trace),
+      component_("kworker." + std::to_string(node->id())) {
   obs::MetricScope scope(metrics, "kworker." + std::to_string(node->id()));
   copies_executed_ = scope.CounterAt("copies_executed");
   bytes_copied_ = scope.CounterAt("bytes_copied");
@@ -31,6 +32,9 @@ void KernelWorker::Start() {
         if (!plan.has_value()) {
           co_return Ack{static_cast<int32_t>(ErrorCode::kInvalid)};
         }
+        // The host-side data movement, nested under NICFS's publish span.
+        obs::Span span(trace_, component_, "copy", node_->id(),
+                       static_cast<int>(req.client), req.plan_id, req.ctx);
         Status st = co_await ExecuteCopyList(*plan);
         co_return Ack{static_cast<int32_t>(st.code())};
       });

@@ -13,6 +13,7 @@
 #include "src/core/dfs_node.h"
 #include "src/core/messages.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rdma/rpc.h"
 #include "src/sim/task.h"
 
@@ -21,7 +22,7 @@ namespace linefs::core {
 class KernelWorker {
  public:
   KernelWorker(DfsNode* node, const DfsConfig* config, rdma::RpcSystem* rpc,
-               obs::MetricsRegistry* metrics);
+               obs::MetricsRegistry* metrics, obs::TraceBuffer* trace = nullptr);
 
   // Registers the RPC endpoint ("kworker/<id>").
   void Start();
@@ -52,6 +53,8 @@ class KernelWorker {
   sim::Engine* engine_;
   obs::Counter* copies_executed_;
   obs::Counter* bytes_copied_;
+  obs::TraceBuffer* trace_;
+  std::string component_;  // "kworker.<node>": trace category.
 };
 
 }  // namespace linefs::core

@@ -73,6 +73,8 @@ void LibFs::Attach() {
   node_ = &cluster_->dfs_node(node_id_);
   config_ = &cluster_->config();
   engine_ = cluster_->engine();
+  trace_ = &cluster_->trace();
+  trace_component_ = "libfs." + std::to_string(client_id_);
   nicfs_ = cluster_->nicfs(node_id_);
   sharedfs_ = cluster_->sharedfs(node_id_);
   log_ = &node_->client_log(client_id_);
@@ -147,6 +149,10 @@ sim::Task<Status> LibFs::BeginMutation(fslib::InodeNum a, fslib::InodeNum b) {
 }
 
 sim::Task<> LibFs::FlushForHandoff(uint64_t upto) {
+  // Handoff flushes root their own trace, like an fsync would.
+  obs::Span root(trace_, trace_component_, "handoff_flush", node_id_, client_id_, 0,
+                 obs::TraceContext{});
+  obs::TraceContext ctx = root.context();
   // 1) Make everything durable/replicated (the fsync path also forces the
   // urgent fetch of the partial tail chunk in LineFS).
   if (config_->IsLineFs()) {
@@ -156,11 +162,12 @@ sim::Task<> LibFs::FlushForHandoff(uint64_t upto) {
     init.account = node_->hw().acct_fs();
     Result<Ack> ack = co_await cluster_->rpc().Call<FsyncReq, Ack>(
         init, rdma::MemAddr{node_id_, rdma::Space::kHostPm}, NicFs::EndpointName(node_id_),
-        rdma::Channel::kLowLat, kRpcFsync, FsyncReq{static_cast<uint32_t>(client_id_), upto},
-        /*timeout=*/10 * sim::kSecond);
+        rdma::Channel::kLowLat, kRpcFsync,
+        FsyncReq{static_cast<uint32_t>(client_id_), upto, ctx},
+        /*timeout=*/10 * sim::kSecond, ctx);
     (void)ack;
   } else {
-    Status st = co_await sharedfs_->Fsync(client_id_, upto);
+    Status st = co_await sharedfs_->Fsync(client_id_, upto, ctx);
     (void)st;
   }
   // 2) Wait for local publication to cover the handoff point, so validation
@@ -364,8 +371,12 @@ sim::Task<Status> LibFs::AppendEntry(fslib::LogEntryHeader header,
 
 void LibFs::KickService() {
   if (config_->IsLineFs()) {
-    // Asynchronous RPC: LibFS does not wait (§3.3.1).
+    // Asynchronous RPC: LibFS does not wait (§3.3.1). Each kick roots a
+    // background-publish trace that the pipeline stages parent into.
     engine_->Spawn([](LibFs* self) -> sim::Task<> {
+      obs::Span root(self->trace_, self->trace_component_, "publish_kick", self->node_id_,
+                     self->client_id_, 0, obs::TraceContext{});
+      obs::TraceContext ctx = root.context();
       rdma::Initiator init;
       init.cpu = &self->node_->hw().host_cpu();
       init.priority = sim::Priority::kNormal;
@@ -373,7 +384,8 @@ void LibFs::KickService() {
       Result<Ack> ignored = co_await self->cluster_->rpc().Call<StartPipelineReq, Ack>(
           init, rdma::MemAddr{self->node_id_, rdma::Space::kHostPm},
           NicFs::EndpointName(self->node_id_), rdma::Channel::kHighTput, kRpcStartPipeline,
-          StartPipelineReq{static_cast<uint32_t>(self->client_id_)});
+          StartPipelineReq{static_cast<uint32_t>(self->client_id_), ctx},
+          /*timeout=*/10 * sim::kMillisecond, ctx);
       (void)ignored;
     }(this));
   } else {
@@ -654,6 +666,11 @@ sim::Task<Status> LibFs::Fsync(int fd) {
   }
   uint64_t upto = log_->tail();
   co_await ChargeCpu(config_->fs_costs.libfs_op_cycles);
+  // Root of this operation's causal trace: every span the fsync touches —
+  // NIC pipeline stages, replica copies, acks — parents into this one.
+  obs::Span root(trace_, trace_component_, "fsync", node_id_, client_id_, 0,
+                 obs::TraceContext{});
+  obs::TraceContext ctx = root.context();
   if (config_->IsLineFs()) {
     rdma::Initiator init;
     init.cpu = &node_->hw().host_cpu();
@@ -662,8 +679,8 @@ sim::Task<Status> LibFs::Fsync(int fd) {
     Result<Ack> ack = co_await cluster_->rpc().Call<FsyncReq, Ack>(
         init, rdma::MemAddr{node_id_, rdma::Space::kHostPm}, NicFs::EndpointName(node_id_),
         rdma::Channel::kLowLat, kRpcFsync,
-        FsyncReq{static_cast<uint32_t>(client_id_), upto},
-        /*timeout=*/10 * sim::kSecond);
+        FsyncReq{static_cast<uint32_t>(client_id_), upto, ctx},
+        /*timeout=*/10 * sim::kSecond, ctx);
     if (!ack.ok()) {
       co_return ack.status();
     }
@@ -672,7 +689,7 @@ sim::Task<Status> LibFs::Fsync(int fd) {
     }
     co_return Status::Ok();
   }
-  co_return co_await sharedfs_->Fsync(client_id_, upto);
+  co_return co_await sharedfs_->Fsync(client_id_, upto, ctx);
 }
 
 // --- Namespace ops ----------------------------------------------------------------------------

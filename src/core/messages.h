@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "src/fslib/types.h"
+#include "src/obs/trace.h"
 
 namespace linefs::core {
 
@@ -36,11 +37,13 @@ struct Ack {
 
 struct StartPipelineReq {
   uint32_t client = 0;
+  obs::TraceContext ctx;  // Parents the pipeline's stage spans (causal tracing).
 };
 
 struct FsyncReq {
   uint32_t client = 0;
   uint64_t upto = 0;  // Logical log position that must be replicated+durable.
+  obs::TraceContext ctx;  // Root minted by LibFs::Fsync.
 };
 
 struct OpenReq {
@@ -71,6 +74,7 @@ struct ReplChunkMsg {
   uint8_t urgent = 0;          // fsync-path chunk: use the low-latency channel.
   int32_t origin_node = 0;     // Primary node id.
   int32_t hop = 0;             // Position in the chain (1 = first replica).
+  obs::TraceContext ctx;       // Sender-side transfer span; replica spans nest under it.
 };
 
 struct ReplAckMsg {
@@ -78,6 +82,7 @@ struct ReplAckMsg {
   uint64_t chunk_no = 0;
   uint64_t to = 0;         // Log position covered.
   int32_t replica_node = 0;
+  obs::TraceContext ctx;   // Replica-side copy span the ack resolves.
 };
 
 struct PingReq {
@@ -87,6 +92,7 @@ struct PingReq {
 struct KworkerCopyReq {
   uint32_t client = 0;
   uint64_t plan_id = 0;  // Key into the node's shared plan table.
+  obs::TraceContext ctx;  // Publish span on the NIC; the host copy nests under it.
 };
 
 struct HeartbeatMsg {

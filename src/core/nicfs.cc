@@ -162,6 +162,9 @@ void NicFs::Start() {
                                     [this](StartPipelineReq req) -> sim::Task<Ack> {
                                       auto it = pipes_.find(static_cast<int>(req.client));
                                       if (it != pipes_.end()) {
+                                        if (req.ctx.valid()) {
+                                          it->second->active_ctx = req.ctx;
+                                        }
                                         it->second->fetch_cv.NotifyAll();
                                       }
                                       co_return Ack{};
@@ -353,7 +356,9 @@ sim::Task<NicFs::ChunkPtr> NicFs::FetchOne(ClientPipe* pipe) {
   nic.ReserveMem(chunk->mem_reserved);
   pipe->fetch_upto = to;
 
-  obs::Span span(trace_, component_, "fetch", node_->id(), pipe->client, chunk->no);
+  obs::Span span(trace_, component_, "fetch", node_->id(), pipe->client, chunk->no,
+                 pipe->active_ctx);
+  chunk->ctx = span.context();
   sim::Time t0 = engine_->Now();
   // One-sided RDMA read of the log range: host PM -> NIC memory across PCIe.
   co_await cluster_->net().Read(NicInitiator(chunk->urgent),
@@ -387,7 +392,11 @@ sim::Task<> NicFs::FetchLoop(ClientPipe* pipe) {
 // --- Validate stage (shared by both pipelines) ---------------------------------
 
 sim::Task<> NicFs::DoValidate(ClientPipe* pipe, ChunkPtr chunk) {
-  obs::Span span(trace_, component_, "validate", node_->id(), pipe->client, chunk->no);
+  obs::Span span(trace_, component_, "validate", node_->id(), pipe->client, chunk->no,
+                 chunk->ctx);
+  // Downstream stages (compress/transfer/publish) nest under the validation
+  // span, which itself nests under fetch.
+  chunk->ctx = span.context();
   sim::Time t0 = engine_->Now();
   Result<std::vector<fslib::ParsedEntry>> parsed =
       config_->materialize_data
@@ -457,7 +466,8 @@ sim::Task<> NicFs::CompressWorker(ClientPipe* pipe) {
       continue;
     }
     if (!chunk->failed && config_->materialize_data && !chunk->image.empty()) {
-      obs::Span span(trace_, component_, "compress", node_->id(), pipe->client, chunk->no);
+      obs::Span span(trace_, component_, "compress", node_->id(), pipe->client, chunk->no,
+                     chunk->ctx);
       sim::Time t0 = engine_->Now();
       // Parallel compression: the chunk is split across SmartNIC cores.
       uint64_t total_cycles = static_cast<uint64_t>(
@@ -493,7 +503,8 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
     ReleaseChunk(chunk.get());
     co_return;
   }
-  obs::Span span(trace_, component_, "transfer", node_->id(), pipe->client, chunk->no);
+  obs::Span span(trace_, component_, "transfer", node_->id(), pipe->client, chunk->no,
+                 chunk->ctx);
   sim::Time t0 = engine_->Now();
   int next = chain[1];
   uint64_t wire_bytes = chunk->wire_compressed ? chunk->wire.size() : chunk->bytes();
@@ -505,6 +516,7 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
     st.from = chunk->from;
     st.last_send = engine_->Now();
     st.urgent = chunk->urgent;
+    st.ctx = span.context();
     pipe->pending_acks[chunk->no] = std::move(st);
   }
 
@@ -533,10 +545,11 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
   msg.urgent = chunk->urgent ? 1 : 0;
   msg.origin_node = node_->id();
   msg.hop = 1;
+  msg.ctx = span.context();
   Result<Ack> ack = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
       NicInitiator(chunk->urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
       EndpointName(next), chunk->urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
-      kRpcReplChunk, msg);
+      kRpcReplChunk, msg, 10 * sim::kMillisecond, span.context());
   (void)ack;
   span.End();
   metrics_.chunks_transferred->Increment();
@@ -565,7 +578,8 @@ sim::Task<> NicFs::TransferWorker(ClientPipe* pipe) {
 // --- Publish stage ---------------------------------------------------------------
 
 sim::Task<Status> NicFs::PublishChunk(PipeBase* pipe, ChunkPtr chunk) {
-  obs::Span span(trace_, component_, "publish", node_->id(), pipe->client, chunk->no);
+  obs::Span span(trace_, component_, "publish", node_->id(), pipe->client, chunk->no,
+                 chunk->ctx);
   sim::Time t0 = engine_->Now();
   Status result = Status::Ok();
   if (!chunk->failed) {
@@ -587,8 +601,9 @@ sim::Task<Status> NicFs::PublishChunk(PipeBase* pipe, ChunkPtr chunk) {
         Result<Ack> ack = co_await cluster_->rpc().Call<KworkerCopyReq, Ack>(
             NicInitiator(false), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
             KernelWorker::EndpointName(node_->id()), rdma::Channel::kHighTput,
-            kRpcKworkerCopy, KworkerCopyReq{static_cast<uint32_t>(pipe->client), plan_id},
-            config_->kworker_rpc_timeout);
+            kRpcKworkerCopy,
+            KworkerCopyReq{static_cast<uint32_t>(pipe->client), plan_id, span.context()},
+            config_->kworker_rpc_timeout, span.context());
         if (ack.ok() && ack->status == 0) {
           copies_done = true;
         } else {
@@ -740,6 +755,12 @@ sim::Task<> NicFs::HandleReplChunk(ReplChunkMsg msg) {
   bool urgent = msg.urgent != 0;
   uint64_t raw_bytes = msg.to - msg.from;
 
+  // This replica's receive span nests under the sender's transfer span; the
+  // forward / local-copy / publish work below nests under it in turn.
+  obs::Span recv_span(trace_, component_, "repl_recv", node_->id(),
+                      static_cast<int>(msg.client), msg.chunk_no, msg.ctx);
+  msg.ctx = recv_span.context();
+
   hw::SmartNic& nic = node_->hw().nic();
   if (!msg.direct_to_host) {
     nic.ReserveMem(raw_bytes);
@@ -787,6 +808,7 @@ sim::Task<> NicFs::HandleReplChunk(ReplChunkMsg msg) {
     chunk->from = msg.from;
     chunk->to = msg.to;
     chunk->release_refs = 1;
+    chunk->ctx = msg.ctx;  // Replica publication joins the operation's trace.
     if (config_->materialize_data) {
       Result<std::vector<fslib::ParsedEntry>> parsed =
           msg.direct_to_host ? log.ParseRange(msg.from, msg.to)
@@ -813,8 +835,11 @@ sim::Task<> NicFs::ForwardChunk(ReplChunkMsg msg, WirePayload payload,
   int next = chain[msg.hop + 1];
   bool next_is_last = msg.hop + 2 >= static_cast<int>(chain.size());
   bool urgent = msg.urgent != 0;
+  obs::Span span(trace_, component_, "forward", node_->id(), static_cast<int>(msg.client),
+                 msg.chunk_no, msg.ctx);
   ReplChunkMsg fwd = msg;
   fwd.hop = msg.hop + 1;
+  fwd.ctx = span.context();
 
   if (next_is_last && msg.compressed == 0) {
     // Penultimate-hop optimisation (Fig. 3, step 6'): write straight into the
@@ -847,13 +872,15 @@ sim::Task<> NicFs::ForwardChunk(ReplChunkMsg msg, WirePayload payload,
   Result<Ack> ack = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
       NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
       EndpointName(next), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
-      kRpcReplChunk, fwd);
+      kRpcReplChunk, fwd, 10 * sim::kMillisecond, span.context());
   (void)ack;
 }
 
 sim::Task<> NicFs::LocalCopyAndAck(ReplChunkMsg msg, WirePayload payload,
                                    std::vector<uint8_t> image, fslib::LogArea& log) {
   bool urgent = msg.urgent != 0;
+  obs::Span span(trace_, component_, "repl_copy", node_->id(), static_cast<int>(msg.client),
+                 msg.chunk_no, msg.ctx);
   if (!msg.direct_to_host) {
     // NIC memory -> local host PM log across PCIe.
     co_await cluster_->net().RawTransfer(rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
@@ -874,10 +901,11 @@ sim::Task<> NicFs::LocalCopyAndAck(ReplChunkMsg msg, WirePayload payload,
   ack.chunk_no = msg.chunk_no;
   ack.to = msg.to;
   ack.replica_node = node_->id();
+  ack.ctx = span.context();
   Result<Ack> sent = co_await cluster_->rpc().Call<ReplAckMsg, Ack>(
       NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
       EndpointName(msg.origin_node), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
-      kRpcReplAck, ack);
+      kRpcReplAck, ack, 10 * sim::kMillisecond, span.context());
   (void)sent;
 }
 
@@ -921,9 +949,16 @@ void NicFs::AdvanceReplicated(ClientPipe* pipe) {
     }
     if (first->second.transfer_done > 0) {
       metrics_.stage_ack->Record(engine_->Now() - first->second.transfer_done);
-      trace_->Record(obs::TraceEvent{component_, "ack", node_->id(), pipe->client,
-                                     first->first, first->second.transfer_done,
-                                     engine_->Now()});
+      obs::TraceEvent ev{component_, "ack", node_->id(), pipe->client, first->first,
+                         first->second.transfer_done, engine_->Now()};
+      if (first->second.ctx.valid()) {
+        // The ack window (transfer done -> all replicas confirmed) nests as a
+        // sibling of the transfer span's children.
+        ev.trace_id = first->second.ctx.trace_id;
+        ev.span_id = trace_->NextId();
+        ev.parent_span = first->second.ctx.parent_span;
+      }
+      trace_->Record(std::move(ev));
     }
     pipe->replicated_upto = std::max(pipe->replicated_upto, first->second.to);
     pipe->pending_acks.erase(first);
@@ -957,12 +992,14 @@ sim::Task<> NicFs::ReplRetryMonitor(ClientPipe* pipe) {
     uint64_t chunk_no = it->first;
     it->second.last_send = engine_->Now();
     co_await RetransmitChunk(pipe, chunk_no, it->second.from, it->second.to,
-                             it->second.acked, it->second.urgent);
+                             it->second.acked, it->second.urgent, it->second.ctx);
   }
 }
 
 sim::Task<> NicFs::RetransmitChunk(ClientPipe* pipe, uint64_t chunk_no, uint64_t from,
-                                   uint64_t to, std::set<int> already_acked, bool urgent) {
+                                   uint64_t to, std::set<int> already_acked, bool urgent,
+                                   obs::TraceContext ctx) {
+  obs::Span span(trace_, component_, "retransmit", node_->id(), pipe->client, chunk_no, ctx);
   // The log range is still resident: reclaim never passes an unreplicated
   // chunk, so the bytes can be re-read straight from the client log.
   std::vector<uint8_t> image;
@@ -999,10 +1036,11 @@ sim::Task<> NicFs::RetransmitChunk(ClientPipe* pipe, uint64_t chunk_no, uint64_t
     // Terminal hop: retransmits fan out point-to-point, never chain-forward
     // (the original chain may have partially succeeded).
     msg.hop = cluster_->num_nodes();
+    msg.ctx = span.context();
     Result<Ack> ack = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
         NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
         EndpointName(replica), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
-        kRpcReplChunk, msg);
+        kRpcReplChunk, msg, 10 * sim::kMillisecond, span.context());
     (void)ack;
     metrics_.repl_retransmits->Increment();
   }
@@ -1016,6 +1054,12 @@ sim::Task<Ack> NicFs::HandleFsync(FsyncReq req) {
     co_return Ack{static_cast<int32_t>(ErrorCode::kInvalid)};
   }
   ClientPipe* pipe = it->second.get();
+  // The wait span nests under the client's fsync root; chunks fetched while
+  // this fsync drives the pipe parent under it too.
+  obs::Span span(trace_, component_, "fsync_wait", node_->id(), pipe->client, 0, req.ctx);
+  if (req.ctx.valid()) {
+    pipe->active_ctx = span.context();
+  }
   ++pipe->urgent_waiters;
   pipe->urgent = true;
   pipe->fetch_cv.NotifyAll();

@@ -122,6 +122,9 @@ class NicFs {
     uint64_t mem_reserved = 0;
     int release_refs = 0;
     sim::Time transfer_done_at = 0;
+    // Causal-trace position: updated as the chunk moves through the shared
+    // stages (fetch -> validate), so each stage span parents on the previous.
+    obs::TraceContext ctx;
     uint64_t bytes() const { return to - from; }
   };
   using ChunkPtr = std::shared_ptr<Chunk>;
@@ -150,6 +153,9 @@ class NicFs {
     uint64_t fetch_upto = 0;
     uint64_t next_chunk_no = 0;
     bool urgent = false;
+    // Trace context newly fetched chunks parent under: the most recent
+    // publish kick / fsync that woke this pipe.
+    obs::TraceContext active_ctx;
     sim::Queue<ChunkPtr> validate_q;
     sim::Queue<ChunkPtr> compress_q;
     sim::ReorderBuffer<ChunkPtr> transfer_rb;
@@ -161,6 +167,7 @@ class NicFs {
       sim::Time transfer_done = 0;
       sim::Time last_send = 0;     // Retransmit sweeper staleness clock.
       bool urgent = false;
+      obs::TraceContext ctx;       // Transfer span; the ack event nests under it.
     };
     std::map<uint64_t, AckState> pending_acks;  // Keyed by chunk number.
     uint64_t replicated_upto = 0;
@@ -196,7 +203,8 @@ class NicFs {
   void AdvanceReplicated(ClientPipe* pipe);
   sim::Task<> ReplRetryMonitor(ClientPipe* pipe);
   sim::Task<> RetransmitChunk(ClientPipe* pipe, uint64_t chunk_no, uint64_t from, uint64_t to,
-                              std::set<int> already_acked, bool urgent);
+                              std::set<int> already_acked, bool urgent,
+                              obs::TraceContext ctx);
 
   // Registry-backed metric handles (hot-path increments stay pointer-cheap).
   struct Metrics {

@@ -32,6 +32,8 @@ SharedFs::SharedFs(Cluster* cluster, DfsNode* node, const DfsConfig* config)
       &node_->fs().inodes(), &node_->fs().dirs(),
       [](uint32_t, fslib::InodeNum) { return true; });
 
+  component_ = "sharedfs." + std::to_string(node->id());
+  trace_ = &cluster->trace();
   obs::MetricScope scope(&cluster->metrics(), "sharedfs." + std::to_string(node->id()));
   metrics_.chunks_digested = scope.CounterAt("chunks_digested");
   metrics_.bytes_digested = scope.CounterAt("bytes_digested");
@@ -159,7 +161,9 @@ void SharedFs::NotifyChunkReady(int client) {
 // --- Digestion (publication on host cores) ---------------------------------------
 
 sim::Task<Status> SharedFs::DigestRange(fslib::LogArea* log, uint64_t from, uint64_t to,
-                                        uint64_t* published_upto, bool replica_side) {
+                                        uint64_t* published_upto, bool replica_side,
+                                        obs::TraceContext ctx) {
+  obs::Span span(trace_, component_, "digest", node_->id(), /*client=*/0, from, ctx);
   hw::Node& hw = node_->hw();
   Result<std::vector<fslib::ParsedEntry>> parsed = log->ParseRange(from, to);
   if (!parsed.ok()) {
@@ -273,7 +277,7 @@ sim::Task<> SharedFs::BgReplWorker(int worker_id) {
 // --- Replication ---------------------------------------------------------------------
 
 sim::Task<Status> SharedFs::ReplicateRange(ClientState* state, uint64_t from, uint64_t to,
-                                           bool urgent) {
+                                           bool urgent, obs::TraceContext ctx) {
   std::vector<int> chain = ChainFor(node_->id());
   if (chain.size() == 1) {
     state->replicated_upto = std::max(state->replicated_upto, to);
@@ -288,9 +292,10 @@ sim::Task<Status> SharedFs::ReplicateRange(ClientState* state, uint64_t from, ui
     state->repl_mu.Unlock();
     co_return Status::Ok();
   }
+  obs::Span span(trace_, component_, "replicate", node_->id(), state->client, from, ctx);
   Status result = Status::Ok();
   if (config_->mode == DfsMode::kAssiseHyperloop) {
-    result = co_await ReplicateHyperloop(state, from, to, urgent);
+    result = co_await ReplicateHyperloop(state, from, to, urgent, span.context());
     state->repl_mu.Unlock();
     co_return result;
   }
@@ -324,10 +329,11 @@ sim::Task<Status> SharedFs::ReplicateRange(ClientState* state, uint64_t from, ui
   msg.urgent = urgent ? 1 : 0;
   msg.origin_node = node_->id();
   msg.hop = 1;
+  msg.ctx = span.context();
   Result<Ack> ack = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
       HostInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kHostPm},
       EndpointName(next), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
-      kRpcReplChunk, msg, /*timeout=*/200 * sim::kMillisecond);
+      kRpcReplChunk, msg, /*timeout=*/200 * sim::kMillisecond, span.context());
   if (!ack.ok()) {
     state->repl_mu.Unlock();
     co_return ack.status();
@@ -342,7 +348,7 @@ sim::Task<Status> SharedFs::ReplicateRange(ClientState* state, uint64_t from, ui
 }
 
 sim::Task<Status> SharedFs::ReplicateHyperloop(ClientState* state, uint64_t from, uint64_t to,
-                                               bool urgent) {
+                                               bool urgent, obs::TraceContext ctx) {
   uint64_t bytes = to - from;
   std::vector<int> chain = ChainFor(node_->id());
   hw::Node& hw = node_->hw();
@@ -415,6 +421,7 @@ sim::Task<Status> SharedFs::ReplicateHyperloop(ClientState* state, uint64_t from
     note.direct_to_host = 1;
     note.origin_node = node_->id();
     note.hop = static_cast<int32_t>(chain.size());  // No forwarding.
+    note.ctx = ctx;
     int target = chain[hop];
     engine_->Spawn([](SharedFs* self, int target, ReplChunkMsg note) -> sim::Task<> {
       Result<Ack> ignored = co_await self->cluster_->rpc().Call<ReplChunkMsg, Ack>(
@@ -431,6 +438,9 @@ sim::Task<> SharedFs::HandleReplRange(ReplChunkMsg msg) {
   hw::Node& hw = node_->hw();
   fslib::LogArea& log = node_->client_log(static_cast<int>(msg.client));
   bool urgent = msg.urgent != 0;
+  obs::Span recv_span(trace_, component_, "repl_recv", node_->id(),
+                      static_cast<int>(msg.client), msg.chunk_no, msg.ctx);
+  msg.ctx = recv_span.context();
 
   if (msg.direct_to_host == 0) {
     // Persist bookkeeping for the received range.
@@ -463,7 +473,7 @@ sim::Task<> SharedFs::HandleReplRange(ReplChunkMsg msg) {
       Result<Ack> ack = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
           HostInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kHostPm},
           EndpointName(next), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
-          kRpcReplChunk, fwd, /*timeout=*/200 * sim::kMillisecond);
+          kRpcReplChunk, fwd, /*timeout=*/200 * sim::kMillisecond, msg.ctx);
       (void)ack;
     }
   } else {
@@ -522,7 +532,7 @@ sim::Task<> SharedFs::ReplicaDigestWorker(ReplicaState* state) {
 
 // --- fsync / open ------------------------------------------------------------------------
 
-sim::Task<Status> SharedFs::Fsync(int client, uint64_t upto) {
+sim::Task<Status> SharedFs::Fsync(int client, uint64_t upto, obs::TraceContext ctx) {
   auto it = clients_.find(client);
   if (it == clients_.end()) {
     co_return Status::Error(ErrorCode::kInvalid, "unknown client");
@@ -540,7 +550,7 @@ sim::Task<Status> SharedFs::Fsync(int client, uint64_t upto) {
   }
   if (state->replicated_upto < upto) {
     Status st =
-        co_await ReplicateRange(state, state->replicated_upto, upto, /*urgent=*/true);
+        co_await ReplicateRange(state, state->replicated_upto, upto, /*urgent=*/true, ctx);
     if (!st.ok()) {
       co_return st;
     }

@@ -31,6 +31,7 @@
 #include "src/core/messages.h"
 #include "src/fslib/validate.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rdma/rpc.h"
 #include "src/sim/queue.h"
 #include "src/sim/sync.h"
@@ -60,7 +61,8 @@ class SharedFs {
   void NotifyChunkReady(int client);
 
   // Synchronous durability: replicate (and persist) everything up to `upto`.
-  sim::Task<Status> Fsync(int client, uint64_t upto);
+  // `ctx` is the caller's (LibFS) trace context; all spans parent under it.
+  sim::Task<Status> Fsync(int client, uint64_t upto, obs::TraceContext ctx = {});
 
   // Host-local permission check for open().
   sim::Task<Status> OpenCheck(int client, fslib::InodeNum inum);
@@ -117,13 +119,15 @@ class SharedFs {
   sim::Task<> ReplicaDigestWorker(ReplicaState* state);
 
   // Chain-replicates log range [from, to) of `client` (mode-dependent path).
-  sim::Task<Status> ReplicateRange(ClientState* state, uint64_t from, uint64_t to, bool urgent);
+  sim::Task<Status> ReplicateRange(ClientState* state, uint64_t from, uint64_t to, bool urgent,
+                                   obs::TraceContext ctx = {});
   sim::Task<Status> ReplicateHyperloop(ClientState* state, uint64_t from, uint64_t to,
-                                       bool urgent);
+                                       bool urgent, obs::TraceContext ctx = {});
 
   // Digests (publishes) log range [from, to) on this node with host memcpy.
   sim::Task<Status> DigestRange(fslib::LogArea* log, uint64_t from, uint64_t to,
-                                uint64_t* published_upto, bool replica_side = false);
+                                uint64_t* published_upto, bool replica_side = false,
+                                obs::TraceContext ctx = {});
 
   sim::Task<> HandleReplRange(ReplChunkMsg msg);
   void TryReclaim(ClientState* state);
@@ -146,6 +150,8 @@ class SharedFs {
       bg_queues_;
   uint64_t hyperloop_ops_since_prepost_ = 0;
   bool shutdown_ = false;
+  std::string component_;  // "sharedfs.<node>": trace category.
+  obs::TraceBuffer* trace_ = nullptr;
 
   // Registry-backed counters ("sharedfs.<node>" scope); minted in the ctor.
   struct Metrics {

@@ -1,0 +1,97 @@
+// Critical-path reconstruction and per-stage latency attribution.
+//
+// The TraceBuffer holds flat spans linked by (trace_id, span_id, parent_span).
+// This analyzer groups them back into per-operation trees (one tree per
+// fsync / publish kick), then answers "where did this operation's latency
+// go?" the way the LineFS paper's Fig. 5 / Fig. 12 breakdowns do:
+//
+//   1. Find the root span (parent_span == 0, or orphaned earliest span when
+//      the ring dropped the root) and clip every descendant to its interval.
+//   2. Sweep the root interval boundary-to-boundary; each elementary interval
+//      is attributed to the *deepest* active span (ties: latest begin, then
+//      highest span id — both deterministic). The root itself attributes to
+//      "wait": time the operation spent with no pipeline stage active.
+//   3. Map raw stage names onto the paper's canonical stages — copy,
+//      validate, compress, replicate-net, persist, ack — and sum.
+//
+// Because the sweep partitions the root interval exactly, each operation's
+// per-stage times sum to its end-to-end latency by construction. ReportJson()
+// aggregates operations per root stage (fsync vs publish) into a stage table
+// plus p99-outlier exemplar traces, and is embedded into BENCH_*.json by
+// bench/harness.h.
+
+#ifndef SRC_OBS_CRITICAL_PATH_H_
+#define SRC_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/trace.h"
+#include "src/sim/time.h"
+
+namespace linefs::obs {
+
+// One attributed slice of an operation's critical path.
+struct CriticalSegment {
+  std::string stage;      // Canonical stage name ("copy", "replicate-net", ...).
+  std::string raw_stage;  // Stage name as recorded ("fetch", "transfer", ...).
+  int node = 0;
+  sim::Time begin = 0;
+  sim::Time end = 0;
+
+  sim::Time duration() const { return end - begin; }
+};
+
+// Per-operation latency attribution: one fsync / publish kick.
+struct OpBreakdown {
+  uint64_t trace_id = 0;
+  std::string root_component;  // e.g. "libfs.0"
+  std::string root_stage;      // e.g. "fsync"
+  int client = 0;
+  sim::Time begin = 0;
+  sim::Time end = 0;
+  size_t span_count = 0;
+  std::set<int> nodes;                       // Every node the trace touched.
+  std::map<std::string, sim::Time> stage_ns;  // Canonical stage -> attributed time.
+  std::vector<CriticalSegment> segments;      // The attributed timeline, in order.
+
+  sim::Time duration() const { return end - begin; }
+};
+
+class CriticalPathAnalyzer {
+ public:
+  // Traces with more spans than this are summarized without a segment sweep
+  // (the sweep is quadratic in the worst case); none of the pipeline's traces
+  // come close in practice.
+  static constexpr size_t kMaxSpansPerTrace = 4096;
+
+  explicit CriticalPathAnalyzer(const TraceBuffer* buffer) : buffer_(buffer) {}
+
+  // Maps a recorded stage name onto the canonical stage vocabulary.
+  static std::string CanonicalStage(std::string_view raw);
+
+  // Reconstructs every complete trace in the buffer, oldest root first.
+  // root_stage filters on the root span's stage name (empty = all).
+  std::vector<OpBreakdown> Operations(std::string_view root_stage = {}) const;
+
+  // Sums canonical-stage time across operations.
+  static std::map<std::string, sim::Time> StageTable(const std::vector<OpBreakdown>& ops);
+
+  // JSON for BENCH_*.json: operations grouped by root stage, each group with
+  // op count, end-to-end latency stats (mean/p50/p99/max), the per-stage
+  // table (total + percent), and the slowest `max_exemplars` operations as
+  // segment-level exemplar traces.
+  JsonValue ReportJson(size_t max_exemplars = 3) const;
+
+ private:
+  const TraceBuffer* buffer_;
+};
+
+}  // namespace linefs::obs
+
+#endif  // SRC_OBS_CRITICAL_PATH_H_

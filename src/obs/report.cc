@@ -35,7 +35,11 @@ JsonValue RawHistogramJson(const HistogramSummary& s) {
 JsonValue ReportJson(const BenchReportData& data) {
   JsonValue doc = JsonValue::Object();
   doc.Set("bench", data.name);
-  doc.Set("schema_version", 1);
+  doc.Set("schema_version", 2);
+  JsonValue meta = JsonValue::Object();
+  meta.Set("git_sha", data.git_sha.empty() ? std::string("unknown") : data.git_sha);
+  meta.Set("wall_runtime_sec", data.wall_runtime_sec);
+  doc.Set("meta", std::move(meta));
   JsonValue runs = JsonValue::Array();
   for (const BenchRun& run : data.runs) {
     JsonValue r = JsonValue::Object();
@@ -45,6 +49,10 @@ JsonValue ReportJson(const BenchReportData& data) {
       scalars.Set(key, value);
     }
     r.Set("scalars", std::move(scalars));
+    r.Set("virtual_time_us", run.virtual_time_us);
+    if (!run.config.is_null()) {
+      r.Set("config", run.config);
+    }
     JsonValue stages = JsonValue::Object();
     JsonValue histograms = JsonValue::Object();
     for (const auto& [name, summary] : run.metrics.histograms) {
@@ -66,6 +74,12 @@ JsonValue ReportJson(const BenchReportData& data) {
       gauges.Set(name, value);
     }
     r.Set("gauges", std::move(gauges));
+    if (!run.critical_path.is_null()) {
+      r.Set("critical_path", run.critical_path);
+    }
+    if (!run.extra.is_null()) {
+      r.Set("extra", run.extra);
+    }
     runs.Append(std::move(r));
   }
   doc.Set("runs", std::move(runs));

@@ -1,28 +1,35 @@
 // JSON bench reporting: turns metric snapshots plus bench-specific scalars
 // into the BENCH_<name>.json files the experiment trajectory consumes.
 //
-// Schema (see DESIGN.md "Observability"):
+// Schema v2 (see DESIGN.md "Observability"):
 //   {
 //     "bench": "<name>",
-//     "schema_version": 1,
+//     "schema_version": 2,
+//     "meta": {"git_sha": "...", "wall_runtime_sec": ...},
 //     "runs": [
 //       {
 //         "label": "<configuration label>",
 //         "scalars": {"throughput_bytes_per_sec": ..., ...},
+//         "virtual_time_us": ...,          // Simulated time the run consumed.
+//         "config": {...},                  // Key config knobs (when stamped).
 //         "stages": {
 //           "nicfs.0.stage.fetch": {"count": n, "mean_us": ..., "p50_us": ...,
 //                                    "p95_us": ..., "p99_us": ..., "max_us": ...},
 //           ...
 //         },
 //         "counters": {...},
-//         "gauges": {...}
+//         "gauges": {...},
+//         "critical_path": {...},           // CriticalPathAnalyzer::ReportJson.
+//         "extra": {...}                    // Bench-specific structured payload.
 //       }, ...
 //     ]
 //   }
 //
 // Stage entries are every histogram whose name contains ".stage."; remaining
 // histograms (queue depths, op latencies) are exported under "histograms"
-// with raw-unit percentiles.
+// with raw-unit percentiles. "config", "critical_path", and "extra" are
+// omitted when null. "meta" is provenance only — regression tooling
+// (scripts/bench_compare.py) ignores it.
 
 #ifndef SRC_OBS_REPORT_H_
 #define SRC_OBS_REPORT_H_
@@ -41,10 +48,16 @@ struct BenchRun {
   std::string label;
   std::vector<std::pair<std::string, double>> scalars;
   MetricsRegistry::Snapshot metrics;
+  double virtual_time_us = 0;  // Simulated time consumed by the run.
+  JsonValue config;            // Config knobs (object); omitted when null.
+  JsonValue critical_path;     // Per-stage latency attribution; omitted when null.
+  JsonValue extra;             // Bench-specific structured payload; omitted when null.
 };
 
 struct BenchReportData {
   std::string name;
+  std::string git_sha;         // "unknown" when not determinable.
+  double wall_runtime_sec = 0;
   std::vector<BenchRun> runs;
 };
 

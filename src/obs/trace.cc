@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/obs/json.h"
+#include "src/obs/metrics.h"
 
 namespace linefs::obs {
 
@@ -22,6 +23,9 @@ void TraceBuffer::Record(TraceEvent event) {
   events_[head_] = std::move(event);
   head_ = (head_ + 1) % capacity_;
   ++dropped_;
+  if (dropped_counter_ != nullptr) {
+    dropped_counter_->Increment();
+  }
 }
 
 void TraceBuffer::ForEach(const std::function<void(const TraceEvent&)>& fn) const {
@@ -35,6 +39,7 @@ void TraceBuffer::Clear() {
   head_ = 0;
   dropped_ = 0;
   total_recorded_ = 0;
+  last_id_ = 0;
 }
 
 std::string TraceBuffer::ToChromeJson() const {
@@ -42,7 +47,7 @@ std::string TraceBuffer::ToChromeJson() const {
   // through the JsonValue DOM.
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  char buf[160];
+  char buf[240];
   ForEach([&](const TraceEvent& e) {
     if (!first) {
       out += ',';
@@ -55,12 +60,21 @@ std::string TraceBuffer::ToChromeJson() const {
     out += "\",\"ph\":\"X\"";
     std::snprintf(buf, sizeof(buf),
                   ",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,"
-                  "\"args\":{\"chunk_no\":%llu}}",
+                  "\"args\":{\"chunk_no\":%llu,\"trace\":%llu,\"span\":%llu,"
+                  "\"parent\":%llu}}",
                   sim::ToMicros(e.begin), sim::ToMicros(e.end - e.begin), e.node, e.client,
-                  static_cast<unsigned long long>(e.chunk_no));
+                  static_cast<unsigned long long>(e.chunk_no),
+                  static_cast<unsigned long long>(e.trace_id),
+                  static_cast<unsigned long long>(e.span_id),
+                  static_cast<unsigned long long>(e.parent_span));
     out += buf;
   });
-  out += "]}";
+  out += "],\"otherData\":{";
+  std::snprintf(buf, sizeof(buf), "\"dropped\":%llu,\"total_recorded\":%llu",
+                static_cast<unsigned long long>(dropped_),
+                static_cast<unsigned long long>(total_recorded_));
+  out += buf;
+  out += "}}";
   return out;
 }
 
@@ -77,6 +91,11 @@ bool TraceBuffer::WriteChromeJson(const std::string& path) const {
 
 Span::Span(TraceBuffer* buffer, std::string component, std::string stage, int node,
            int client, uint64_t chunk_no)
+    : Span(buffer, std::move(component), std::move(stage), node, client, chunk_no,
+           TraceContext{}) {}
+
+Span::Span(TraceBuffer* buffer, std::string component, std::string stage, int node,
+           int client, uint64_t chunk_no, TraceContext parent)
     : buffer_(buffer) {
   event_.component = std::move(component);
   event_.stage = std::move(stage);
@@ -85,6 +104,15 @@ Span::Span(TraceBuffer* buffer, std::string component, std::string stage, int no
   event_.chunk_no = chunk_no;
   if (buffer_ != nullptr) {
     event_.begin = buffer_->engine()->Now();
+    event_.span_id = buffer_->NextId();
+    if (parent.valid()) {
+      event_.trace_id = parent.trace_id;
+      event_.parent_span = parent.parent_span;
+    } else {
+      // No (or invalid) parent: this span roots a fresh trace.
+      event_.trace_id = event_.span_id;
+      event_.parent_span = 0;
+    }
   }
 }
 

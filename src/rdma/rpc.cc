@@ -67,10 +67,22 @@ sim::Task<Result<std::vector<uint8_t>>> RpcSystem::CallRaw(const Initiator& call
                                                            const std::string& target,
                                                            Channel channel, uint32_t method,
                                                            std::vector<uint8_t> request,
-                                                           sim::Time timeout) {
+                                                           sim::Time timeout,
+                                                           obs::TraceContext trace_ctx) {
   sim::Engine* engine = network_->engine();
   const hw::RdmaCosts& costs = network_->costs();
   sim::Time deadline = engine->Now() + timeout;
+
+  // Traced calls record the whole post->completion window as an "rpc" span
+  // in the caller's lane; RAII covers every exit path (drops, timeouts).
+  obs::Span rpc_span;
+  if (trace_ == nullptr) {
+    trace_ctx = {};
+  }
+  if (trace_ctx.valid()) {
+    rpc_span = obs::Span(trace_, "rpc", "rpc", caller_addr.node, 0,
+                         /*chunk_no=*/method, trace_ctx);
+  }
 
   // Client posts the request (send verb).
   if (caller.cpu != nullptr) {

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/rdma/rdma.h"
 #include "src/sim/result.h"
 #include "src/sim/task.h"
@@ -123,6 +124,11 @@ class RpcSystem {
   void SetDropFilter(DropFilter filter) { drop_filter_ = std::move(filter); }
   void ClearDropFilter() { drop_filter_ = nullptr; }
 
+  // Causal-tracing hook: when set, every call made with a valid TraceContext
+  // records an "rpc" span (post -> completion, caller's node lane) parented
+  // into the operation's trace, so wire time shows up on the critical path.
+  void SetTrace(obs::TraceBuffer* trace) { trace_ = trace; }
+
   RpcEndpoint* CreateEndpoint(std::string name, MemAddr addr, sim::CpuPool* cpu, int account,
                               bool has_low_lat_poller);
   RpcEndpoint* Find(const std::string& name);
@@ -135,11 +141,12 @@ class RpcSystem {
   template <typename Req, typename Resp>
   sim::Task<Result<Resp>> Call(const Initiator& caller, MemAddr caller_addr,
                                const std::string& target, Channel channel, uint32_t method,
-                               Req request, sim::Time timeout = 10 * sim::kMillisecond) {
+                               Req request, sim::Time timeout = 10 * sim::kMillisecond,
+                               obs::TraceContext trace_ctx = {}) {
     std::vector<uint8_t> req_bytes = internal::ToBytes(request);
     Result<std::vector<uint8_t>> resp =
         co_await CallRaw(caller, caller_addr, target, channel, method, std::move(req_bytes),
-                         timeout);
+                         timeout, trace_ctx);
     if (!resp.ok()) {
       co_return resp.status();
     }
@@ -149,7 +156,8 @@ class RpcSystem {
   sim::Task<Result<std::vector<uint8_t>>> CallRaw(const Initiator& caller, MemAddr caller_addr,
                                                   const std::string& target, Channel channel,
                                                   uint32_t method, std::vector<uint8_t> request,
-                                                  sim::Time timeout);
+                                                  sim::Time timeout,
+                                                  obs::TraceContext trace_ctx = {});
 
   Network* network() { return network_; }
 
@@ -157,6 +165,7 @@ class RpcSystem {
   Network* network_;
   std::unordered_map<std::string, std::unique_ptr<RpcEndpoint>> endpoints_;
   DropFilter drop_filter_;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace linefs::rdma
