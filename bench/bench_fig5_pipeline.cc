@@ -6,6 +6,14 @@
 // validation is hundreds of microseconds of wimpy-core compute; acks are
 // tens of microseconds. Publish and replication share fetch+validate, so
 // those stage latencies are identical by construction.
+//
+// Window sweep: on top of the breakdown, sweeps the windowed data path —
+// transfer_window in {1,2,4,8} crossed with fetch_depth in {1,4} — over a
+// seq-write+fsync run. transfer_window=1 takes the legacy blocking round-trip
+// control path (the pre-windowing lock-step schedule), so the sweep measures
+// the one-way control conversion and the sliding window together: throughput
+// must be monotone-or-flat in the window and the fsync critical path's
+// replicate-net + wait share must shrink as the window opens.
 
 #include <benchmark/benchmark.h>
 
@@ -52,6 +60,100 @@ Breakdown Run() {
   return b;
 }
 
+// --- window sweep -----------------------------------------------------------------------
+
+struct WindowPoint {
+  int transfer_window = 1;
+  int fetch_depth = 1;
+  double gbps = 0;
+  double fsync_ms = 0;
+  double replicate_net_pct = 0;
+  double wait_pct = 0;
+};
+std::vector<WindowPoint> g_sweep;
+
+WindowPoint RunWindowPoint(int transfer_window, int fetch_depth) {
+  core::DfsConfig config = BenchConfig(core::DfsMode::kLineFS);
+  config.transfer_window = transfer_window;
+  config.fetch_depth = fetch_depth;
+  // 1MB chunks: more control operations per byte, so the sweep isolates what
+  // the window actually removes (per-chunk round trips and send-completion
+  // waits) instead of burying it under 4MB serialization time.
+  config.chunk_size = 1ULL << 20;
+  Experiment exp(config);
+  core::LibFs* fs = exp.cluster().CreateClient(0);
+  workloads::BenchResult result;
+  std::vector<sim::Task<>> tasks;
+  // Bursts of 8 chunks, each followed by fsync: every fsync drains a
+  // multi-chunk backlog through the windowed pipeline, so its critical path
+  // owns the fetch/transfer chain the window is supposed to overlap (one
+  // giant write would instead drain almost entirely under background publish
+  // kicks and the fsync would only ever record undifferentiated wait).
+  tasks.push_back([](core::LibFs* fs, workloads::BenchResult* out) -> sim::Task<> {
+    for (int burst = 0; burst < 8; ++burst) {
+      char path[32];
+      std::snprintf(path, sizeof(path), "/w%d.dat", burst);
+      workloads::BenchResult r = co_await workloads::SeqWrite(fs, path, 8ULL << 20, 1 << 20);
+      out->bytes += r.bytes;
+      out->ops += r.ops;
+      out->elapsed += r.elapsed;
+    }
+  }(fs, &result));
+  exp.RunAll(std::move(tasks));
+  exp.Drain(10 * sim::kSecond);
+
+  WindowPoint p;
+  p.transfer_window = transfer_window;
+  p.fetch_depth = fetch_depth;
+  p.gbps = result.throughput() / 1e9;
+
+  // Attribute the fsync's end-to-end latency to pipeline stages: the window
+  // should drain replicate-net (round trips, send completions) and wait
+  // (stalls with no stage active) out of the critical path.
+  obs::CriticalPathAnalyzer analyzer(&exp.cluster().trace());
+  std::vector<obs::OpBreakdown> ops = analyzer.Operations("fsync");
+  sim::Time total = 0;
+  std::map<std::string, sim::Time> table = obs::CriticalPathAnalyzer::StageTable(ops);
+  for (const auto& [stage, t] : table) {
+    total += t;
+  }
+  sim::Time fsync_total = 0;
+  for (const obs::OpBreakdown& op : ops) {
+    fsync_total += op.duration();
+  }
+  p.fsync_ms = sim::ToMicros(fsync_total) / 1000.0;
+  if (total > 0) {
+    p.replicate_net_pct = 100.0 * static_cast<double>(table["replicate-net"]) / total;
+    p.wait_pct = 100.0 * static_cast<double>(table["wait"]) / total;
+  }
+
+  char label[64];
+  std::snprintf(label, sizeof(label), "LineFS/window_sweep/tw%d_fd%d", transfer_window,
+                fetch_depth);
+  exp.SetLabel(label);
+  exp.AddScalar("throughput_gbps", p.gbps);
+  exp.AddScalar("fsync_ms", p.fsync_ms);
+  exp.AddScalar("replicate_net_pct", p.replicate_net_pct);
+  exp.AddScalar("wait_pct", p.wait_pct);
+  return p;
+}
+
+void BM_WindowSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    g_sweep.clear();
+    for (int fd : {1, 4}) {
+      for (int tw : {1, 2, 4, 8}) {
+        g_sweep.push_back(RunWindowPoint(tw, fd));
+      }
+    }
+  }
+  for (const WindowPoint& p : g_sweep) {
+    char key[48];
+    std::snprintf(key, sizeof(key), "tw%d_fd%d_gbps", p.transfer_window, p.fetch_depth);
+    state.counters[key] = p.gbps;
+  }
+}
+
 void BM_Fig5(benchmark::State& state) {
   for (auto _ : state) {
     g_result = Run();
@@ -74,12 +176,24 @@ void PrintTable() {
               b.validate_us, b.transfer_us, b.ack_us,
               b.fetch_us + b.validate_us + b.transfer_us + b.ack_us);
   std::printf("(fetch and validation are shared between the two pipelines)\n");
+
+  std::printf("\n=== Window sweep: 64MB seq write + fsync (transfer_window x fetch_depth) ===\n");
+  std::printf("%-10s %6s %12s %10s %16s %9s\n", "config", "tw", "fetch_depth", "GB/s",
+              "replicate-net %", "wait %");
+  for (const WindowPoint& p : g_sweep) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "tw%d_fd%d", p.transfer_window, p.fetch_depth);
+    std::printf("%-10s %6d %12d %10.3f %16.1f %9.1f\n", name, p.transfer_window,
+                p.fetch_depth, p.gbps, p.replicate_net_pct, p.wait_pct);
+  }
+  std::printf("(tw=1 is the legacy blocking round-trip control path)\n");
 }
 
 }  // namespace
 }  // namespace linefs::bench
 
 BENCHMARK(linefs::bench::BM_Fig5)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(linefs::bench::BM_WindowSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);

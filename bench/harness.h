@@ -142,6 +142,8 @@ class Experiment {
     v.Set("publish_method", core::PublishMethodName(c.publish_method));
     v.Set("replica_publish", c.replica_publish);
     v.Set("max_stage_workers", c.max_stage_workers);
+    v.Set("fetch_depth", c.fetch_depth);
+    v.Set("transfer_window", c.transfer_window);
     return v;
   }
 

@@ -3,7 +3,14 @@
 
 Usage:
     scripts/bench_compare.py --baseline bench/baselines --candidate bench-out \
-        [--threshold 15] [--bench fig4_throughput --bench fig5_pipeline ...]
+        [--threshold 15] [--bench fig4_throughput --bench fig5_pipeline ...] \
+        [--update]
+
+With --update the comparison still runs and prints per-scalar deltas, but
+instead of gating, every candidate BENCH_*.json is copied over the baseline
+directory (intentional perf changes are recorded by committing the refreshed
+baselines). New candidate reports are added; exit status is 0 unless files
+cannot be read or written.
 
 For every BENCH_<name>.json in the baseline directory (optionally restricted
 with --bench), the candidate directory must contain a report with the same
@@ -27,6 +34,7 @@ Only the Python standard library is used.
 import argparse
 import json
 import os
+import shutil
 import sys
 
 HIGHER_BETTER = ("throughput", "kops", "ops_per_sec")
@@ -105,6 +113,9 @@ def main():
                         help="max tolerated regression, percent (default 15)")
     parser.add_argument("--bench", action="append", default=None,
                         help="gate only BENCH_<name>.json (repeatable; default: all baselines)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline dir from the candidate reports instead of "
+                             "gating (prints per-scalar deltas, exits 0)")
     args = parser.parse_args()
 
     if not os.path.isdir(args.baseline):
@@ -153,12 +164,62 @@ def main():
         print(f"{name + '/' + label:<{width}}  {key:<28} {base_val:>14.3f} "
               f"{cand_val:>14.3f} {delta:>8}  {verdict}")
 
+    if args.update:
+        return update_baselines(args, rows)
+
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
     print(f"\nOK: {len(rows)} scalars within {args.threshold:.0f}% of baseline")
+    return 0
+
+
+def update_baselines(args, rows):
+    """Copies every candidate BENCH_*.json over the baseline dir (adding new
+    reports) and summarizes how the gated scalars moved."""
+    cand_files = sorted(
+        f for f in os.listdir(args.candidate)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
+    if args.bench:
+        cand_files = [f for f in cand_files
+                      if f[len("BENCH_"):-len(".json")] in args.bench]
+    if not cand_files:
+        print("error: no candidate BENCH_*.json to update from", file=sys.stderr)
+        return 2
+
+    improved = regressed = 0
+    print("\nbaseline update: per-scalar movement (gated scalars only)")
+    for name, label, key, base_val, cand_val, delta_pct, _ in rows:
+        direction = classify(key)
+        if direction == 0 or delta_pct is None:
+            continue
+        better_pct = delta_pct if direction > 0 else -delta_pct
+        tag = "improved" if better_pct > 0 else ("regressed" if better_pct < 0 else "unchanged")
+        improved += better_pct > 0
+        regressed += better_pct < 0
+        print(f"  {name}/{label}: {key} {base_val:g} -> {cand_val:g} "
+              f"({better_pct:+.1f}% {tag})")
+
+    stale = []
+    for f in os.listdir(args.baseline):
+        if f.startswith("BENCH_") and f.endswith(".json") and f not in cand_files:
+            stale.append(f)
+    for f in stale:
+        print(f"  warning: baseline {f} has no fresh candidate; left untouched",
+              file=sys.stderr)
+
+    for f in cand_files:
+        try:
+            shutil.copyfile(os.path.join(args.candidate, f), os.path.join(args.baseline, f))
+        except OSError as e:
+            print(f"error: cannot update {f}: {e}", file=sys.stderr)
+            return 2
+        print(f"  updated {os.path.join(args.baseline, f)}")
+    print(f"\nbaselines rewritten from {args.candidate}: {len(cand_files)} report(s), "
+          f"{improved} scalar(s) improved, {regressed} regressed")
     return 0
 
 

@@ -56,6 +56,16 @@ Status DfsConfig::Validate() const {
     return Invalid("stage_queue_threshold must be >= 1, got " +
                    std::to_string(stage_queue_threshold));
   }
+  if (stage_scale_down_intervals < 1) {
+    return Invalid("stage_scale_down_intervals must be >= 1, got " +
+                   std::to_string(stage_scale_down_intervals));
+  }
+  if (fetch_depth < 1) {
+    return Invalid("fetch_depth must be >= 1, got " + std::to_string(fetch_depth));
+  }
+  if (transfer_window < 1) {
+    return Invalid("transfer_window must be >= 1, got " + std::to_string(transfer_window));
+  }
   if (compression_threads < 1) {
     return Invalid("compression_threads must be >= 1, got " +
                    std::to_string(compression_threads));

@@ -70,9 +70,21 @@ struct DfsConfig {
   int hyperloop_prepost_batch = 128;
 
   // NICFS dynamic stage scaling (§3.1): grow a stage when its wait queue
-  // exceeds the threshold.
+  // exceeds the threshold; retire an extra worker again once the queue has
+  // stayed below the threshold for `stage_scale_down_intervals` consecutive
+  // scaling checks.
   int stage_queue_threshold = 5;
   int max_stage_workers = 4;
+  int stage_scale_down_intervals = 3;
+
+  // Windowed asynchronous data path. `fetch_depth` bounds concurrently
+  // outstanding PCIe log reads in the fetch stage; `transfer_window` bounds
+  // replication chunks in flight past the transfer stage (submission stays in
+  // client-log order; completion is decoupled — the per-replica ack tracking
+  // tolerates out-of-order acks). Both = 1 reproduces the lock-step schedule:
+  // each operation completes before the next is issued.
+  int fetch_depth = 4;
+  int transfer_window = 4;
 
   // Replication flow control watermarks (§4).
   double mem_high_watermark = 0.70;

@@ -19,7 +19,9 @@ enum RpcMethod : uint32_t {
   kRpcLease = 4,          // LibFS -> lease manager.
   kRpcLeaseRelease = 5,
   kRpcReplChunk = 6,      // NICFS -> next NICFS: chunk data has been RDMA'd over.
-  kRpcReplAck = 7,        // replica NICFS -> primary NICFS.
+                          // Delivered as a one-way Post; no response round trip.
+  kRpcReplAck = 7,        // replica NICFS -> primary NICFS, also a one-way Post
+                          // (the reverse direction of the kRpcReplChunk flow).
   kRpcKworkerPing = 8,    // NICFS -> kworker (failure detector).
   kRpcKworkerCopy = 9,    // NICFS -> kworker: execute a publication copy list.
   kRpcKworkerMmap = 10,   // NICFS -> kworker: map pages read-only for a client.

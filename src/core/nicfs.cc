@@ -26,6 +26,8 @@ NicFs::Metrics::Metrics(const obs::MetricScope& scope)
       isolated_publishes(scope.CounterAt("isolated_publishes")),
       flow_ctrl_stall_ns(scope.CounterAt("flow_ctrl_stall_ns")),
       repl_retransmits(scope.CounterAt("repl_retransmits")),
+      repl_send_failures(scope.CounterAt("repl_send_failures")),
+      stage_workers_retired(scope.CounterAt("stage_workers_retired")),
       stage_fetch(scope.Sub("stage").HistogramAt("fetch")),
       stage_validate(scope.Sub("stage").HistogramAt("validate")),
       stage_compress(scope.Sub("stage").HistogramAt("compress")),
@@ -36,6 +38,8 @@ NicFs::Metrics::Metrics(const obs::MetricScope& scope)
       qdepth_compress(scope.Sub("qdepth").HistogramAt("compress")),
       qdepth_transfer_rb(scope.Sub("qdepth").HistogramAt("transfer_rb")),
       qdepth_publish_rb(scope.Sub("qdepth").HistogramAt("publish_rb")),
+      inflight_fetch(scope.Sub("qdepth").HistogramAt("fetch_inflight")),
+      inflight_transfer(scope.Sub("qdepth").HistogramAt("transfer_inflight")),
       workers_validate(scope.Sub("workers").GaugeAt("validate")),
       workers_compress(scope.Sub("workers").GaugeAt("compress")),
       nic_mem_utilization(scope.GaugeAt("nic_mem_utilization")) {}
@@ -53,6 +57,8 @@ NicFs::StatsSnapshot NicFs::stats() const {
   s.isolated_publishes = metrics_.isolated_publishes->value();
   s.flow_ctrl_stall_ns = metrics_.flow_ctrl_stall_ns->value();
   s.repl_retransmits = metrics_.repl_retransmits->value();
+  s.repl_send_failures = metrics_.repl_send_failures->value();
+  s.stage_workers_retired = metrics_.stage_workers_retired->value();
   s.stage_fetch = metrics_.stage_fetch->Summarize();
   s.stage_validate = metrics_.stage_validate->Summarize();
   s.stage_compress = metrics_.stage_compress->Summarize();
@@ -72,6 +78,8 @@ void NicFs::SampleObs() {
   size_t publish_backlog = 0;
   int validate_workers = 0;
   int compress_workers = 0;
+  int fetch_inflight = 0;
+  int transfer_inflight = 0;
   for (const auto& [client, pipe] : pipes_) {
     validate_depth += pipe->validate_q.size();
     compress_depth += pipe->compress_q.size();
@@ -79,6 +87,8 @@ void NicFs::SampleObs() {
     publish_backlog += pipe->publish_rb.size();
     validate_workers += pipe->validate_workers;
     compress_workers += pipe->compress_workers;
+    fetch_inflight += pipe->fetch_inflight;
+    transfer_inflight += pipe->transfer_inflight;
   }
   for (const auto& [client, pipe] : replica_pipes_) {
     publish_backlog += pipe->publish_rb.size();
@@ -87,6 +97,8 @@ void NicFs::SampleObs() {
   metrics_.qdepth_compress->Record(static_cast<sim::Time>(compress_depth));
   metrics_.qdepth_transfer_rb->Record(static_cast<sim::Time>(transfer_backlog));
   metrics_.qdepth_publish_rb->Record(static_cast<sim::Time>(publish_backlog));
+  metrics_.inflight_fetch->Record(static_cast<sim::Time>(fetch_inflight));
+  metrics_.inflight_transfer->Record(static_cast<sim::Time>(transfer_inflight));
   metrics_.workers_validate->Set(validate_workers);
   metrics_.workers_compress->Set(compress_workers);
   metrics_.nic_mem_utilization->Set(node_->hw().nic().mem_utilization());
@@ -269,6 +281,7 @@ void NicFs::Shutdown() {
     pipe->publish_rb.Close();
     pipe->fetch_cv.NotifyAll();
     pipe->progress.NotifyAll();
+    pipe->retry_kick.NotifyAll();
   }
   for (auto& [client, pipe] : replica_pipes_) {
     pipe->publish_rb.Close();
@@ -291,7 +304,8 @@ uint64_t NicFs::published_upto(int client) const {
 }
 
 void NicFs::RegisterClient(int client, ClientHooks hooks) {
-  auto pipe = std::make_unique<ClientPipe>(engine_);
+  auto pipe = std::make_unique<ClientPipe>(engine_, std::max(1, config_->fetch_depth),
+                                           std::max(1, config_->transfer_window));
   pipe->client = client;
   pipe->log = &node_->client_log(client);
   pipe->hooks = std::move(hooks);
@@ -316,19 +330,31 @@ void NicFs::RegisterClient(int client, ClientHooks hooks) {
     engine_->Spawn(SequentialLoop(raw));
   }
   // Both modes: sweep for chunks wedged by dropped messages or dead replicas.
+  // The ticker turns the sweep interval into retry_kick notifications so a
+  // failed one-way send can also wake the monitor out of turn.
+  engine_->Spawn(ReplRetryTicker(raw));
   engine_->Spawn(ReplRetryMonitor(raw));
 }
 
 // --- Fetch stage --------------------------------------------------------------
 
-sim::Task<NicFs::ChunkPtr> NicFs::FetchOne(ClientPipe* pipe) {
+bool NicFs::FetchReady(const ClientPipe* pipe) const {
   uint64_t tail = pipe->log->tail();
   bool enough = tail - pipe->fetch_upto >= config_->chunk_size;
-  if (tail <= pipe->fetch_upto || (!enough && !pipe->urgent)) {
+  return tail > pipe->fetch_upto && (enough || pipe->urgent);
+}
+
+// Sequential half of fetch: the §4 watermark gate, range selection, NIC-memory
+// reservation, and chunk numbering. Always runs from one coroutine per pipe,
+// so chunk numbers are assigned strictly in client-log order no matter how
+// many DMA reads are in flight.
+sim::Task<NicFs::ChunkPtr> NicFs::AdmitFetch(ClientPipe* pipe) {
+  if (!FetchReady(pipe)) {
     co_return nullptr;
   }
   // Replication flow control (§4): pause fetching above the high watermark
-  // until memory drains below the low watermark.
+  // until memory drains below the low watermark. In-flight DMAs keep draining
+  // while admission stalls, so the window never overrides the watermarks.
   hw::SmartNic& nic = node_->hw().nic();
   if (nic.mem_utilization() > config_->mem_high_watermark) {
     sim::Time stall_start = engine_->Now();
@@ -355,7 +381,10 @@ sim::Task<NicFs::ChunkPtr> NicFs::FetchOne(ClientPipe* pipe) {
   chunk->mem_reserved = chunk->bytes();
   nic.ReserveMem(chunk->mem_reserved);
   pipe->fetch_upto = to;
+  co_return chunk;
+}
 
+sim::Task<> NicFs::FetchDma(ClientPipe* pipe, ChunkPtr chunk) {
   obs::Span span(trace_, component_, "fetch", node_->id(), pipe->client, chunk->no,
                  pipe->active_ctx);
   chunk->ctx = span.context();
@@ -372,20 +401,66 @@ sim::Task<NicFs::ChunkPtr> NicFs::FetchOne(ClientPipe* pipe) {
   metrics_.stage_fetch->Record(engine_->Now() - t0);
   metrics_.chunks_fetched->Increment();
   metrics_.bytes_fetched->Add(chunk->bytes());
+}
+
+sim::Task<NicFs::ChunkPtr> NicFs::FetchOne(ClientPipe* pipe) {
+  ChunkPtr chunk = co_await AdmitFetch(pipe);
+  if (chunk != nullptr) {
+    co_await FetchDma(pipe, chunk);
+  }
   co_return chunk;
 }
 
+// One outstanding DMA read: completes the fetch, feeds validation, and hands
+// its credit back (urgent admissions past the window run uncredited).
+sim::Task<> NicFs::FetchSlot(ClientPipe* pipe, ChunkPtr chunk, bool credited) {
+  co_await FetchDma(pipe, chunk);
+  pipe->validate_q.Push(std::move(chunk));
+  --pipe->fetch_inflight;
+  if (credited) {
+    pipe->fetch_credits.Release();
+  }
+}
+
 sim::Task<> NicFs::FetchLoop(ClientPipe* pipe) {
+  const bool windowed = config_->fetch_depth > 1;
   while (!shutdown_) {
-    ChunkPtr chunk = co_await FetchOne(pipe);
-    if (chunk != nullptr) {
-      pipe->validate_q.Push(std::move(chunk));
+    if (!FetchReady(pipe)) {
+      co_await pipe->fetch_cv.Wait();
       continue;
     }
-    if (shutdown_) {
-      break;
+    if (!windowed) {
+      // fetch_depth == 1: the exact lock-step schedule — admit, DMA, push,
+      // all inline, one chunk at a time.
+      ChunkPtr chunk = co_await FetchOne(pipe);
+      if (chunk != nullptr) {
+        pipe->validate_q.Push(std::move(chunk));
+      }
+      continue;
     }
-    co_await pipe->fetch_cv.Wait();
+    // Windowed prefetch: hold a credit per outstanding DMA. An urgent fsync
+    // must not queue behind a full window — it admits uncredited so the
+    // synchronous path is never throttled by background prefetch depth.
+    bool credited = true;
+    if (pipe->urgent) {
+      credited = pipe->fetch_credits.TryAcquire();
+    } else {
+      co_await pipe->fetch_credits.Acquire();
+      if (shutdown_ || !FetchReady(pipe)) {
+        // Admission conditions changed while waiting for the credit.
+        pipe->fetch_credits.Release();
+        continue;
+      }
+    }
+    ChunkPtr chunk = co_await AdmitFetch(pipe);
+    if (chunk == nullptr) {
+      if (credited) {
+        pipe->fetch_credits.Release();
+      }
+      continue;
+    }
+    ++pipe->fetch_inflight;
+    engine_->Spawn(FetchSlot(pipe, std::move(chunk), credited));
   }
 }
 
@@ -436,6 +511,13 @@ sim::Task<> NicFs::ValidateWorker(ClientPipe* pipe) {
     if (!chunk.has_value()) {
       break;
     }
+    if (*chunk == nullptr) {
+      // Retire pill from the scaling monitor: this worker scales back down.
+      --pipe->validate_workers;
+      --pipe->validate_retire_pending;
+      metrics_.stage_workers_retired->Increment();
+      break;
+    }
     co_await DoValidate(pipe, *chunk);
     // Fan out to both pipelines: they share the fetched+validated data.
     pipe->publish_rb.Push((*chunk)->no, *chunk);
@@ -456,6 +538,13 @@ sim::Task<> NicFs::CompressWorker(ClientPipe* pipe) {
       break;
     }
     ChunkPtr chunk = *popped;
+    if (chunk == nullptr) {
+      // Retire pill from the scaling monitor: this worker scales back down.
+      --pipe->compress_workers;
+      --pipe->compress_retire_pending;
+      metrics_.stage_workers_retired->Increment();
+      break;
+    }
     // If the compression stage is the pipeline bottleneck, NICFS
     // opportunistically disables it for queued chunks (§3.3.2).
     if (pipe->compress_q.size() > static_cast<size_t>(config_->stage_queue_threshold) &&
@@ -508,6 +597,10 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
   sim::Time t0 = engine_->Now();
   int next = chain[1];
   uint64_t wire_bytes = chunk->wire_compressed ? chunk->wire.size() : chunk->bytes();
+  // Urgency is evaluated at send time, not admission time: a chunk prefetched
+  // before an fsync arrived still rides the low-latency channel once a waiter
+  // is blocked on it.
+  const bool urgent = chunk->urgent || pipe->urgent;
 
   // Register the pending acks BEFORE any await: acks race with this coroutine.
   {
@@ -515,7 +608,7 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
     st.to = chunk->to;
     st.from = chunk->from;
     st.last_send = engine_->Now();
-    st.urgent = chunk->urgent;
+    st.urgent = urgent;
     st.ctx = span.context();
     pipe->pending_acks[chunk->no] = std::move(st);
   }
@@ -531,8 +624,15 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
   }
   cluster_->StashWire(Cluster::WireKey(next, pipe->client, chunk->no), std::move(payload));
 
-  // Bulk one-sided write into the next NICFS's memory, then the control RPC.
-  co_await cluster_->net().Write(NicInitiator(chunk->urgent),
+  // Bulk one-sided write into the next NICFS's memory, then the control
+  // message — issued back-to-back under the pipe's wire mutex so concurrent
+  // window slots submit to the QP strictly in client-log order.
+  co_await pipe->wire_mutex.Lock();
+  // The stage histogram measures this chunk's own wire occupancy; time queued
+  // behind other window slots is their wire time, not this chunk's (the
+  // "transfer" span above still covers it for critical-path attribution).
+  t0 = engine_->Now();
+  co_await cluster_->net().Write(NicInitiator(urgent),
                                  rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
                                  rdma::MemAddr{next, rdma::Space::kNicMem}, wire_bytes);
   ReplChunkMsg msg;
@@ -542,15 +642,40 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
   msg.to = chunk->to;
   msg.wire_bytes = wire_bytes;
   msg.compressed = chunk->wire_compressed ? 1 : 0;
-  msg.urgent = chunk->urgent ? 1 : 0;
+  msg.urgent = urgent ? 1 : 0;
   msg.origin_node = node_->id();
   msg.hop = 1;
   msg.ctx = span.context();
-  Result<Ack> ack = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
-      NicInitiator(chunk->urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
-      EndpointName(next), chunk->urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
-      kRpcReplChunk, msg, 10 * sim::kMillisecond, span.context());
-  (void)ack;
+  if (config_->transfer_window <= 1) {
+    // Closed window: the legacy blocking round trip. The receiver's dispatch
+    // wakeup, its handler admission, and the response's return flight all sit
+    // on the sender's critical path before the next chunk may start — exactly
+    // the pre-windowing lock-step schedule, and the tw=1 baseline the window
+    // sweep measures the one-way control path against.
+    Result<Ack> rt = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
+        NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+        EndpointName(next), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
+        kRpcReplChunk, msg, 10 * sim::kMillisecond, span.context());
+    pipe->wire_mutex.Unlock();
+    if (!rt.ok()) {
+      OnReplSendFailure(pipe, chunk->no);
+    }
+  } else {
+    // One-way send: the chunk's completion travels back as kRpcReplAck from
+    // each replica, so there is no response to wait for — the transfer stage
+    // resolves at its own send completion and the ack path runs fully
+    // decoupled. The wire mutex releases as soon as the control message is on
+    // the wire (`on_wire`), so the next window slot's bulk write books the
+    // link while this slot is still processing its send completion.
+    Status sent = co_await cluster_->rpc().Post(
+        NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+        EndpointName(next), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
+        kRpcReplChunk, msg, 10 * sim::kMillisecond, span.context(),
+        [pipe] { pipe->wire_mutex.Unlock(); });
+    if (!sent.ok()) {
+      OnReplSendFailure(pipe, chunk->no);
+    }
+  }
   span.End();
   metrics_.chunks_transferred->Increment();
   metrics_.wire_bytes->Add(wire_bytes);
@@ -564,14 +689,32 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
   ReleaseChunk(chunk.get());
 }
 
+sim::Task<> NicFs::TransferSlot(ClientPipe* pipe, ChunkPtr chunk) {
+  co_await DoTransfer(pipe, std::move(chunk));
+  --pipe->transfer_inflight;
+  pipe->transfer_credits.Release();
+}
+
 sim::Task<> NicFs::TransferWorker(ClientPipe* pipe) {
-  // In-order transfer: replicas receive chunks in client-log order.
+  // In-order submission: the reorder buffer releases chunks in client-log
+  // order, and slots are spawned in that order, so replicas receive chunks in
+  // sequence. With transfer_window > 1 completion is decoupled — up to
+  // `transfer_window` chunks ride the wire concurrently and the per-replica
+  // ack tracking (pending_acks / AdvanceReplicated) absorbs any ack reorder.
+  const bool windowed = config_->transfer_window > 1;
   while (true) {
     std::optional<ChunkPtr> popped = co_await pipe->transfer_rb.PopNext();
     if (!popped.has_value()) {
       break;
     }
-    co_await DoTransfer(pipe, *popped);
+    if (!windowed) {
+      // transfer_window == 1: the exact lock-step schedule.
+      co_await DoTransfer(pipe, *popped);
+      continue;
+    }
+    co_await pipe->transfer_credits.Acquire();
+    ++pipe->transfer_inflight;
+    engine_->Spawn(TransferSlot(pipe, std::move(*popped)));
   }
 }
 
@@ -715,14 +858,40 @@ sim::Task<> NicFs::ScalingMonitor(ClientPipe* pipe) {
     if (pipe->validate_q.size() > threshold &&
         pipe->validate_workers < config_->max_stage_workers) {
       ++pipe->validate_workers;
+      pipe->validate_idle_intervals = 0;
       engine_->Spawn(ValidateWorker(pipe));
+    } else if (pipe->validate_q.size() < threshold &&
+               pipe->validate_workers - pipe->validate_retire_pending > 1) {
+      // Scale back down: a stage that stayed under threshold for several
+      // consecutive checks gives an extra worker back. The retire pill rides
+      // the stage queue so the worker winds down at a chunk boundary; one
+      // worker always survives.
+      if (++pipe->validate_idle_intervals >= config_->stage_scale_down_intervals) {
+        pipe->validate_idle_intervals = 0;
+        ++pipe->validate_retire_pending;
+        pipe->validate_q.Push(nullptr);
+      }
+    } else {
+      pipe->validate_idle_intervals = 0;
     }
     // Publication and transfer are order-constrained single consumers; only
     // the unordered stages (validation, compression) scale out.
-    if (config_->compression && pipe->compress_q.size() > threshold &&
-        pipe->compress_workers < config_->max_stage_workers) {
-      ++pipe->compress_workers;
-      engine_->Spawn(CompressWorker(pipe));
+    if (config_->compression) {
+      if (pipe->compress_q.size() > threshold &&
+          pipe->compress_workers < config_->max_stage_workers) {
+        ++pipe->compress_workers;
+        pipe->compress_idle_intervals = 0;
+        engine_->Spawn(CompressWorker(pipe));
+      } else if (pipe->compress_q.size() < threshold &&
+                 pipe->compress_workers - pipe->compress_retire_pending > 1) {
+        if (++pipe->compress_idle_intervals >= config_->stage_scale_down_intervals) {
+          pipe->compress_idle_intervals = 0;
+          ++pipe->compress_retire_pending;
+          pipe->compress_q.Push(nullptr);
+        }
+      } else {
+        pipe->compress_idle_intervals = 0;
+      }
     }
   }
 }
@@ -830,6 +999,14 @@ sim::Task<> NicFs::HandleReplChunk(ReplChunkMsg msg) {
   }
 }
 
+sim::Mutex* NicFs::ForwardMutex(int client) {
+  auto it = forward_mutexes_.find(client);
+  if (it == forward_mutexes_.end()) {
+    it = forward_mutexes_.emplace(client, std::make_unique<sim::Mutex>(engine_)).first;
+  }
+  return it->second.get();
+}
+
 sim::Task<> NicFs::ForwardChunk(ReplChunkMsg msg, WirePayload payload,
                                 std::vector<uint8_t> image, std::vector<int> chain) {
   int next = chain[msg.hop + 1];
@@ -841,6 +1018,11 @@ sim::Task<> NicFs::ForwardChunk(ReplChunkMsg msg, WirePayload payload,
   fwd.hop = msg.hop + 1;
   fwd.ctx = span.context();
 
+  // Same single-QP submission ordering as the primary's transfer stage:
+  // windowed arrivals must not let chunk k+1's bulk forward book the outbound
+  // link ahead of chunk k's control message.
+  sim::Mutex* wire_mu = ForwardMutex(static_cast<int>(msg.client));
+  co_await wire_mu->Lock();
   if (next_is_last && msg.compressed == 0) {
     // Penultimate-hop optimisation (Fig. 3, step 6'): write straight into the
     // last replica's host PM log, skipping its SmartNIC memory copy.
@@ -869,11 +1051,30 @@ sim::Task<> NicFs::ForwardChunk(ReplChunkMsg msg, WirePayload payload,
                                    rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
                                    rdma::MemAddr{next, rdma::Space::kNicMem}, msg.wire_bytes);
   }
-  Result<Ack> ack = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
-      NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
-      EndpointName(next), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
-      kRpcReplChunk, fwd, 10 * sim::kMillisecond, span.context());
-  (void)ack;
+  if (config_->transfer_window <= 1) {
+    // Closed window: legacy blocking forward (see DoTransfer).
+    Result<Ack> rt = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
+        NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+        EndpointName(next), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
+        kRpcReplChunk, fwd, 10 * sim::kMillisecond, span.context());
+    wire_mu->Unlock();
+    if (!rt.ok()) {
+      metrics_.repl_send_failures->Increment();
+    }
+  } else {
+    // One-way forward; the downstream replica acks the origin directly, so
+    // the only failure this hop can see (and count) is its own send
+    // completion. The origin's retransmit sweeper covers a lost forward
+    // either way.
+    Status sent = co_await cluster_->rpc().Post(
+        NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+        EndpointName(next), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
+        kRpcReplChunk, fwd, 10 * sim::kMillisecond, span.context(),
+        [wire_mu] { wire_mu->Unlock(); });
+    if (!sent.ok()) {
+      metrics_.repl_send_failures->Increment();
+    }
+  }
 }
 
 sim::Task<> NicFs::LocalCopyAndAck(ReplChunkMsg msg, WirePayload payload,
@@ -902,11 +1103,28 @@ sim::Task<> NicFs::LocalCopyAndAck(ReplChunkMsg msg, WirePayload payload,
   ack.to = msg.to;
   ack.replica_node = node_->id();
   ack.ctx = span.context();
-  Result<Ack> sent = co_await cluster_->rpc().Call<ReplAckMsg, Ack>(
-      NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
-      EndpointName(msg.origin_node), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
-      kRpcReplAck, ack, 10 * sim::kMillisecond, span.context());
-  (void)sent;
+  if (config_->transfer_window <= 1) {
+    // Closed window: legacy round-trip ack (see DoTransfer).
+    Result<Ack> rt = co_await cluster_->rpc().Call<ReplAckMsg, Ack>(
+        NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+        EndpointName(msg.origin_node),
+        urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput, kRpcReplAck, ack,
+        10 * sim::kMillisecond, span.context());
+    if (!rt.ok()) {
+      metrics_.repl_send_failures->Increment();
+    }
+  } else {
+    // The ack is itself one-way: a lost ack leaves the chunk pending at the
+    // origin until its sweeper retransmits, and the re-delivery re-acks.
+    Status sent = co_await cluster_->rpc().Post(
+        NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+        EndpointName(msg.origin_node),
+        urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput, kRpcReplAck, ack,
+        10 * sim::kMillisecond, span.context());
+    if (!sent.ok()) {
+      metrics_.repl_send_failures->Increment();
+    }
+  }
 }
 
 void NicFs::HandleReplAck(const ReplAckMsg& msg) {
@@ -970,9 +1188,27 @@ void NicFs::AdvanceReplicated(ClientPipe* pipe) {
   }
 }
 
-sim::Task<> NicFs::ReplRetryMonitor(ClientPipe* pipe) {
+void NicFs::OnReplSendFailure(ClientPipe* pipe, uint64_t chunk_no) {
+  metrics_.repl_send_failures->Increment();
+  auto it = pipe->pending_acks.find(chunk_no);
+  if (it != pipe->pending_acks.end()) {
+    // Backdate the staleness clock so the sweeper treats the chunk as overdue
+    // right now instead of after a full repl_retry_timeout of silence.
+    it->second.last_send = engine_->Now() - config_->repl_retry_timeout;
+  }
+  pipe->retry_kick.NotifyAll();
+}
+
+sim::Task<> NicFs::ReplRetryTicker(ClientPipe* pipe) {
   while (!shutdown_) {
     co_await engine_->SleepFor(config_->repl_retry_interval);
+    pipe->retry_kick.NotifyAll();
+  }
+}
+
+sim::Task<> NicFs::ReplRetryMonitor(ClientPipe* pipe) {
+  while (!shutdown_) {
+    co_await pipe->retry_kick.Wait();
     if (shutdown_) {
       break;
     }
@@ -1037,11 +1273,14 @@ sim::Task<> NicFs::RetransmitChunk(ClientPipe* pipe, uint64_t chunk_no, uint64_t
     // (the original chain may have partially succeeded).
     msg.hop = cluster_->num_nodes();
     msg.ctx = span.context();
-    Result<Ack> ack = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
+    Status sent = co_await cluster_->rpc().Post(
         NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
         EndpointName(replica), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
         kRpcReplChunk, msg, 10 * sim::kMillisecond, span.context());
-    (void)ack;
+    if (!sent.ok()) {
+      // The chunk stays pending; the sweeper comes back on the next tick.
+      metrics_.repl_send_failures->Increment();
+    }
     metrics_.repl_retransmits->Increment();
   }
 }

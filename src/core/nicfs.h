@@ -10,6 +10,15 @@
 // transfer apply strictly in client-log order via per-pipe tickets, which is
 // what preserves linearizability and prefix crash consistency (§3.1).
 //
+// Stages are windowed rather than lock-step: fetch keeps up to
+// DfsConfig::fetch_depth PCIe DMA reads outstanding and transfer keeps up to
+// DfsConfig::transfer_window chunks in flight on the wire, each bounded by
+// explicit per-pipe credits. Submission order never changes — only who waits.
+// Replication control messages (kRpcReplChunk, chain forwards, kRpcReplAck)
+// are one-way rdma::RpcSystem::Post sends; completion is signalled solely by
+// the ReplAckMsg path, and a send-completion error kicks the retransmit
+// sweeper immediately (see DESIGN.md §10).
+//
 // Also implements: lease arbitration (§3.4), replication flow control via NIC
 // memory watermarks (§4), the kernel-worker failure detector and isolated
 // operation (§3.5), and epoch-based recovery state (§3.6).
@@ -96,6 +105,8 @@ class NicFs {
     uint64_t isolated_publishes = 0;
     uint64_t flow_ctrl_stall_ns = 0;      // Fetch time lost to §4 watermark stalls.
     uint64_t repl_retransmits = 0;        // Chunk re-sends by the retry sweeper.
+    uint64_t repl_send_failures = 0;      // One-way sends that returned an error.
+    uint64_t stage_workers_retired = 0;   // Extra workers scaled back down.
     obs::HistogramSummary stage_fetch;
     obs::HistogramSummary stage_validate;
     obs::HistogramSummary stage_compress;
@@ -146,9 +157,11 @@ class NicFs {
   };
 
   struct ClientPipe : PipeBase {
-    explicit ClientPipe(sim::Engine* engine)
+    ClientPipe(sim::Engine* engine, int fetch_depth, int transfer_window)
         : PipeBase(engine), validate_q(engine), compress_q(engine), transfer_rb(engine),
-          fetch_cv(engine), progress(engine) {}
+          fetch_cv(engine), progress(engine), retry_kick(engine),
+          fetch_credits(engine, fetch_depth), transfer_credits(engine, transfer_window),
+          wire_mutex(engine) {}
     ClientHooks hooks;
     uint64_t fetch_upto = 0;
     uint64_t next_chunk_no = 0;
@@ -173,9 +186,31 @@ class NicFs {
     uint64_t replicated_upto = 0;
     uint64_t reclaimed_upto = 0;
     sim::Condition progress;
+    // Wakes ReplRetryMonitor out of turn: the periodic ticker notifies every
+    // repl_retry_interval, and a failed one-way send notifies immediately.
+    sim::Condition retry_kick;
+    // Windowed data path credits: outstanding PCIe fetch DMAs and in-flight
+    // replication transfers, bounded by DfsConfig::{fetch_depth,
+    // transfer_window}. Credits are held from admission to completion.
+    sim::Semaphore fetch_credits;
+    sim::Semaphore transfer_credits;
+    // Single-QP wire ordering: a chunk's bulk write and its control send are
+    // issued back-to-back under this mutex so a later chunk's megabyte write
+    // can never book the link ahead of an earlier chunk's 64B control message
+    // (the FIFO link model would otherwise delay the notify by a whole
+    // window of bulk transfers). FIFO mutex wakeup preserves pop order.
+    sim::Mutex wire_mutex;
+    int fetch_inflight = 0;
+    int transfer_inflight = 0;
     int urgent_waiters = 0;
     int validate_workers = 0;
     int compress_workers = 0;
+    // Scale-down bookkeeping: consecutive scaling checks a stage queue spent
+    // below threshold, and retire pills pushed but not yet consumed.
+    int validate_idle_intervals = 0;
+    int compress_idle_intervals = 0;
+    int validate_retire_pending = 0;
+    int compress_retire_pending = 0;
   };
 
   struct ReplicaPipe : PipeBase {
@@ -184,12 +219,21 @@ class NicFs {
 
   // --- Pipeline stage bodies -------------------------------------------------
 
+  // Fetch is split so the loop can keep several PCIe reads in flight: the
+  // admission half (range selection, §4 watermark gate, NIC-memory reserve,
+  // chunk numbering) always runs sequentially so chunks stay numbered in
+  // order; the DMA half is spawned per chunk, bounded by fetch_credits.
+  bool FetchReady(const ClientPipe* pipe) const;
+  sim::Task<ChunkPtr> AdmitFetch(ClientPipe* pipe);
+  sim::Task<> FetchDma(ClientPipe* pipe, ChunkPtr chunk);
+  sim::Task<> FetchSlot(ClientPipe* pipe, ChunkPtr chunk, bool credited);
   sim::Task<ChunkPtr> FetchOne(ClientPipe* pipe);
   sim::Task<> FetchLoop(ClientPipe* pipe);
   sim::Task<> DoValidate(ClientPipe* pipe, ChunkPtr chunk);
   sim::Task<> ValidateWorker(ClientPipe* pipe);
   sim::Task<> CompressWorker(ClientPipe* pipe);
   sim::Task<> DoTransfer(ClientPipe* pipe, ChunkPtr chunk);
+  sim::Task<> TransferSlot(ClientPipe* pipe, ChunkPtr chunk);
   sim::Task<> TransferWorker(ClientPipe* pipe);
   sim::Task<> PublishWorker(PipeBase* pipe);
   sim::Task<> SequentialLoop(ClientPipe* pipe);
@@ -201,6 +245,10 @@ class NicFs {
   // retransmitted point-to-point to every live replica that has not acked.
   bool AckComplete(const ClientPipe::AckState& state) const;
   void AdvanceReplicated(ClientPipe* pipe);
+  // A failed one-way send (send-completion error from Post) marks the chunk
+  // stale and kicks the sweeper immediately instead of waiting out the tick.
+  void OnReplSendFailure(ClientPipe* pipe, uint64_t chunk_no);
+  sim::Task<> ReplRetryTicker(ClientPipe* pipe);
   sim::Task<> ReplRetryMonitor(ClientPipe* pipe);
   sim::Task<> RetransmitChunk(ClientPipe* pipe, uint64_t chunk_no, uint64_t from, uint64_t to,
                               std::set<int> already_acked, bool urgent,
@@ -220,6 +268,8 @@ class NicFs {
     obs::Counter* isolated_publishes;
     obs::Counter* flow_ctrl_stall_ns;
     obs::Counter* repl_retransmits;
+    obs::Counter* repl_send_failures;
+    obs::Counter* stage_workers_retired;
     obs::Histogram* stage_fetch;
     obs::Histogram* stage_validate;
     obs::Histogram* stage_compress;
@@ -231,6 +281,8 @@ class NicFs {
     obs::Histogram* qdepth_compress;
     obs::Histogram* qdepth_transfer_rb;
     obs::Histogram* qdepth_publish_rb;
+    obs::Histogram* inflight_fetch;
+    obs::Histogram* inflight_transfer;
     obs::Gauge* workers_validate;
     obs::Gauge* workers_compress;
     obs::Gauge* nic_mem_utilization;
@@ -246,6 +298,9 @@ class NicFs {
   sim::Task<> LocalCopyAndAck(ReplChunkMsg msg, struct WirePayload payload,
                               std::vector<uint8_t> image, fslib::LogArea& log);
   void HandleReplAck(const ReplAckMsg& msg);
+  // Per-client wire-submission mutex for chain forwards (same single-QP
+  // ordering as ClientPipe::wire_mutex, but on the replica's outbound link).
+  sim::Mutex* ForwardMutex(int client);
   sim::Task<Ack> HandleFsync(FsyncReq req);
   void TryReclaim(ClientPipe* pipe);
   void ReleaseChunk(Chunk* chunk);
@@ -266,6 +321,7 @@ class NicFs {
   std::unique_ptr<fslib::Validator> replica_validator_;
   std::unordered_map<int, std::unique_ptr<ClientPipe>> pipes_;
   std::unordered_map<int, std::unique_ptr<ReplicaPipe>> replica_pipes_;
+  std::unordered_map<int, std::unique_ptr<sim::Mutex>> forward_mutexes_;
   bool shutdown_ = false;
   bool isolated_ = false;
   uint64_t epoch_ = 0;

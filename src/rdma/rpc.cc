@@ -39,6 +39,19 @@ sim::Task<> CallTimer(sim::Engine* engine, sim::Time timeout,
   }
 }
 
+// Receiver side of a one-way Post: dispatch wakeup, completion processing,
+// then the handler body. The handler's synthesized response is discarded.
+sim::Task<> DeliverPosted(sim::Engine* engine, RpcEndpoint* endpoint, bool polled,
+                          sim::Priority priority, RpcEndpoint::GenericHandler* handler,
+                          std::vector<uint8_t> request, const hw::RdmaCosts* costs) {
+  if (!polled) {
+    co_await engine->SleepFor(costs->event_wakeup);
+  }
+  co_await endpoint->cpu()->RunCycles(costs->completion_cycles, priority, endpoint->account());
+  std::vector<uint8_t> response = co_await (*handler)(std::move(request));
+  (void)response;
+}
+
 }  // namespace
 
 RpcEndpoint::RpcEndpoint(RpcSystem* system, std::string name, MemAddr addr, sim::CpuPool* cpu,
@@ -156,6 +169,86 @@ sim::Task<Result<std::vector<uint8_t>>> RpcSystem::CallRaw(const Initiator& call
     co_await caller.cpu->RunCycles(costs.completion_cycles, caller.priority, caller.account);
   }
   co_return response;
+}
+
+sim::Task<Status> RpcSystem::PostRaw(const Initiator& caller, MemAddr caller_addr,
+                                     const std::string& target, Channel channel,
+                                     uint32_t method, std::vector<uint8_t> request,
+                                     sim::Time timeout, obs::TraceContext trace_ctx,
+                                     std::function<void()> on_wire) {
+  sim::Engine* engine = network_->engine();
+  const hw::RdmaCosts& costs = network_->costs();
+  // Fires exactly once: the message crossed the wire (or the transport gave
+  // up), so the QP submission slot is free even though the sender still has
+  // completion processing ahead of it.
+  auto submitted = [&on_wire] {
+    if (on_wire) {
+      auto fn = std::move(on_wire);
+      on_wire = nullptr;
+      fn();
+    }
+  };
+
+  // Traced posts record the post->send-completion window; the receiver's
+  // handler spans parent into the same trace via the message payload, not
+  // through this span.
+  obs::Span rpc_span;
+  if (trace_ == nullptr) {
+    trace_ctx = {};
+  }
+  if (trace_ctx.valid()) {
+    rpc_span = obs::Span(trace_, "rpc", "rpc", caller_addr.node, 0,
+                         /*chunk_no=*/method, trace_ctx);
+  }
+
+  // Sender posts the send verb.
+  if (caller.cpu != nullptr) {
+    co_await caller.cpu->RunCycles(costs.post_cycles, caller.priority, caller.account);
+  }
+
+  RpcEndpoint* endpoint = Find(target);
+  if (endpoint == nullptr || !endpoint->alive()) {
+    // The reliable transport retries until its budget expires, then reports a
+    // send-completion error — the only failure a one-way sender can observe.
+    // The retrying WQE occupies the QP head the whole time (head-of-line
+    // blocking on an ordered connection), so `on_wire` fires only afterwards.
+    co_await engine->SleepFor(timeout);
+    submitted();
+    co_return Status::Error(ErrorCode::kUnavailable, "post target down: " + target);
+  }
+
+  // Fault injection: a lossy/partitioned fabric defeats the transport's
+  // retries; the sender burns the retry budget and sees a completion error.
+  if (drop_filter_ && drop_filter_(caller_addr.node, endpoint->addr().node, channel)) {
+    co_await engine->SleepFor(timeout);
+    submitted();
+    co_return Status::Error(ErrorCode::kUnavailable, "post dropped: " + target);
+  }
+
+  // Message wire transfer (control-sized).
+  uint64_t wire_bytes = std::max<uint64_t>(costs.control_bytes, request.size());
+  co_await network_->RawTransfer(caller_addr, endpoint->addr(), wire_bytes);
+  submitted();
+
+  auto handler_it = endpoint->handlers_.find(method);
+  if (handler_it == endpoint->handlers_.end()) {
+    co_return Status::Error(ErrorCode::kInvalid, "unknown rpc method");
+  }
+  bool polled = channel == Channel::kLowLat && endpoint->has_low_lat_poller();
+  sim::Priority priority =
+      polled ? sim::Priority::kRealtime : endpoint->dispatch_priority();
+  engine->Spawn(DeliverPosted(engine, endpoint, polled, priority, &handler_it->second,
+                              std::move(request), &network_->costs()));
+
+  // Sender-side send completion: the message is on the receiver's QP; handler
+  // execution is invisible from here.
+  if (caller.cpu != nullptr) {
+    if (!caller.polls) {
+      co_await engine->SleepFor(costs.event_wakeup);
+    }
+    co_await caller.cpu->RunCycles(costs.completion_cycles, caller.priority, caller.account);
+  }
+  co_return Status::Ok();
 }
 
 }  // namespace linefs::rdma

@@ -159,6 +159,42 @@ class RpcSystem {
                                                   sim::Time timeout,
                                                   obs::TraceContext trace_ctx = {});
 
+  // One-way send (no response round trip). The handler registered for
+  // `method` still runs on the receiver — its synthesized response is
+  // discarded — but the sender resolves as soon as its send completion
+  // arrives, i.e. once the message has reached the receiver's queue pair.
+  //
+  // Failure semantics match a reliable-connected transport: the sender can
+  // observe only send-side errors. A dead/missing endpoint or a message eaten
+  // by the drop filter makes the transport retry until `timeout` expires and
+  // then surface a completion error (kUnavailable); whether and when the
+  // handler ran is never visible. Completion signalling, if the protocol
+  // needs it, must travel as a separate one-way message in the reverse
+  // direction (e.g. kRpcReplAck answering kRpcReplChunk).
+  //
+  // `on_wire`, if set, fires exactly once: as soon as the message has crossed
+  // the wire (or, on a send failure, once the transport has given up). It
+  // marks the point where the QP's submission slot frees up — a caller
+  // serialising submission order (e.g. a chunk's bulk write + control send)
+  // can release its order lock there and overlap its own completion
+  // processing with the next submission, as a real ordered QP does.
+  template <typename Req>
+  sim::Task<Status> Post(const Initiator& caller, MemAddr caller_addr, const std::string& target,
+                         Channel channel, uint32_t method, Req request,
+                         sim::Time timeout = 10 * sim::kMillisecond,
+                         obs::TraceContext trace_ctx = {},
+                         std::function<void()> on_wire = {}) {
+    co_return co_await PostRaw(caller, caller_addr, target, channel, method,
+                               internal::ToBytes(request), timeout, trace_ctx,
+                               std::move(on_wire));
+  }
+
+  sim::Task<Status> PostRaw(const Initiator& caller, MemAddr caller_addr,
+                            const std::string& target, Channel channel, uint32_t method,
+                            std::vector<uint8_t> request, sim::Time timeout,
+                            obs::TraceContext trace_ctx = {},
+                            std::function<void()> on_wire = {});
+
   Network* network() { return network_; }
 
  private:
