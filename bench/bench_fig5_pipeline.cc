@@ -18,6 +18,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/harness.h"
+#include "src/pipeline/registry.h"
 #include "src/workloads/microbench.h"
 
 namespace linefs::bench {
@@ -45,12 +46,18 @@ Breakdown Run() {
   exp.Drain(10 * sim::kSecond);
 
   core::NicFs::StatsSnapshot stats = exp.cluster().nicfs(0)->stats();
+  auto stage_us = [&stats](const char* name) {
+    auto it = stats.stages.find(name);
+    return it == stats.stages.end()
+               ? 0.0
+               : sim::ToMicros(static_cast<sim::Time>(it->second.latency.mean));
+  };
   Breakdown b;
-  b.fetch_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_fetch.mean));
-  b.validate_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_validate.mean));
-  b.publish_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_publish.mean));
-  b.transfer_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_transfer.mean));
-  b.ack_us = sim::ToMicros(static_cast<sim::Time>(stats.stage_ack.mean));
+  b.fetch_us = stage_us("fetch");
+  b.validate_us = stage_us("validate");
+  b.publish_us = stage_us("publish");
+  b.transfer_us = stage_us("transfer");
+  b.ack_us = stage_us("ack");
   exp.SetLabel("LineFS/pipeline_breakdown");
   exp.AddScalar("fetch_us", b.fetch_us);
   exp.AddScalar("validate_us", b.validate_us);
@@ -58,6 +65,94 @@ Breakdown Run() {
   exp.AddScalar("transfer_us", b.transfer_us);
   exp.AddScalar("ack_us", b.ack_us);
   return b;
+}
+
+// --- stage mix --------------------------------------------------------------------------
+//
+// Same workload as the breakdown, but with optional plugin stages composed
+// into the replication chain (DfsConfig::pipeline_stages). Informational in
+// the perf gate (new configs have no baseline); the table shows what each
+// plugin adds to per-chunk latency and where it queues.
+
+struct StageMixPoint {
+  std::string mix;
+  double gbps = 0;
+  // Per-stage latency and mean wait-queue occupancy, chain order.
+  std::vector<std::pair<std::string, double>> stage_us;
+  std::vector<std::pair<std::string, double>> stage_q;
+  double host_placements = 0;   // Host-fallback run only.
+  double remote_placements = 0;
+};
+std::vector<StageMixPoint> g_mix;
+
+StageMixPoint RunStageMix(const char* mix_name, const std::string& stages,
+                          bool host_fallback) {
+  core::DfsConfig config = BenchConfig(core::DfsMode::kLineFS);
+  config.pipeline_stages = stages;
+  config.chunk_size = 1ULL << 20;
+  if (host_fallback) {
+    // Saturate every NIC so grown workers spill to host cores: pooled
+    // placement on, an aggressive saturation mark, and a hair-trigger grow
+    // threshold while plugin stages burn wimpy-core cycles on every chunk.
+    config.placer_pooling = true;
+    config.placer_nic_saturation = 0.05;
+    config.stage_queue_threshold = 1;
+    config.max_stage_workers = 4;
+  }
+  Experiment exp(config);
+  workloads::BenchResult result;
+  std::vector<sim::Task<>> tasks;
+  // One writer per node keeps all NICs busy (required for the fallback run:
+  // a remote NIC with idle cores would absorb the spill first).
+  int writers = host_fallback ? exp.cluster().num_nodes() : 1;
+  for (int w = 0; w < writers; ++w) {
+    core::LibFs* fs = exp.cluster().CreateClient(w % exp.cluster().num_nodes());
+    tasks.push_back([](core::LibFs* fs, int w, workloads::BenchResult* out) -> sim::Task<> {
+      char path[32];
+      std::snprintf(path, sizeof(path), "/mix%d.dat", w);
+      workloads::BenchResult r = co_await workloads::SeqWrite(fs, path, 32ULL << 20, 1 << 20);
+      out->bytes += r.bytes;
+      out->ops += r.ops;
+      out->elapsed = std::max(out->elapsed, r.elapsed);
+    }(fs, w, &result));
+  }
+  exp.RunAll(std::move(tasks));
+  exp.Drain(10 * sim::kSecond);
+
+  StageMixPoint p;
+  p.mix = mix_name;
+  p.gbps = result.throughput() / 1e9;
+  char label[64];
+  std::snprintf(label, sizeof(label), "LineFS/stage_mix/%s", mix_name);
+  exp.SetLabel(label);
+  exp.AddScalar("throughput_gbps", p.gbps);
+
+  core::NicFs::StatsSnapshot stats = exp.cluster().nicfs(0)->stats();
+  obs::MetricsRegistry::Snapshot metrics = exp.cluster().metrics().TakeSnapshot();
+  for (const std::string& name : pipeline::ParseStageList(stages)) {
+    auto it = stats.stages.find(name);
+    if (it == stats.stages.end()) {
+      continue;
+    }
+    double us = sim::ToMicros(static_cast<sim::Time>(it->second.latency.mean));
+    p.stage_us.emplace_back(name, us);
+    exp.AddScalar(name + "_us", us);
+    // Mean wait-queue occupancy sampled by the profiler (nicfs.0 scope).
+    const obs::Histogram* q =
+        exp.cluster().metrics().FindHistogram("nicfs.0.qdepth." + name);
+    double occupancy = q != nullptr ? q->Summarize().mean : 0.0;
+    p.stage_q.emplace_back(name, occupancy);
+    exp.AddScalar(name + "_qdepth", occupancy);
+  }
+  if (host_fallback) {
+    p.host_placements =
+        static_cast<double>(metrics.counters["placer.placements.host"]);
+    p.remote_placements =
+        static_cast<double>(metrics.counters["placer.placements.remote"]);
+    exp.AddScalar("host_placements", p.host_placements);
+    exp.AddScalar("remote_placements", p.remote_placements);
+  }
+  return p;
 }
 
 // --- window sweep -----------------------------------------------------------------------
@@ -154,6 +249,20 @@ void BM_WindowSweep(benchmark::State& state) {
   }
 }
 
+void BM_StageMix(benchmark::State& state) {
+  for (auto _ : state) {
+    g_mix.clear();
+    g_mix.push_back(RunStageMix("baseline", "validate", false));
+    g_mix.push_back(RunStageMix("checksum", "validate,checksum", false));
+    g_mix.push_back(RunStageMix("encrypt", "validate,xor_encrypt", false));
+    g_mix.push_back(
+        RunStageMix("host_fallback", "validate,xor_encrypt,checksum", true));
+  }
+  for (const StageMixPoint& p : g_mix) {
+    state.counters[p.mix + "_gbps"] = p.gbps;
+  }
+}
+
 void BM_Fig5(benchmark::State& state) {
   for (auto _ : state) {
     g_result = Run();
@@ -187,6 +296,28 @@ void PrintTable() {
                 p.fetch_depth, p.gbps, p.replicate_net_pct, p.wait_pct);
   }
   std::printf("(tw=1 is the legacy blocking round-trip control path)\n");
+
+  std::printf("\n=== Stage mix: plugin stages in the replication chain (1MB chunks) ===\n");
+  std::printf("%-14s %8s  %-44s %s\n", "mix", "GB/s", "stage latency us (mean)",
+              "queue occupancy");
+  for (const StageMixPoint& p : g_mix) {
+    char stages[128] = "";
+    char queues[96] = "";
+    size_t off = 0;
+    for (const auto& [name, us] : p.stage_us) {
+      off += std::snprintf(stages + off, sizeof(stages) - off, "%s=%.0f ", name.c_str(), us);
+    }
+    off = 0;
+    for (const auto& [name, q] : p.stage_q) {
+      off += std::snprintf(queues + off, sizeof(queues) - off, "%s=%.1f ", name.c_str(), q);
+    }
+    std::printf("%-14s %8.3f  %-44s %s\n", p.mix.c_str(), p.gbps, stages, queues);
+    if (p.mix == "host_fallback") {
+      std::printf("%-14s placements: host=%.0f remote=%.0f (NICs saturated, pooled "
+                  "placer spills to host cores)\n",
+                  "", p.host_placements, p.remote_placements);
+    }
+  }
 }
 
 }  // namespace
@@ -194,6 +325,7 @@ void PrintTable() {
 
 BENCHMARK(linefs::bench::BM_Fig5)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(linefs::bench::BM_WindowSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(linefs::bench::BM_StageMix)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);

@@ -144,6 +144,9 @@ class Experiment {
     v.Set("max_stage_workers", c.max_stage_workers);
     v.Set("fetch_depth", c.fetch_depth);
     v.Set("transfer_window", c.transfer_window);
+    v.Set("pipeline_stages", c.pipeline_stages);
+    v.Set("placer_pooling", c.placer_pooling);
+    v.Set("placer_nic_saturation", c.placer_nic_saturation);
     return v;
   }
 

@@ -24,9 +24,13 @@ by name:
 
 A gated scalar that is more than --threshold percent worse than its baseline
 fails the comparison; a missing candidate report, run, or scalar also fails
-(silently dropping a bench is itself a regression). The "meta" block (git sha,
-wall runtime) is provenance and is always ignored. Exit status: 0 clean,
-1 regression or structural mismatch, 2 usage/IO error.
+(silently dropping a bench is itself a regression). Exception: runs whose
+label contains "stage_mix" are experimental stage-composition sweeps -- their
+scalars never gate and a stage-mix run present on only one side is reported as
+a note, not a failure (new stage plugins can be benchmarked before their
+baselines are committed). The "meta" block (git sha, wall runtime) is
+provenance and is always ignored. Exit status: 0 clean, 1 regression or
+structural mismatch, 2 usage/IO error.
 
 Only the Python standard library is used.
 """
@@ -71,16 +75,23 @@ def compare_report(name, base, cand, threshold_pct, failures, rows):
     base_runs = runs_by_label(base, name)
     cand_runs = runs_by_label(cand, name)
     for label, base_run in base_runs.items():
+        informational_run = "stage_mix" in label
         cand_run = cand_runs.get(label)
         if cand_run is None:
-            failures.append(f"{name}: run {label!r} missing from candidate")
+            if informational_run:
+                print(f"note: {name}: stage-mix run {label!r} absent from candidate "
+                      "(informational, not gated)")
+            else:
+                failures.append(f"{name}: run {label!r} missing from candidate")
             continue
         base_scalars = base_run.get("scalars", {})
         cand_scalars = cand_run.get("scalars", {})
         for key, base_val in base_scalars.items():
-            direction = classify(key)
+            direction = 0 if informational_run else classify(key)
             cand_val = cand_scalars.get(key)
             if cand_val is None:
+                if informational_run:
+                    continue
                 failures.append(f"{name}/{label}: scalar {key!r} missing from candidate")
                 continue
             delta_pct = None
@@ -103,6 +114,10 @@ def compare_report(name, base, cand, threshold_pct, failures, rows):
                         f"({delta_pct:+.1f}%, limit {threshold_pct:.0f}%)"
                     )
             rows.append((name, label, key, base_val, cand_val, delta_pct, verdict))
+    for label in cand_runs:
+        if label not in base_runs and "stage_mix" in label:
+            print(f"note: {name}: stage-mix run {label!r} has no committed baseline "
+                  "(informational, not gated)")
 
 
 def main():

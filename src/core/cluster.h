@@ -17,6 +17,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 #include "src/obs/trace.h"
+#include "src/pipeline/placer.h"
 #include "src/rdma/rdma.h"
 #include "src/rdma/rpc.h"
 #include "src/sim/engine.h"
@@ -36,6 +37,9 @@ struct WirePayload {
   std::vector<uint8_t> raw;                  // Chunk image (possibly compressed).
   std::vector<fslib::ParsedEntry> entries;   // Used when payload bytes are elided.
   bool compressed = false;
+  bool encrypted = false;      // `raw` is XOR-scrambled (xor_encrypt stage).
+  bool has_checksum = false;   // `checksum` seals `raw` as sent by the origin.
+  uint64_t checksum = 0;
 };
 
 class Cluster {
@@ -82,6 +86,11 @@ class Cluster {
   const obs::TraceBuffer& trace() const { return *trace_; }
   obs::PipelineProfiler& profiler() { return *profiler_; }
 
+  // Cluster-wide stage-worker placement (src/pipeline/placer.h). NICFS pipes
+  // register their scalable stage groups here; sites cover every node's NIC
+  // pool plus its host pool as saturation fallback.
+  pipeline::StagePlacer& placer() { return *placer_; }
+
   // Creates a LibFS client process on `node_id` (clients get globally unique
   // ids; at most config.max_clients per node).
   LibFs* CreateClient(int node_id);
@@ -125,6 +134,9 @@ class Cluster {
   std::unique_ptr<hw::Fabric> fabric_;
   std::unique_ptr<rdma::Network> net_;
   std::unique_ptr<rdma::RpcSystem> rpc_;
+  // Declared before the NICFS services: their pipes register placement groups
+  // whose callbacks the placer may invoke until it is stopped.
+  std::unique_ptr<pipeline::StagePlacer> placer_;
   std::vector<std::unique_ptr<NicFs>> nicfs_;
   std::vector<std::unique_ptr<SharedFs>> sharedfs_;
   std::vector<std::unique_ptr<KernelWorker>> kworkers_;

@@ -6,43 +6,49 @@
 #include "src/compress/lzw.h"
 #include "src/core/cluster.h"
 #include "src/core/clustermgr.h"
+#include "src/pipeline/registry.h"
 #include "src/sim/trace.h"
 
 namespace linefs::core {
 
-namespace {
-constexpr sim::Time kScalingCheckInterval = 2 * sim::kMillisecond;
-}  // namespace
-
-NicFs::Metrics::Metrics(const obs::MetricScope& scope)
-    : chunks_fetched(scope.CounterAt("chunks_fetched")),
+NicFs::Metrics::Metrics(const obs::MetricScope& scope_in)
+    : scope(scope_in),
+      chunks_fetched(scope.CounterAt("chunks_fetched")),
       bytes_fetched(scope.CounterAt("bytes_fetched")),
       chunks_transferred(scope.CounterAt("chunks_transferred")),
       wire_bytes(scope.CounterAt("wire_bytes")),
       raw_repl_bytes(scope.CounterAt("raw_repl_bytes")),
       coalesce_saved_bytes(scope.CounterAt("coalesce_saved_bytes")),
       validation_failures(scope.CounterAt("validation_failures")),
-      compression_bypassed(scope.CounterAt("compression_bypassed")),
+      checksum_verified(scope.CounterAt("checksum_verified")),
+      checksum_mismatches(scope.CounterAt("checksum_mismatches")),
       isolated_publishes(scope.CounterAt("isolated_publishes")),
       flow_ctrl_stall_ns(scope.CounterAt("flow_ctrl_stall_ns")),
       repl_retransmits(scope.CounterAt("repl_retransmits")),
       repl_send_failures(scope.CounterAt("repl_send_failures")),
       stage_workers_retired(scope.CounterAt("stage_workers_retired")),
       stage_fetch(scope.Sub("stage").HistogramAt("fetch")),
-      stage_validate(scope.Sub("stage").HistogramAt("validate")),
-      stage_compress(scope.Sub("stage").HistogramAt("compress")),
       stage_publish(scope.Sub("stage").HistogramAt("publish")),
       stage_transfer(scope.Sub("stage").HistogramAt("transfer")),
       stage_ack(scope.Sub("stage").HistogramAt("ack")),
-      qdepth_validate(scope.Sub("qdepth").HistogramAt("validate")),
-      qdepth_compress(scope.Sub("qdepth").HistogramAt("compress")),
       qdepth_transfer_rb(scope.Sub("qdepth").HistogramAt("transfer_rb")),
       qdepth_publish_rb(scope.Sub("qdepth").HistogramAt("publish_rb")),
       inflight_fetch(scope.Sub("qdepth").HistogramAt("fetch_inflight")),
       inflight_transfer(scope.Sub("qdepth").HistogramAt("transfer_inflight")),
-      workers_validate(scope.Sub("workers").GaugeAt("validate")),
-      workers_compress(scope.Sub("workers").GaugeAt("compress")),
       nic_mem_utilization(scope.GaugeAt("nic_mem_utilization")) {}
+
+NicFs::Metrics::StageSet& NicFs::Metrics::ForStage(const std::string& name) {
+  auto it = stage_sets.find(name);
+  if (it == stage_sets.end()) {
+    StageSet set;
+    set.latency = scope.Sub("stage").HistogramAt(name);
+    set.bypassed = scope.Sub("bypassed").CounterAt(name);
+    set.workers = scope.Sub("workers").GaugeAt(name);
+    set.qdepth = scope.Sub("qdepth").HistogramAt(name);
+    it = stage_sets.emplace(name, set).first;
+  }
+  return it->second;
+}
 
 NicFs::StatsSnapshot NicFs::stats() const {
   StatsSnapshot s;
@@ -53,18 +59,27 @@ NicFs::StatsSnapshot NicFs::stats() const {
   s.raw_repl_bytes = metrics_.raw_repl_bytes->value();
   s.coalesce_saved_bytes = metrics_.coalesce_saved_bytes->value();
   s.validation_failures = metrics_.validation_failures->value();
-  s.compression_bypassed = metrics_.compression_bypassed->value();
+  s.checksum_verified = metrics_.checksum_verified->value();
+  s.checksum_mismatches = metrics_.checksum_mismatches->value();
   s.isolated_publishes = metrics_.isolated_publishes->value();
   s.flow_ctrl_stall_ns = metrics_.flow_ctrl_stall_ns->value();
   s.repl_retransmits = metrics_.repl_retransmits->value();
   s.repl_send_failures = metrics_.repl_send_failures->value();
   s.stage_workers_retired = metrics_.stage_workers_retired->value();
-  s.stage_fetch = metrics_.stage_fetch->Summarize();
-  s.stage_validate = metrics_.stage_validate->Summarize();
-  s.stage_compress = metrics_.stage_compress->Summarize();
-  s.stage_publish = metrics_.stage_publish->Summarize();
-  s.stage_transfer = metrics_.stage_transfer->Summarize();
-  s.stage_ack = metrics_.stage_ack->Summarize();
+  s.stages["fetch"].latency = metrics_.stage_fetch->Summarize();
+  s.stages["publish"].latency = metrics_.stage_publish->Summarize();
+  s.stages["transfer"].latency = metrics_.stage_transfer->Summarize();
+  s.stages["ack"].latency = metrics_.stage_ack->Summarize();
+  for (const auto& [name, set] : metrics_.stage_sets) {
+    StatsSnapshot::StageStats& st = s.stages[name];
+    st.latency = set.latency->Summarize();
+    st.bypassed = set.bypassed->value();
+  }
+  for (const auto& [client, pipe] : pipes_) {
+    for (const auto& unit : pipe->stages) {
+      s.stages[unit->stage->info().name].workers += unit->workers;
+    }
+  }
   return s;
 }
 
@@ -72,35 +87,36 @@ void NicFs::SampleObs() {
   if (shutdown_) {
     return;
   }
-  size_t validate_depth = 0;
-  size_t compress_depth = 0;
+  std::map<std::string, size_t> stage_depth;
+  std::map<std::string, int> stage_workers;
   size_t transfer_backlog = 0;
   size_t publish_backlog = 0;
-  int validate_workers = 0;
-  int compress_workers = 0;
   int fetch_inflight = 0;
   int transfer_inflight = 0;
   for (const auto& [client, pipe] : pipes_) {
-    validate_depth += pipe->validate_q.size();
-    compress_depth += pipe->compress_q.size();
+    for (const auto& unit : pipe->stages) {
+      const std::string& name = unit->stage->info().name;
+      stage_depth[name] += unit->queue.size();
+      stage_workers[name] += unit->workers;
+    }
     transfer_backlog += pipe->transfer_rb.size();
     publish_backlog += pipe->publish_rb.size();
-    validate_workers += pipe->validate_workers;
-    compress_workers += pipe->compress_workers;
     fetch_inflight += pipe->fetch_inflight;
     transfer_inflight += pipe->transfer_inflight;
   }
   for (const auto& [client, pipe] : replica_pipes_) {
     publish_backlog += pipe->publish_rb.size();
   }
-  metrics_.qdepth_validate->Record(static_cast<sim::Time>(validate_depth));
-  metrics_.qdepth_compress->Record(static_cast<sim::Time>(compress_depth));
+  for (const auto& [name, depth] : stage_depth) {
+    metrics_.ForStage(name).qdepth->Record(static_cast<sim::Time>(depth));
+  }
+  for (const auto& [name, workers] : stage_workers) {
+    metrics_.ForStage(name).workers->Set(workers);
+  }
   metrics_.qdepth_transfer_rb->Record(static_cast<sim::Time>(transfer_backlog));
   metrics_.qdepth_publish_rb->Record(static_cast<sim::Time>(publish_backlog));
   metrics_.inflight_fetch->Record(static_cast<sim::Time>(fetch_inflight));
   metrics_.inflight_transfer->Record(static_cast<sim::Time>(transfer_inflight));
-  metrics_.workers_validate->Set(validate_workers);
-  metrics_.workers_compress->Set(compress_workers);
   metrics_.nic_mem_utilization->Set(node_->hw().nic().mem_utilization());
 }
 
@@ -275,8 +291,9 @@ void NicFs::Start() {
 void NicFs::Shutdown() {
   shutdown_ = true;
   for (auto& [client, pipe] : pipes_) {
-    pipe->validate_q.Close();
-    pipe->compress_q.Close();
+    for (auto& unit : pipe->stages) {
+      unit->queue.Close();
+    }
     pipe->transfer_rb.Close();
     pipe->publish_rb.Close();
     pipe->fetch_cv.NotifyAll();
@@ -314,18 +331,31 @@ void NicFs::RegisterClient(int client, ClientHooks hooks) {
   ClientPipe* raw = pipe.get();
   pipes_[client] = std::move(pipe);
 
+  raw->env.engine = engine_;
+  raw->env.costs = &config_->fs_costs;
+  raw->env.materialize_data = config_->materialize_data;
+  raw->env.coalescing = config_->coalescing;
+  raw->env.compression_threads = config_->compression_threads;
+  raw->env.node = node_->id();
+  raw->env.component = component_;
+  raw->env.trace = trace_;
+  raw->env.validator = validator_.get();
+  raw->env.log = raw->log;
+  raw->env.validation_failures = metrics_.validation_failures;
+  BuildStages(raw);
+
   if (config_->pipeline_parallel()) {
     engine_->Spawn(FetchLoop(raw));
-    engine_->Spawn(ValidateWorker(raw));
-    raw->validate_workers = 1;
+    for (auto& unit : raw->stages) {
+      unit->workers = 1;
+      engine_->Spawn(StageWorker(raw, unit.get(), LocalPlacement()));
+    }
     engine_->Spawn(PublishWorker(raw));
     raw->publish_workers = 1;
     engine_->Spawn(TransferWorker(raw));
-    if (config_->compression) {
-      engine_->Spawn(CompressWorker(raw));
-      raw->compress_workers = 1;
-    }
-    engine_->Spawn(ScalingMonitor(raw));
+    // Dynamic scaling moved to the cluster-wide StagePlacer: each scalable
+    // stage of this pipe becomes a placement group it grows and shrinks.
+    RegisterStageGroups(raw);
   } else {
     engine_->Spawn(SequentialLoop(raw));
   }
@@ -415,7 +445,7 @@ sim::Task<NicFs::ChunkPtr> NicFs::FetchOne(ClientPipe* pipe) {
 // its credit back (urgent admissions past the window run uncredited).
 sim::Task<> NicFs::FetchSlot(ClientPipe* pipe, ChunkPtr chunk, bool credited) {
   co_await FetchDma(pipe, chunk);
-  pipe->validate_q.Push(std::move(chunk));
+  pipe->stages.front()->queue.Push(std::move(chunk));
   --pipe->fetch_inflight;
   if (credited) {
     pipe->fetch_credits.Release();
@@ -434,7 +464,7 @@ sim::Task<> NicFs::FetchLoop(ClientPipe* pipe) {
       // all inline, one chunk at a time.
       ChunkPtr chunk = co_await FetchOne(pipe);
       if (chunk != nullptr) {
-        pipe->validate_q.Push(std::move(chunk));
+        pipe->stages.front()->queue.Push(std::move(chunk));
       }
       continue;
     }
@@ -464,119 +494,142 @@ sim::Task<> NicFs::FetchLoop(ClientPipe* pipe) {
   }
 }
 
-// --- Validate stage (shared by both pipelines) ---------------------------------
+// --- Configurable stage chain (src/pipeline) -----------------------------------
 
-sim::Task<> NicFs::DoValidate(ClientPipe* pipe, ChunkPtr chunk) {
-  obs::Span span(trace_, component_, "validate", node_->id(), pipe->client, chunk->no,
-                 chunk->ctx);
-  // Downstream stages (compress/transfer/publish) nest under the validation
-  // span, which itself nests under fetch.
-  chunk->ctx = span.context();
-  sim::Time t0 = engine_->Now();
-  Result<std::vector<fslib::ParsedEntry>> parsed =
-      config_->materialize_data
-          ? fslib::LogArea::ParseChunkImage(chunk->image, chunk->from)
-          : pipe->log->ParseRange(chunk->from, chunk->to);
-  uint64_t n = parsed.ok() ? parsed->size() : 1;
-  uint64_t cycles = config_->fs_costs.validate_entry_cycles * n +
-                    static_cast<uint64_t>(config_->fs_costs.validate_cycles_per_byte *
-                                          static_cast<double>(chunk->bytes()));
-  if (config_->coalescing) {
-    cycles += config_->fs_costs.coalesce_entry_cycles * n;
+void NicFs::BuildStages(ClientPipe* pipe) {
+  for (const std::string& name : pipeline::ParseStageList(config_->pipeline_stages)) {
+    if (name == "compress" && !config_->compression) {
+      // The chain declares where compression sits; the knob arms it.
+      continue;
+    }
+    std::unique_ptr<pipeline::Stage> stage = pipeline::Stages().Create(name);
+    if (stage == nullptr) {
+      continue;  // Validate() rejects unknown names before boot.
+    }
+    metrics_.ForStage(name);  // Create the metric handles up front.
+    pipe->stages.push_back(
+        std::make_unique<StageUnit>(engine_, std::move(stage), pipe->stages.size()));
   }
-  co_await node_->hw().nic().cpu().RunCycles(
-      cycles, chunk->urgent ? sim::Priority::kRealtime : sim::Priority::kNormal,
-      node_->hw().nic().nicfs_account());
-  if (!parsed.ok()) {
-    metrics_.validation_failures->Increment();
-    chunk->failed = true;
+}
+
+pipeline::Placement NicFs::LocalPlacement() const {
+  pipeline::Placement p;
+  p.site = pipeline::Placement::Site::kLocalNic;
+  p.node = node_->id();
+  p.pool = &node_->hw().nic().cpu();
+  p.account = node_->hw().nic().nicfs_account();
+  return p;
+}
+
+pipeline::Placement NicFs::PlacementFor(const pipeline::StagePlacer::Site& site) const {
+  pipeline::Placement p;
+  p.node = site.node;
+  p.pool = site.pool;
+  p.account = site.account;
+  if (site.host) {
+    // Host fallback: the chunk crosses PCIe up to host DRAM and a small
+    // completion descriptor returns to the NIC.
+    p.site = pipeline::Placement::Site::kHost;
+    hw::SmartNic* nic = &node_->hw().nic();
+    p.ship = [nic](uint64_t bytes) -> sim::Task<> {
+      co_await nic->pcie_n2h().Transfer(bytes);
+      co_await nic->pcie_h2n().Transfer(64);
+    };
+  } else if (site.node != node_->id()) {
+    // Pooled remote NIC: the peer's cores pull the chunk over the fabric and
+    // write a small result descriptor back into the home NIC.
+    p.site = pipeline::Placement::Site::kRemoteNic;
+    rdma::Initiator init;
+    init.cpu = site.pool;
+    init.account = site.account;
+    init.extra_latency = 8 * sim::kMicrosecond;
+    rdma::Network* net = &cluster_->net();
+    rdma::MemAddr peer{site.node, rdma::Space::kNicMem};
+    rdma::MemAddr home{node_->id(), rdma::Space::kNicMem};
+    p.ship = [net, init, peer, home](uint64_t bytes) -> sim::Task<> {
+      co_await net->Read(init, peer, home, bytes);
+      co_await net->Write(init, peer, home, 64);
+    };
   } else {
-    Status st = validator_->Validate(*parsed);
-    if (!st.ok()) {
-      metrics_.validation_failures->Increment();
-      chunk->failed = true;
-      std::fprintf(stderr, "nicfs[%d]: VALIDATION of client %d chunk %llu failed: %s\n",
-                   node_->id(), chunk->client, (unsigned long long)chunk->no,
-                   st.ToString().c_str());
-    } else {
-      chunk->entries = std::move(*parsed);
-    }
+    p.site = pipeline::Placement::Site::kLocalNic;
   }
-  metrics_.stage_validate->Record(engine_->Now() - t0);
+  return p;
 }
 
-sim::Task<> NicFs::ValidateWorker(ClientPipe* pipe) {
-  while (true) {
-    std::optional<ChunkPtr> chunk = co_await pipe->validate_q.Pop();
-    if (!chunk.has_value()) {
-      break;
-    }
-    if (*chunk == nullptr) {
-      // Retire pill from the scaling monitor: this worker scales back down.
-      --pipe->validate_workers;
-      --pipe->validate_retire_pending;
-      metrics_.stage_workers_retired->Increment();
-      break;
-    }
-    co_await DoValidate(pipe, *chunk);
-    // Fan out to both pipelines: they share the fetched+validated data.
-    pipe->publish_rb.Push((*chunk)->no, *chunk);
-    if (config_->compression) {
-      pipe->compress_q.Push(*chunk);
-    } else {
-      pipe->transfer_rb.Push((*chunk)->no, *chunk);
-    }
+void NicFs::PushDownstream(ClientPipe* pipe, StageUnit* unit, ChunkPtr chunk) {
+  if (unit->stage->info().shared_fanout) {
+    // Fan out to the publication pipeline: it shares the fetched+validated
+    // data with replication.
+    pipe->publish_rb.Push(chunk->no, chunk);
+  }
+  size_t next = unit->index + 1;
+  uint64_t chunk_no = chunk->no;
+  if (next < pipe->stages.size()) {
+    pipe->stages[next]->queue.Push(std::move(chunk));
+  } else {
+    pipe->transfer_rb.Push(chunk_no, std::move(chunk));
   }
 }
 
-// --- Compression stage (replication pipeline, optional; §5.4) -------------------
-
-sim::Task<> NicFs::CompressWorker(ClientPipe* pipe) {
+sim::Task<> NicFs::StageWorker(ClientPipe* pipe, StageUnit* unit,
+                               pipeline::Placement where) {
+  const pipeline::Stage::Info& info = unit->stage->info();
   while (true) {
-    std::optional<ChunkPtr> popped = co_await pipe->compress_q.Pop();
+    std::optional<ChunkPtr> popped = co_await unit->queue.Pop();
     if (!popped.has_value()) {
       break;
     }
-    ChunkPtr chunk = *popped;
+    ChunkPtr chunk = std::move(*popped);
     if (chunk == nullptr) {
-      // Retire pill from the scaling monitor: this worker scales back down.
-      --pipe->compress_workers;
-      --pipe->compress_retire_pending;
+      // Retire pill from the placer: this worker scales back down.
+      --unit->workers;
+      --unit->retire_pending;
       metrics_.stage_workers_retired->Increment();
       break;
     }
-    // If the compression stage is the pipeline bottleneck, NICFS
-    // opportunistically disables it for queued chunks (§3.3.2).
-    if (pipe->compress_q.size() > static_cast<size_t>(config_->stage_queue_threshold) &&
-        pipe->compress_workers >= config_->max_stage_workers) {
-      metrics_.compression_bypassed->Increment();
-      uint64_t bypass_no = chunk->no;
-      pipe->transfer_rb.Push(bypass_no, std::move(chunk));
+    Metrics::StageSet& set = metrics_.ForStage(info.name);
+    // If an optional stage is the pipeline bottleneck, NICFS opportunistically
+    // disables it for queued chunks (§3.3.2, generalized to every optional
+    // stage).
+    if (info.optional &&
+        unit->queue.size() > static_cast<size_t>(config_->stage_queue_threshold) &&
+        unit->workers >= config_->max_stage_workers) {
+      set.bypassed->Increment();
+      PushDownstream(pipe, unit, std::move(chunk));
       continue;
     }
-    if (!chunk->failed && config_->materialize_data && !chunk->image.empty()) {
-      obs::Span span(trace_, component_, "compress", node_->id(), pipe->client, chunk->no,
-                     chunk->ctx);
-      sim::Time t0 = engine_->Now();
-      // Parallel compression: the chunk is split across SmartNIC cores.
-      uint64_t total_cycles = static_cast<uint64_t>(
-          config_->fs_costs.compress_cycles_per_byte * static_cast<double>(chunk->bytes()));
-      int threads = std::max(1, config_->compression_threads);
-      std::vector<sim::Task<>> shards;
-      shards.reserve(threads);
-      for (int i = 0; i < threads; ++i) {
-        shards.push_back(node_->hw().nic().cpu().RunCycles(
-            total_cycles / threads, sim::Priority::kNormal,
-            node_->hw().nic().nicfs_account()));
-      }
-      co_await sim::AwaitAll(engine_, std::move(shards));
-      chunk->wire = compress::LzwCompress(chunk->image);
-      chunk->wire_compressed = true;
-      span.End();
-      metrics_.stage_compress->Record(engine_->Now() - t0);
+    sim::Time t0 = engine_->Now();
+    if (where.ship) {
+      // Relocated worker: pay the data movement to the executing complex.
+      co_await where.ship(chunk->bytes());
     }
-    uint64_t chunk_no = chunk->no;
-    pipe->transfer_rb.Push(chunk_no, std::move(chunk));
+    co_await unit->stage->Process(pipe->env, where, chunk);
+    set.latency->Record(engine_->Now() - t0);
+    PushDownstream(pipe, unit, std::move(chunk));
+  }
+}
+
+void NicFs::RegisterStageGroups(ClientPipe* pipe) {
+  for (auto& unit_ptr : pipe->stages) {
+    StageUnit* unit = unit_ptr.get();
+    if (!unit->stage->info().scalable) {
+      continue;
+    }
+    pipeline::StagePlacer::Group group;
+    group.stage = unit->stage->info().name;
+    group.node = node_->id();
+    group.depth = [unit] { return unit->queue.size(); };
+    group.workers = [unit] { return unit->workers; };
+    group.retire_pending = [unit] { return unit->retire_pending; };
+    group.spawn = [this, pipe, unit](const pipeline::StagePlacer::Site& site) {
+      ++unit->workers;
+      engine_->Spawn(StageWorker(pipe, unit, PlacementFor(site)));
+    };
+    group.retire = [unit] {
+      ++unit->retire_pending;
+      unit->queue.Push(nullptr);
+    };
+    cluster_->placer().RegisterGroup(std::move(group));
   }
 }
 
@@ -596,7 +649,9 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
                  chunk->ctx);
   sim::Time t0 = engine_->Now();
   int next = chain[1];
-  uint64_t wire_bytes = chunk->wire_compressed ? chunk->wire.size() : chunk->bytes();
+  // The wire carries the transformed image when any transform stage ran
+  // (compression changes the size; encryption keeps it).
+  uint64_t wire_bytes = chunk->wire.empty() ? chunk->bytes() : chunk->wire.size();
   // Urgency is evaluated at send time, not admission time: a chunk prefetched
   // before an fsync arrived still rides the low-latency channel once a waiter
   // is blocked on it.
@@ -614,14 +669,17 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
   }
 
   WirePayload payload;
-  if (chunk->wire_compressed) {
+  if (!chunk->wire.empty()) {
     payload.raw = chunk->wire;
-    payload.compressed = true;
+    payload.compressed = chunk->wire_compressed;
+    payload.encrypted = chunk->wire_encrypted;
   } else if (config_->materialize_data) {
     payload.raw = chunk->image;
   } else {
     payload.entries = chunk->entries;
   }
+  payload.has_checksum = chunk->wire_checksummed;
+  payload.checksum = chunk->wire_checksum;
   cluster_->StashWire(Cluster::WireKey(next, pipe->client, chunk->no), std::move(payload));
 
   // Bulk one-sided write into the next NICFS's memory, then the control
@@ -642,6 +700,9 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
   msg.to = chunk->to;
   msg.wire_bytes = wire_bytes;
   msg.compressed = chunk->wire_compressed ? 1 : 0;
+  msg.encrypted = chunk->wire_encrypted ? 1 : 0;
+  msg.checksum_present = chunk->wire_checksummed ? 1 : 0;
+  msg.checksum = chunk->wire_checksum;
   msg.urgent = urgent ? 1 : 0;
   msg.origin_node = node_->id();
   msg.hop = 1;
@@ -834,7 +895,14 @@ sim::Task<> NicFs::SequentialLoop(ClientPipe* pipe) {
       co_await pipe->fetch_cv.Wait();
       continue;
     }
-    co_await DoValidate(pipe, chunk);
+    // The configured stage chain runs inline in chain order, then the chunk
+    // publishes and transfers — strictly one chunk at a time.
+    pipeline::Placement local = LocalPlacement();
+    for (auto& unit : pipe->stages) {
+      sim::Time t0 = engine_->Now();
+      co_await unit->stage->Process(pipe->env, local, chunk);
+      metrics_.ForStage(unit->stage->info().name).latency->Record(engine_->Now() - t0);
+    }
     co_await PublishChunk(pipe, chunk);
     uint64_t target = chunk->to;
     co_await DoTransfer(pipe, chunk);
@@ -842,56 +910,6 @@ sim::Task<> NicFs::SequentialLoop(ClientPipe* pipe) {
     // chunk is even fetched.
     while (!shutdown_ && pipe->replicated_upto < target) {
       co_await pipe->progress.Wait();
-    }
-  }
-}
-
-// --- Dynamic stage scaling (§3.1) ---------------------------------------------------
-
-sim::Task<> NicFs::ScalingMonitor(ClientPipe* pipe) {
-  while (!shutdown_) {
-    co_await engine_->SleepFor(kScalingCheckInterval);
-    if (shutdown_) {
-      break;
-    }
-    size_t threshold = static_cast<size_t>(config_->stage_queue_threshold);
-    if (pipe->validate_q.size() > threshold &&
-        pipe->validate_workers < config_->max_stage_workers) {
-      ++pipe->validate_workers;
-      pipe->validate_idle_intervals = 0;
-      engine_->Spawn(ValidateWorker(pipe));
-    } else if (pipe->validate_q.size() < threshold &&
-               pipe->validate_workers - pipe->validate_retire_pending > 1) {
-      // Scale back down: a stage that stayed under threshold for several
-      // consecutive checks gives an extra worker back. The retire pill rides
-      // the stage queue so the worker winds down at a chunk boundary; one
-      // worker always survives.
-      if (++pipe->validate_idle_intervals >= config_->stage_scale_down_intervals) {
-        pipe->validate_idle_intervals = 0;
-        ++pipe->validate_retire_pending;
-        pipe->validate_q.Push(nullptr);
-      }
-    } else {
-      pipe->validate_idle_intervals = 0;
-    }
-    // Publication and transfer are order-constrained single consumers; only
-    // the unordered stages (validation, compression) scale out.
-    if (config_->compression) {
-      if (pipe->compress_q.size() > threshold &&
-          pipe->compress_workers < config_->max_stage_workers) {
-        ++pipe->compress_workers;
-        pipe->compress_idle_intervals = 0;
-        engine_->Spawn(CompressWorker(pipe));
-      } else if (pipe->compress_q.size() < threshold &&
-                 pipe->compress_workers - pipe->compress_retire_pending > 1) {
-        if (++pipe->compress_idle_intervals >= config_->stage_scale_down_intervals) {
-          pipe->compress_idle_intervals = 0;
-          ++pipe->compress_retire_pending;
-          pipe->compress_q.Push(nullptr);
-        }
-      } else {
-        pipe->compress_idle_intervals = 0;
-      }
     }
   }
 }
@@ -935,20 +953,49 @@ sim::Task<> NicFs::HandleReplChunk(ReplChunkMsg msg) {
     nic.ReserveMem(raw_bytes);
   }
 
+  // Verify the CRC32C seal over the wire bytes exactly as received, before
+  // any transform is undone. A mismatch is counted but the chunk still flows:
+  // in the model corruption never actually happens, so this is the detection
+  // path, not a drop path.
+  if (msg.checksum_present != 0) {
+    co_await nic.cpu().RunCycles(
+        static_cast<uint64_t>(config_->fs_costs.checksum_cycles_per_byte *
+                              static_cast<double>(msg.wire_bytes)),
+        urgent ? sim::Priority::kRealtime : sim::Priority::kNormal, nic.nicfs_account());
+    if (!payload.raw.empty()) {
+      if (payload.has_checksum && pipeline::WireChecksum(payload.raw) == msg.checksum) {
+        metrics_.checksum_verified->Increment();
+      } else {
+        metrics_.checksum_mismatches->Increment();
+      }
+    }
+  }
+
+  // Undo the wire transforms in reverse chain order for local use: decrypt,
+  // then decompress. `payload` itself stays in wire form — a chain forward
+  // must relay the exact bytes (and flags) this hop received.
+  std::vector<uint8_t> plain = payload.raw;
+  if (msg.encrypted != 0 && !plain.empty()) {
+    co_await nic.cpu().RunCycles(
+        static_cast<uint64_t>(config_->fs_costs.encrypt_cycles_per_byte *
+                              static_cast<double>(plain.size())),
+        urgent ? sim::Priority::kRealtime : sim::Priority::kNormal, nic.nicfs_account());
+    pipeline::XorCipher(&plain);  // Involutive: same routine decrypts.
+  }
   // Decompress for local use (the paper's compression stage compresses once
   // at the primary; every replica decompresses for its own PM copy).
   std::vector<uint8_t> image;
-  if (msg.compressed != 0 && !payload.raw.empty()) {
+  if (msg.compressed != 0 && !plain.empty()) {
     co_await nic.cpu().RunCycles(
         static_cast<uint64_t>(config_->fs_costs.decompress_cycles_per_byte *
                               static_cast<double>(raw_bytes)),
         urgent ? sim::Priority::kRealtime : sim::Priority::kNormal, nic.nicfs_account());
-    Result<std::vector<uint8_t>> restored = compress::LzwDecompress(payload.raw);
+    Result<std::vector<uint8_t>> restored = compress::LzwDecompress(plain);
     if (restored.ok()) {
       image = std::move(*restored);
     }
   } else {
-    image = payload.raw;
+    image = std::move(plain);
   }
 
   std::vector<sim::Task<>> parallel;
@@ -1023,9 +1070,10 @@ sim::Task<> NicFs::ForwardChunk(ReplChunkMsg msg, WirePayload payload,
   // link ahead of chunk k's control message.
   sim::Mutex* wire_mu = ForwardMutex(static_cast<int>(msg.client));
   co_await wire_mu->Lock();
-  if (next_is_last && msg.compressed == 0) {
+  if (next_is_last && msg.compressed == 0 && msg.encrypted == 0) {
     // Penultimate-hop optimisation (Fig. 3, step 6'): write straight into the
-    // last replica's host PM log, skipping its SmartNIC memory copy.
+    // last replica's host PM log, skipping its SmartNIC memory copy. Only for
+    // untransformed payloads — host PM must receive plaintext bytes.
     fwd.direct_to_host = 1;
     fslib::LogArea& dst_log = cluster_->dfs_node(next).client_log(static_cast<int>(msg.client));
     if (config_->materialize_data && !image.empty()) {

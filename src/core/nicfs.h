@@ -42,6 +42,8 @@
 #include "src/fslib/validate.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/pipeline/placer.h"
+#include "src/pipeline/stage.h"
 #include "src/rdma/rpc.h"
 #include "src/sim/queue.h"
 #include "src/sim/stats.h"
@@ -101,46 +103,49 @@ class NicFs {
     uint64_t raw_repl_bytes = 0;          // Pre-compression bytes.
     uint64_t coalesce_saved_bytes = 0;
     uint64_t validation_failures = 0;
-    uint64_t compression_bypassed = 0;    // Chunks skipped when stage backlogged.
+    uint64_t checksum_verified = 0;       // Replica-side CRC32C seals that matched.
+    uint64_t checksum_mismatches = 0;     // Seals that did not (corruption).
     uint64_t isolated_publishes = 0;
     uint64_t flow_ctrl_stall_ns = 0;      // Fetch time lost to §4 watermark stalls.
     uint64_t repl_retransmits = 0;        // Chunk re-sends by the retry sweeper.
     uint64_t repl_send_failures = 0;      // One-way sends that returned an error.
     uint64_t stage_workers_retired = 0;   // Extra workers scaled back down.
-    obs::HistogramSummary stage_fetch;
-    obs::HistogramSummary stage_validate;
-    obs::HistogramSummary stage_compress;
-    obs::HistogramSummary stage_publish;
-    obs::HistogramSummary stage_transfer;
-    obs::HistogramSummary stage_ack;
+    struct StageStats {
+      obs::HistogramSummary latency;
+      uint64_t bypassed = 0;  // Chunks passed through under backpressure (§3.3.2).
+      int workers = 0;        // Live workers across this node's pipes.
+    };
+    // Keyed per-stage view: the fixed pipeline phases (fetch, publish,
+    // transfer, ack) plus every configured pipeline::Stage under its
+    // registered name.
+    std::map<std::string, StageStats> stages;
   };
   StatsSnapshot stats() const;
 
  private:
   friend class Cluster;
 
-  struct Chunk {
-    int client = 0;
-    uint64_t no = 0;
-    uint64_t from = 0;
-    uint64_t to = 0;
-    bool urgent = false;
-    bool failed = false;  // Parse/validation failure: skip work, keep order.
-    std::vector<uint8_t> image;               // Raw log bytes (NIC memory).
-    std::vector<fslib::ParsedEntry> entries;  // Populated by validation.
-    std::vector<uint8_t> wire;                // Compressed image (optional).
-    bool wire_compressed = false;
-    uint64_t mem_reserved = 0;
-    int release_refs = 0;
-    sim::Time transfer_done_at = 0;
-    // Causal-trace position: updated as the chunk moves through the shared
-    // stages (fetch -> validate), so each stage span parents on the previous.
-    obs::TraceContext ctx;
-    uint64_t bytes() const { return to - from; }
-  };
-  using ChunkPtr = std::shared_ptr<Chunk>;
+  // The pipeline unit of work now lives in src/pipeline so stage plugins can
+  // transform it without depending on NICFS.
+  using Chunk = pipeline::Chunk;
+  using ChunkPtr = pipeline::ChunkPtr;
 
   struct ClientPipe;
+
+  // One configured pipeline::Stage of one pipe: the stage instance, its wait
+  // queue, and worker bookkeeping. Workers are generic (StageWorker) and may
+  // execute at any placement the StagePlacer chooses; a nullptr queue item is
+  // a retire pill.
+  struct StageUnit {
+    StageUnit(sim::Engine* engine, std::unique_ptr<pipeline::Stage> stage_in,
+              size_t index_in)
+        : stage(std::move(stage_in)), queue(engine), index(index_in) {}
+    std::unique_ptr<pipeline::Stage> stage;
+    sim::Queue<ChunkPtr> queue;
+    size_t index = 0;   // Position in the pipe's chain.
+    int workers = 0;
+    int retire_pending = 0;  // Retire pills pushed but not yet consumed.
+  };
 
   // State shared by the primary publish path and the replica publish path.
   // Publication consumes a reorder buffer: chunks may arrive out of order from
@@ -158,7 +163,7 @@ class NicFs {
 
   struct ClientPipe : PipeBase {
     ClientPipe(sim::Engine* engine, int fetch_depth, int transfer_window)
-        : PipeBase(engine), validate_q(engine), compress_q(engine), transfer_rb(engine),
+        : PipeBase(engine), transfer_rb(engine),
           fetch_cv(engine), progress(engine), retry_kick(engine),
           fetch_credits(engine, fetch_depth), transfer_credits(engine, transfer_window),
           wire_mutex(engine) {}
@@ -169,8 +174,11 @@ class NicFs {
     // Trace context newly fetched chunks parent under: the most recent
     // publish kick / fsync that woke this pipe.
     obs::TraceContext active_ctx;
-    sim::Queue<ChunkPtr> validate_q;
-    sim::Queue<ChunkPtr> compress_q;
+    // The configured stage chain (BuildStages): fetch feeds stages[0], each
+    // stage feeds the next, the last stage feeds transfer_rb. The shared
+    // fan-out stage (validate) additionally feeds publish_rb.
+    std::vector<std::unique_ptr<StageUnit>> stages;
+    pipeline::StageEnv env;  // Shared by every Process() call on this pipe.
     sim::ReorderBuffer<ChunkPtr> transfer_rb;
     sim::Condition fetch_cv;
     struct AckState {
@@ -203,14 +211,6 @@ class NicFs {
     int fetch_inflight = 0;
     int transfer_inflight = 0;
     int urgent_waiters = 0;
-    int validate_workers = 0;
-    int compress_workers = 0;
-    // Scale-down bookkeeping: consecutive scaling checks a stage queue spent
-    // below threshold, and retire pills pushed but not yet consumed.
-    int validate_idle_intervals = 0;
-    int compress_idle_intervals = 0;
-    int validate_retire_pending = 0;
-    int compress_retire_pending = 0;
   };
 
   struct ReplicaPipe : PipeBase {
@@ -229,15 +229,26 @@ class NicFs {
   sim::Task<> FetchSlot(ClientPipe* pipe, ChunkPtr chunk, bool credited);
   sim::Task<ChunkPtr> FetchOne(ClientPipe* pipe);
   sim::Task<> FetchLoop(ClientPipe* pipe);
-  sim::Task<> DoValidate(ClientPipe* pipe, ChunkPtr chunk);
-  sim::Task<> ValidateWorker(ClientPipe* pipe);
-  sim::Task<> CompressWorker(ClientPipe* pipe);
+  // Instantiates the pipe's stage chain from DfsConfig::pipeline_stages (the
+  // "compress" entry is armed by the compression knob).
+  void BuildStages(ClientPipe* pipe);
+  // Generic queue-fed stage worker executing at `where`. Handles retire
+  // pills, the generalized optional-stage bypass (§3.3.2), the relocated
+  // worker's data-shipping cost, and downstream hand-off.
+  sim::Task<> StageWorker(ClientPipe* pipe, StageUnit* unit, pipeline::Placement where);
+  void PushDownstream(ClientPipe* pipe, StageUnit* unit, ChunkPtr chunk);
+  // Placement descriptors: the home NIC, or a placer-chosen site (remote NIC
+  // / host) with its data-shipping cost model.
+  pipeline::Placement LocalPlacement() const;
+  pipeline::Placement PlacementFor(const pipeline::StagePlacer::Site& site) const;
+  // Registers each scalable stage of this pipe as a placement group with the
+  // cluster's StagePlacer (which replaces the old per-node ScalingMonitor).
+  void RegisterStageGroups(ClientPipe* pipe);
   sim::Task<> DoTransfer(ClientPipe* pipe, ChunkPtr chunk);
   sim::Task<> TransferSlot(ClientPipe* pipe, ChunkPtr chunk);
   sim::Task<> TransferWorker(ClientPipe* pipe);
   sim::Task<> PublishWorker(PipeBase* pipe);
   sim::Task<> SequentialLoop(ClientPipe* pipe);
-  sim::Task<> ScalingMonitor(ClientPipe* pipe);
   sim::Task<> KworkerMonitor();
   // Replication robustness under faults: acks are tracked per replica node,
   // completion is re-evaluated against *current* liveness (a declared-dead
@@ -256,7 +267,19 @@ class NicFs {
 
   // Registry-backed metric handles (hot-path increments stay pointer-cheap).
   struct Metrics {
-    explicit Metrics(const obs::MetricScope& scope);
+    explicit Metrics(const obs::MetricScope& scope_in);
+    // Handle bundle for one pipeline::Stage, created on demand per configured
+    // stage name: stage.<name> latency, bypassed.<name> (§3.3.2 generalized),
+    // workers.<name>, qdepth.<name>.
+    struct StageSet {
+      obs::Histogram* latency = nullptr;
+      obs::Counter* bypassed = nullptr;
+      obs::Gauge* workers = nullptr;
+      obs::Histogram* qdepth = nullptr;
+    };
+    StageSet& ForStage(const std::string& name);
+    obs::MetricScope scope;
+    std::map<std::string, StageSet> stage_sets;
     obs::Counter* chunks_fetched;
     obs::Counter* bytes_fetched;
     obs::Counter* chunks_transferred;
@@ -264,27 +287,23 @@ class NicFs {
     obs::Counter* raw_repl_bytes;
     obs::Counter* coalesce_saved_bytes;
     obs::Counter* validation_failures;
-    obs::Counter* compression_bypassed;
+    obs::Counter* checksum_verified;
+    obs::Counter* checksum_mismatches;
     obs::Counter* isolated_publishes;
     obs::Counter* flow_ctrl_stall_ns;
     obs::Counter* repl_retransmits;
     obs::Counter* repl_send_failures;
     obs::Counter* stage_workers_retired;
+    // Fixed pipeline phases (not pluggable stages).
     obs::Histogram* stage_fetch;
-    obs::Histogram* stage_validate;
-    obs::Histogram* stage_compress;
     obs::Histogram* stage_publish;
     obs::Histogram* stage_transfer;
     obs::Histogram* stage_ack;
     // Profiler-sampled pipeline state.
-    obs::Histogram* qdepth_validate;
-    obs::Histogram* qdepth_compress;
     obs::Histogram* qdepth_transfer_rb;
     obs::Histogram* qdepth_publish_rb;
     obs::Histogram* inflight_fetch;
     obs::Histogram* inflight_transfer;
-    obs::Gauge* workers_validate;
-    obs::Gauge* workers_compress;
     obs::Gauge* nic_mem_utilization;
   };
 

@@ -1,0 +1,70 @@
+#include "src/pipeline/registry.h"
+
+namespace linefs::pipeline {
+
+void StageRegistry::Register(const std::string& name, Stage::Info info, Factory factory) {
+  entries_[name] = Entry{std::move(info), std::move(factory)};
+}
+
+bool StageRegistry::Contains(const std::string& name) const {
+  return entries_.contains(name);
+}
+
+const Stage::Info* StageRegistry::Lookup(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second.info;
+}
+
+std::unique_ptr<Stage> StageRegistry::Create(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.factory();
+}
+
+std::vector<std::string> StageRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+StageRegistry& Stages() {
+  static StageRegistry* registry = [] {
+    auto* r = new StageRegistry();
+    r->Register("validate", ValidateStage().info(),
+                [] { return std::make_unique<ValidateStage>(); });
+    r->Register("compress", CompressStage().info(),
+                [] { return std::make_unique<CompressStage>(); });
+    r->Register("checksum", ChecksumStage().info(),
+                [] { return std::make_unique<ChecksumStage>(); });
+    r->Register("xor_encrypt", XorEncryptStage().info(),
+                [] { return std::make_unique<XorEncryptStage>(); });
+    return r;
+  }();
+  return *registry;
+}
+
+std::vector<std::string> ParseStageList(const std::string& csv) {
+  std::vector<std::string> names;
+  std::string current;
+  auto flush = [&] {
+    size_t begin = current.find_first_not_of(" \t");
+    size_t end = current.find_last_not_of(" \t");
+    names.push_back(begin == std::string::npos
+                        ? std::string()
+                        : current.substr(begin, end - begin + 1));
+    current.clear();
+  };
+  for (char c : csv) {
+    if (c == ',') {
+      flush();
+    } else {
+      current += c;
+    }
+  }
+  flush();
+  return names;
+}
+
+}  // namespace linefs::pipeline

@@ -1,0 +1,53 @@
+// StageRegistry: name -> (declared Info, factory) for every pipeline stage.
+//
+// DfsConfig::pipeline_stages is a comma-separated list of registered names;
+// DfsConfig::Validate() rejects unknown names and malformed chains against
+// this registry, and NICFS instantiates the per-pipe chain from it. Built-in
+// stages (validate, compress, checksum, xor_encrypt) are pre-registered;
+// tests and future plugins may Register() additional stages at startup.
+
+#ifndef SRC_PIPELINE_REGISTRY_H_
+#define SRC_PIPELINE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pipeline/stage.h"
+
+namespace linefs::pipeline {
+
+class StageRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Stage>()>;
+
+  // Registers (or replaces) a stage. `info.name` must equal `name`.
+  void Register(const std::string& name, Stage::Info info, Factory factory);
+
+  bool Contains(const std::string& name) const;
+  // Declared info for config validation / placer sizing; nullptr if unknown.
+  const Stage::Info* Lookup(const std::string& name) const;
+  // Instantiates the stage; nullptr if unknown.
+  std::unique_ptr<Stage> Create(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    Stage::Info info;
+    Factory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+// Process-wide registry with the built-in stages pre-registered.
+StageRegistry& Stages();
+
+// Splits "validate, compress,checksum" into trimmed names (empty items kept
+// as empty strings so validation can reject them explicitly).
+std::vector<std::string> ParseStageList(const std::string& csv);
+
+}  // namespace linefs::pipeline
+
+#endif  // SRC_PIPELINE_REGISTRY_H_

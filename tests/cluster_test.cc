@@ -528,10 +528,10 @@ TEST(LineFsTest, PipelineStageStatsPopulated) {
   harness.Drain(3 * sim::kSecond);
   NicFs::StatsSnapshot stats = harness.cluster().nicfs(0)->stats();
   EXPECT_GT(stats.chunks_fetched, 0u);
-  EXPECT_GT(stats.stage_fetch.count, 0u);
-  EXPECT_GT(stats.stage_validate.count, 0u);
-  EXPECT_GT(stats.stage_publish.count, 0u);
-  EXPECT_GT(stats.stage_transfer.count, 0u);
+  EXPECT_GT(stats.stages.at("fetch").latency.count, 0u);
+  EXPECT_GT(stats.stages.at("validate").latency.count, 0u);
+  EXPECT_GT(stats.stages.at("publish").latency.count, 0u);
+  EXPECT_GT(stats.stages.at("transfer").latency.count, 0u);
   EXPECT_EQ(stats.validation_failures, 0u);
 }
 

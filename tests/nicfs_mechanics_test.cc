@@ -112,7 +112,7 @@ TEST_F(NicFsMechanicsTest, CompressionBypassesWhenBacklogged) {
   engine_.RunUntil(engine_.Now() + 5 * sim::kSecond);
   NicFs::StatsSnapshot stats = cluster_->nicfs(0)->stats();
   // Some chunks skipped the overloaded compression stage (§3.3.2)...
-  EXPECT_GT(stats.compression_bypassed, 0u);
+  EXPECT_GT(stats.stages.at("compress").bypassed, 0u);
   // ...but everything still replicated correctly.
   fslib::PublicFs& replica = cluster_->dfs_node(1).fs();
   Result<fslib::InodeNum> inum = replica.LookupChild(fslib::kRootInode, "cb.dat");
