@@ -6,6 +6,13 @@
 // the replication chain: Varmail throughput holds steady through the crash
 // window; when the host returns, the stateless kernel worker resumes.
 //
+// The timeline runs once per replication protocol (chain, quorum): isolated
+// operation and the no-collapse shape are properties of the NICFS data path,
+// so they must hold regardless of replication topology. Per-protocol runs are
+// labelled with a "proto_<name>" suffix and their scalars are informational
+// in bench_compare (protocols trade latency for fan-out bandwidth; the gate
+// only tracks the shape booleans through the report).
+//
 // The crash/recovery schedule is a fault::FaultPlan applied by fault::Injector
 // (the same machinery as the torture harness), so the window is replayable
 // from its one-line spec. DESIGN.md §4's shape target — "no throughput
@@ -31,16 +38,27 @@ constexpr sim::Time kRunFor = 25 * sim::kSecond;
 // deliberately loose — the claim is "no collapse", not "no dip".
 constexpr double kNoCollapseFloor = 0.4;
 
-std::vector<double> g_kops_series;
-bool g_went_isolated = false;
-bool g_returned = false;
-bool g_shape_ok = false;
-double g_precrash_mean_kops = 0;
-double g_crash_window_min_kops = 0;
+const char* kProtocols[] = {"chain", "quorum"};
+
+struct Fig10Result {
+  std::string protocol;
+  std::vector<double> kops_series;
+  bool went_isolated = false;
+  bool returned = false;
+  bool shape_ok = false;
+  double precrash_mean_kops = 0;
+  double crash_window_min_kops = 0;
+};
+
+std::vector<Fig10Result> g_results;
 std::string g_plan_spec;
 
-void Run() {
+Fig10Result Run(const std::string& protocol) {
+  Fig10Result result;
+  result.protocol = protocol;
+
   core::DfsConfig config = BenchConfig(core::DfsMode::kLineFS);
+  config.repl.protocol = protocol;
   Experiment exp(config);
   core::LibFs* fs = exp.cluster().CreateClient(0);
 
@@ -56,19 +74,19 @@ void Run() {
   }
 
   // Probe isolated-mode transitions.
-  exp.engine().Spawn([](Experiment* exp) -> sim::Task<> {
+  exp.engine().Spawn([](Experiment* exp, Fig10Result* result) -> sim::Task<> {
     while (exp->engine().Now() < kRunFor) {
       co_await exp->engine().SleepFor(250 * sim::kMillisecond);
       sim::Time now = exp->engine().Now();
       bool isolated = exp->cluster().nicfs(1)->isolated();
       if (now > kCrashAt + sim::kSecond && now < kRecoverAt && isolated) {
-        g_went_isolated = true;
+        result->went_isolated = true;
       }
       if (now > kRecoverAt + 2 * sim::kSecond && !isolated) {
-        g_returned = true;
+        result->returned = true;
       }
     }
-  }(&exp));
+  }(&exp, &result));
 
   workloads::Filebench::Options options = workloads::Filebench::VarmailOptions(1000);
   workloads::Filebench bench(fs, options);
@@ -79,10 +97,9 @@ void Run() {
   }(&bench));
   exp.RunAll(std::move(tasks));
 
-  g_kops_series.clear();
   // Skip the preallocation phase: report per-second kops once Run() started.
   for (size_t i = 0; i < bench.ops_series().bucket_count(); ++i) {
-    g_kops_series.push_back(bench.ops_series().RateAt(i) / 1000.0);
+    result.kops_series.push_back(bench.ops_series().RateAt(i) / 1000.0);
   }
 
   // Shape assertion: the worst bucket fully inside the crash window must not
@@ -92,67 +109,86 @@ void Run() {
   const size_t recover_bucket = static_cast<size_t>(kRecoverAt / sim::kSecond);
   double pre_sum = 0;
   size_t pre_n = 0;
-  for (size_t i = 2; i < crash_bucket - 1 && i < g_kops_series.size(); ++i) {
-    pre_sum += g_kops_series[i];
+  for (size_t i = 2; i < crash_bucket - 1 && i < result.kops_series.size(); ++i) {
+    pre_sum += result.kops_series[i];
     ++pre_n;
   }
-  g_precrash_mean_kops = pre_n > 0 ? pre_sum / static_cast<double>(pre_n) : 0;
-  g_crash_window_min_kops = 0;
+  result.precrash_mean_kops = pre_n > 0 ? pre_sum / static_cast<double>(pre_n) : 0;
   bool first = true;
   // Skip the bucket containing the crash edge itself (failure detection spans
   // it); every later full bucket in the window counts.
-  for (size_t i = crash_bucket + 1; i < recover_bucket && i < g_kops_series.size(); ++i) {
-    if (first || g_kops_series[i] < g_crash_window_min_kops) {
-      g_crash_window_min_kops = g_kops_series[i];
+  for (size_t i = crash_bucket + 1; i < recover_bucket && i < result.kops_series.size(); ++i) {
+    if (first || result.kops_series[i] < result.crash_window_min_kops) {
+      result.crash_window_min_kops = result.kops_series[i];
       first = false;
     }
   }
-  g_shape_ok = !first && g_precrash_mean_kops > 0 &&
-               g_crash_window_min_kops >= kNoCollapseFloor * g_precrash_mean_kops;
+  result.shape_ok = !first && result.precrash_mean_kops > 0 &&
+                    result.crash_window_min_kops >= kNoCollapseFloor * result.precrash_mean_kops;
 
   double sum = 0;
-  for (double k : g_kops_series) {
+  for (double k : result.kops_series) {
     sum += k;
   }
-  exp.SetLabel("LineFS/replica_host_crash");
+  exp.SetLabel("LineFS/replica_host_crash/proto_" + protocol);
   exp.AddScalar("throughput_kops_per_sec",
-                g_kops_series.empty() ? 0 : sum / static_cast<double>(g_kops_series.size()));
-  exp.AddScalar("precrash_mean_kops", g_precrash_mean_kops);
-  exp.AddScalar("crash_window_min_kops", g_crash_window_min_kops);
-  exp.AddScalar("no_collapse_shape_ok", g_shape_ok ? 1 : 0);
-  exp.AddScalar("went_isolated", g_went_isolated ? 1 : 0);
-  exp.AddScalar("resumed_host_mode", g_returned ? 1 : 0);
+                result.kops_series.empty()
+                    ? 0
+                    : sum / static_cast<double>(result.kops_series.size()));
+  exp.AddScalar("precrash_mean_kops", result.precrash_mean_kops);
+  exp.AddScalar("crash_window_min_kops", result.crash_window_min_kops);
+  exp.AddScalar("no_collapse_shape_ok", result.shape_ok ? 1 : 0);
+  exp.AddScalar("went_isolated", result.went_isolated ? 1 : 0);
+  exp.AddScalar("resumed_host_mode", result.returned ? 1 : 0);
   exp.AddScalar("fault_edges_applied", static_cast<double>(injector.edges_applied()));
+  return result;
+}
+
+bool AllShapesOk() {
+  if (g_results.empty()) {
+    return false;
+  }
+  for (const Fig10Result& r : g_results) {
+    if (!r.shape_ok || !r.went_isolated || !r.returned) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void BM_Fig10(benchmark::State& state) {
   for (auto _ : state) {
-    Run();
+    g_results.clear();
+    for (const char* protocol : kProtocols) {
+      g_results.push_back(Run(protocol));
+    }
   }
-  state.counters["went_isolated"] = g_went_isolated ? 1 : 0;
-  state.counters["resumed_host_mode"] = g_returned ? 1 : 0;
-  state.counters["no_collapse_shape_ok"] = g_shape_ok ? 1 : 0;
+  state.counters["protocols_ok"] = AllShapesOk() ? 1 : 0;
 }
 
 void PrintTable() {
   std::printf("\n=== Figure 10: Varmail throughput timeline across a replica host crash ===\n");
   std::printf("Fault plan: %s", g_plan_spec.c_str());
-  std::printf("NICFS switched to isolated mode during the crash: %s\n",
-              g_went_isolated ? "YES" : "NO");
-  std::printf("NICFS resumed host-based publication after recovery: %s\n",
-              g_returned ? "YES" : "NO");
-  std::printf("No-collapse shape (min in-window %.1f kops >= %.0f%% of pre-crash %.1f kops): %s\n",
-              g_crash_window_min_kops, kNoCollapseFloor * 100, g_precrash_mean_kops,
-              g_shape_ok ? "OK" : "VIOLATED");
-  std::printf("\n%6s %12s\n", "t(s)", "kops/s");
-  for (size_t i = 0; i < g_kops_series.size() && i < 25; ++i) {
-    const char* marker = "";
-    if (i == 8) {
-      marker = "  <- host crash";
-    } else if (i == 16) {
-      marker = "  <- host recovered";
+  for (const Fig10Result& r : g_results) {
+    std::printf("\n--- replication protocol: %s ---\n", r.protocol.c_str());
+    std::printf("NICFS switched to isolated mode during the crash: %s\n",
+                r.went_isolated ? "YES" : "NO");
+    std::printf("NICFS resumed host-based publication after recovery: %s\n",
+                r.returned ? "YES" : "NO");
+    std::printf(
+        "No-collapse shape (min in-window %.1f kops >= %.0f%% of pre-crash %.1f kops): %s\n",
+        r.crash_window_min_kops, kNoCollapseFloor * 100, r.precrash_mean_kops,
+        r.shape_ok ? "OK" : "VIOLATED");
+    std::printf("\n%6s %12s\n", "t(s)", "kops/s");
+    for (size_t i = 0; i < r.kops_series.size() && i < 25; ++i) {
+      const char* marker = "";
+      if (i == 8) {
+        marker = "  <- host crash";
+      } else if (i == 16) {
+        marker = "  <- host recovered";
+      }
+      std::printf("%6zu %12.1f%s\n", i, r.kops_series[i], marker);
     }
-    std::printf("%6zu %12.1f%s\n", i, g_kops_series[i], marker);
   }
 }
 
@@ -169,5 +205,5 @@ int main(int argc, char** argv) {
   if (rc != 0) {
     return rc;
   }
-  return linefs::bench::g_shape_ok ? 0 : 2;
+  return linefs::bench::AllShapesOk() ? 0 : 2;
 }

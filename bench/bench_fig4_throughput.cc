@@ -9,6 +9,12 @@
 // LineFS ~2.3x Assise at 1 client, network saturation (~2.2 GB/s) at 2
 // clients for LineFS vs 4 for Assise, LineFS-NotParallel >= 60% below LineFS;
 // busy — nobody saturates, LineFS degrades least.
+//
+// An extra LineFS row runs the quorum replication protocol (ISSUE 7): the
+// primary fans every chunk out to both replicas itself, so it pushes 2x the
+// wire bytes of chain forwarding and commits at the majority ack. Those runs
+// are labelled with a "proto_quorum" suffix and are informational in
+// bench_compare — the paper's chain rows stay the gated baseline.
 
 #include <benchmark/benchmark.h>
 
@@ -29,6 +35,9 @@ const core::DfsMode kModes[] = {
     core::DfsMode::kLineFS,
 };
 
+// Row 5 of the table: LineFS again, on the quorum protocol.
+constexpr int kQuorumRow = 5;
+
 struct Key {
   int mode;
   bool busy;
@@ -39,9 +48,10 @@ struct Key {
 };
 std::map<Key, double> g_results;
 
-double RunConfig(core::DfsMode mode, bool busy, int clients) {
+double RunConfig(core::DfsMode mode, bool busy, int clients, const std::string& protocol) {
   core::DfsConfig config = BenchConfig(mode);
   config.max_clients = 8;
+  config.repl.protocol = protocol;
   // Busy runs give the DFS higher scheduling priority (§5.2.1).
   config.host_fs_priority = busy ? sim::Priority::kHigh : sim::Priority::kNormal;
   Experiment exp(config);
@@ -64,23 +74,29 @@ double RunConfig(core::DfsMode mode, bool busy, int clients) {
   exp.RunAll(std::move(tasks));
   sim::Time elapsed = exp.engine().Now() - start;
   double tput = static_cast<double>(kBytesPerClient) * clients / sim::ToSeconds(elapsed);
-  exp.SetLabel(std::string(core::DfsModeName(mode)) + (busy ? "/busy/" : "/idle/") +
-               std::to_string(clients) + "clients");
+  std::string label = std::string(core::DfsModeName(mode)) + (busy ? "/busy/" : "/idle/") +
+                      std::to_string(clients) + "clients";
+  if (protocol != "chain") {
+    label += "/proto_" + protocol;
+  }
+  exp.SetLabel(label);
   exp.AddScalar("throughput_bytes_per_sec", tput);
   return tput;
 }
 
 void BM_Fig4(benchmark::State& state) {
-  core::DfsMode mode = kModes[state.range(0)];
+  const bool quorum = state.range(0) == kQuorumRow;
+  core::DfsMode mode = quorum ? core::DfsMode::kLineFS : kModes[state.range(0)];
   bool busy = state.range(1) != 0;
   int clients = static_cast<int>(state.range(2));
   double tput = 0;
   for (auto _ : state) {
-    tput = RunConfig(mode, busy, clients);
+    tput = RunConfig(mode, busy, clients, quorum ? "quorum" : "chain");
   }
   g_results[Key{static_cast<int>(state.range(0)), busy, clients}] = tput;
   state.counters["GB/s"] = tput / 1e9;
-  state.SetLabel(std::string(core::DfsModeName(mode)) + (busy ? "/busy" : "/idle"));
+  state.SetLabel(std::string(core::DfsModeName(mode)) + (quorum ? "-quorum" : "") +
+                 (busy ? "/busy" : "/idle"));
 }
 
 void PrintTable() {
@@ -88,8 +104,9 @@ void PrintTable() {
     std::printf("\n=== Figure 4: write throughput (GB/s), replicas %s ===\n",
                 busy ? "busy" : "idle");
     std::printf("%-22s %8s %8s %8s %8s\n", "system", "1", "2", "4", "8");
-    for (int m = 0; m < 5; ++m) {
-      std::printf("%-22s", core::DfsModeName(kModes[m]));
+    for (int m = 0; m <= kQuorumRow; ++m) {
+      std::printf("%-22s", m == kQuorumRow ? "LineFS (quorum repl)"
+                                           : core::DfsModeName(kModes[m]));
       for (int clients : {1, 2, 4, 8}) {
         auto it = g_results.find(Key{m, busy != 0, clients});
         std::printf(" %8.2f", it != g_results.end() ? it->second / 1e9 : 0.0);
@@ -103,7 +120,7 @@ void PrintTable() {
 }  // namespace linefs::bench
 
 BENCHMARK(linefs::bench::BM_Fig4)
-    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}, {1, 2, 4, 8}})
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1}, {1, 2, 4, 8}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

@@ -169,8 +169,14 @@ std::vector<WindowPoint> g_sweep;
 
 WindowPoint RunWindowPoint(int transfer_window, int fetch_depth) {
   core::DfsConfig config = BenchConfig(core::DfsMode::kLineFS);
-  config.transfer_window = transfer_window;
-  config.fetch_depth = fetch_depth;
+  config.repl.transfer_window = transfer_window;
+  config.repl.fetch_depth = fetch_depth;
+  // The tw=1 points measure the legacy blocking round-trip schedule, which is
+  // now the explicit chain_sync protocol (a window of 1 on plain chain would
+  // still use one-way posts and ack out-of-band).
+  if (transfer_window == 1) {
+    config.repl.protocol = "chain_sync";
+  }
   // 1MB chunks: more control operations per byte, so the sweep isolates what
   // the window actually removes (per-chunk round trips and send-completion
   // waits) instead of burying it under 4MB serialization time.

@@ -4,8 +4,12 @@
 // 1..8 — any 5 consecutive seeds cover every fault class), reporting per-seed
 // throughput, retransmit work, and fault/drop counters. Two environment knobs:
 //
-//   LINEFS_TORTURE_SEEDS=<n>   sweep seeds 1..n instead of 1..8
-//   LINEFS_FAULT_PLAN=<spec>   replay exactly this plan (single run, no sweep)
+//   LINEFS_TORTURE_SEEDS=<n>     sweep seeds 1..n instead of 1..8
+//   LINEFS_FAULT_PLAN=<spec>     replay exactly this plan (single run, no sweep)
+//   LINEFS_REPL_PROTOCOL=<name>  run the sweep on this replication protocol
+//                                (default chain; non-default runs get a
+//                                "/proto_<name>" label suffix and are
+//                                informational in bench_compare)
 //
 // The second is the replay path: any schedule printed by a failing run (or a
 // torture test) can be re-executed verbatim from its one-line spec.
@@ -87,8 +91,17 @@ obs::JsonValue AttributeFaultWindows(const obs::CriticalPathAnalyzer& analyzer,
 
 std::vector<TortureRow> g_rows;
 
-void RunOne(const std::string& label, fault::FaultPlan plan) {
+std::string ReplProtocol() {
+  const char* env = std::getenv("LINEFS_REPL_PROTOCOL");
+  return env != nullptr && *env != '\0' ? env : "chain";
+}
+
+void RunOne(std::string label, fault::FaultPlan plan) {
   core::DfsConfig config = BenchConfig(core::DfsMode::kLineFS);
+  config.repl.protocol = ReplProtocol();
+  if (config.repl.protocol != "chain") {
+    label += "/proto_" + config.repl.protocol;
+  }
   // Fast failure detection: fault windows are short.
   config.heartbeat_interval = 200 * sim::kMillisecond;
   config.heartbeat_timeout = 300 * sim::kMillisecond;

@@ -25,9 +25,11 @@ by name:
 A gated scalar that is more than --threshold percent worse than its baseline
 fails the comparison; a missing candidate report, run, or scalar also fails
 (silently dropping a bench is itself a regression). Exception: runs whose
-label contains "stage_mix" are experimental stage-composition sweeps -- their
-scalars never gate and a stage-mix run present on only one side is reported as
-a note, not a failure (new stage plugins can be benchmarked before their
+label contains "stage_mix" (experimental stage-composition sweeps) or
+"proto_" (alternative replication-protocol runs -- quorum trades fan-out
+bandwidth for commit latency, so its scalars are tracked, not gated) never
+gate, and such a run present on only one side is reported as a note, not a
+failure (new protocols and stage plugins can be benchmarked before their
 baselines are committed). The "meta" block (git sha, wall runtime) is
 provenance and is always ignored. Exit status: 0 clean, 1 regression or
 structural mismatch, 2 usage/IO error.
@@ -71,16 +73,22 @@ def runs_by_label(report, path):
     return out
 
 
+def informational_label(label):
+    """Stage-mix sweeps and alternative replication-protocol runs are tracked
+    but never gated."""
+    return "stage_mix" in label or "proto_" in label
+
+
 def compare_report(name, base, cand, threshold_pct, failures, rows):
     base_runs = runs_by_label(base, name)
     cand_runs = runs_by_label(cand, name)
     for label, base_run in base_runs.items():
-        informational_run = "stage_mix" in label
+        informational_run = informational_label(label)
         cand_run = cand_runs.get(label)
         if cand_run is None:
             if informational_run:
-                print(f"note: {name}: stage-mix run {label!r} absent from candidate "
-                      "(informational, not gated)")
+                print(f"note: {name}: informational run {label!r} absent from candidate "
+                      "(not gated)")
             else:
                 failures.append(f"{name}: run {label!r} missing from candidate")
             continue
@@ -115,9 +123,9 @@ def compare_report(name, base, cand, threshold_pct, failures, rows):
                     )
             rows.append((name, label, key, base_val, cand_val, delta_pct, verdict))
     for label in cand_runs:
-        if label not in base_runs and "stage_mix" in label:
-            print(f"note: {name}: stage-mix run {label!r} has no committed baseline "
-                  "(informational, not gated)")
+        if label not in base_runs and informational_label(label):
+            print(f"note: {name}: informational run {label!r} has no committed baseline "
+                  "(not gated)")
 
 
 def main():

@@ -45,6 +45,10 @@ const char* PublishMethodName(PublishMethod method) {
 Cluster::Cluster(sim::Engine* engine, const DfsConfig& config)
     : engine_(engine), config_(config) {
   config_.node_params.host.pm_size = config_.pm_size;
+  // Fold deprecated flat replication knobs into config_.repl before any
+  // service reads them; a conflicting config keeps its contradiction and is
+  // rejected by Start()'s Validate().
+  (void)config_.Normalize();
 
   metrics_ = std::make_unique<obs::MetricsRegistry>();
   trace_ = std::make_unique<obs::TraceBuffer>(engine_);
@@ -100,6 +104,20 @@ Cluster::Cluster(sim::Engine* engine, const DfsConfig& config)
 }
 
 Cluster::~Cluster() = default;
+
+void Cluster::SetServiceAlive(int node, bool alive) {
+  if (node < 0 || static_cast<size_t>(node) >= service_alive_.size()) {
+    return;
+  }
+  bool changed = service_alive_[node] != alive;
+  service_alive_[node] = alive;
+  if (!changed) {
+    return;
+  }
+  for (auto& fs : nicfs_) {
+    fs->OnPeerLiveness(node, alive);
+  }
+}
 
 Status Cluster::Start() {
   assert(!started_);

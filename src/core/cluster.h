@@ -100,7 +100,10 @@ class Cluster {
   // --- Service membership (maintained by the cluster manager) ------------------
 
   bool service_alive(int node) const { return service_alive_[node]; }
-  void SetServiceAlive(int node, bool alive) { service_alive_[node] = alive; }
+  // Flips membership and, on a transition, notifies every NicFs so replication
+  // protocols observe the failure/readmission and pending acks re-evaluate
+  // immediately (not at the next sweeper tick).
+  void SetServiceAlive(int node, bool alive);
 
   // --- Wire payload stash -----------------------------------------------------
 

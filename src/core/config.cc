@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/pipeline/registry.h"
+#include "src/repl/registry.h"
 
 namespace linefs::core {
 
@@ -14,9 +15,57 @@ Status Invalid(const std::string& message) {
   return Status::Error(ErrorCode::kInvalid, "DfsConfig: " + message);
 }
 
+// One deprecated flat alias -> ReplConfig field. `flat` 0 means unset.
+template <typename T>
+Status FoldAlias(const char* name, T* flat, T* canonical, T canonical_default) {
+  if (*flat != T{0}) {
+    if (*canonical != canonical_default && *canonical != *flat) {
+      return Invalid(std::string("deprecated flat ") + name + " (" +
+                     std::to_string(*flat) + ") contradicts repl." + name + " (" +
+                     std::to_string(*canonical) + "); set only one");
+    }
+    *canonical = *flat;
+  }
+  *flat = T{0};
+  return Status::Ok();
+}
+
 }  // namespace
 
+Status DfsConfig::Normalize() {
+  const ReplConfig defaults;
+  if (Status st = FoldAlias("fetch_depth", &fetch_depth, &repl.fetch_depth,
+                            defaults.fetch_depth);
+      !st.ok()) {
+    return st;
+  }
+  if (Status st = FoldAlias("transfer_window", &transfer_window,
+                            &repl.transfer_window, defaults.transfer_window);
+      !st.ok()) {
+    return st;
+  }
+  if (Status st = FoldAlias("retry_interval", &repl_retry_interval,
+                            &repl.retry_interval, defaults.retry_interval);
+      !st.ok()) {
+    return st;
+  }
+  if (Status st = FoldAlias("retry_timeout", &repl_retry_timeout,
+                            &repl.retry_timeout, defaults.retry_timeout);
+      !st.ok()) {
+    return st;
+  }
+  return Status::Ok();
+}
+
 Status DfsConfig::Validate() const {
+  DfsConfig norm = *this;
+  if (Status folded = norm.Normalize(); !folded.ok()) {
+    return folded;
+  }
+  return norm.ValidateNormalized();
+}
+
+Status DfsConfig::ValidateNormalized() const {
   if (num_nodes < 1) {
     return Invalid("num_nodes must be >= 1, got " + std::to_string(num_nodes));
   }
@@ -64,11 +113,41 @@ Status DfsConfig::Validate() const {
     return Invalid("stage_scale_down_intervals must be >= 1, got " +
                    std::to_string(stage_scale_down_intervals));
   }
-  if (fetch_depth < 1) {
-    return Invalid("fetch_depth must be >= 1, got " + std::to_string(fetch_depth));
+  if (repl.fetch_depth < 1) {
+    return Invalid("repl.fetch_depth must be >= 1, got " +
+                   std::to_string(repl.fetch_depth));
   }
-  if (transfer_window < 1) {
-    return Invalid("transfer_window must be >= 1, got " + std::to_string(transfer_window));
+  if (repl.transfer_window < 1) {
+    return Invalid("repl.transfer_window must be >= 1, got " +
+                   std::to_string(repl.transfer_window));
+  }
+  {
+    if (!repl::Protocols().Contains(repl.protocol)) {
+      return Invalid("replication_protocol names unknown protocol '" +
+                     repl.protocol + "'");
+    }
+    repl::ProtocolParams params;
+    params.quorum_size = repl.quorum_size;
+    auto protocol = repl::Protocols().Create(repl.protocol, params);
+    if (repl.quorum_size < 0) {
+      return Invalid("quorum_size must be >= 0, got " +
+                     std::to_string(repl.quorum_size));
+    }
+    if (repl.quorum_size > num_nodes) {
+      return Invalid("quorum_size (" + std::to_string(repl.quorum_size) +
+                     ") cannot exceed num_nodes (" + std::to_string(num_nodes) + ")");
+    }
+    if (repl.quorum_size > 0 && !protocol->info().quorum) {
+      return Invalid("quorum_size is only meaningful for quorum-style protocols; "
+                     "replication_protocol '" + repl.protocol + "' ignores acks "
+                     "past its own commit rule");
+    }
+    if (protocol->info().blocking && repl.transfer_window > 1) {
+      return Invalid("replication_protocol '" + repl.protocol + "' is the blocking "
+                     "round-trip schedule; repl.transfer_window " +
+                     std::to_string(repl.transfer_window) +
+                     " would overlap it (use 1, or the non-blocking variant)");
+    }
   }
   if (compression_threads < 1) {
     return Invalid("compression_threads must be >= 1, got " +
@@ -142,11 +221,11 @@ Status DfsConfig::Validate() const {
   if (lease_duration <= 0) {
     return Invalid("lease_duration must be positive");
   }
-  if (repl_retry_interval <= 0) {
-    return Invalid("repl_retry_interval must be positive");
+  if (repl.retry_interval <= 0) {
+    return Invalid("repl.retry_interval must be positive");
   }
-  if (repl_retry_timeout < repl_retry_interval) {
-    return Invalid("repl_retry_timeout must be >= repl_retry_interval");
+  if (repl.retry_timeout < repl.retry_interval) {
+    return Invalid("repl.retry_timeout must be >= repl.retry_interval");
   }
   return Status::Ok();
 }

@@ -35,6 +35,40 @@ enum class PublishMethod {
 
 const char* PublishMethodName(PublishMethod method);
 
+// Replication-layer knobs, grouped and validated as a unit (the flat DfsConfig
+// fields of the same meaning are deprecated aliases; see Normalize()).
+struct ReplConfig {
+  // Names a protocol registered in repl::Protocols(). Built-ins:
+  //   chain      - successor-chain forwarding, one-way posts (default).
+  //   chain_sync - same topology on the legacy blocking round-trip schedule
+  //                (the pre-window `transfer_window=1` special case, now an
+  //                explicit config point; requires transfer_window = 1).
+  //   quorum     - primary fans out to every live replica in parallel; the
+  //                client ack fires at a write quorum (majority by default).
+  std::string protocol = "chain";
+
+  // Write-quorum size for quorum-style protocols, counting the origin's own
+  // copy as one vote. 0 = majority of num_nodes. Rejected for protocols that
+  // do not use quorums.
+  int quorum_size = 0;
+
+  // Windowed asynchronous data path. `fetch_depth` bounds concurrently
+  // outstanding PCIe log reads in the fetch stage; `transfer_window` bounds
+  // replication chunks in flight past the transfer stage (submission stays in
+  // client-log order; completion is decoupled — the per-replica ack tracking
+  // tolerates out-of-order acks).
+  int fetch_depth = 4;
+  int transfer_window = 4;
+
+  // Retransmit sweeper: a peer that has not acked the head-of-line chunk for
+  // `retry_timeout` of wire silence is re-sent the chunk point-to-point
+  // (per-peer clocks, so a quorum fan-out retries only the stale peer); the
+  // sweeper also re-evaluates liveness so chunks waiting on a declared-dead
+  // replica unblock without a resend.
+  sim::Time retry_interval = 50 * sim::kMillisecond;
+  sim::Time retry_timeout = 150 * sim::kMillisecond;
+};
+
 struct DfsConfig {
   DfsMode mode = DfsMode::kLineFS;
 
@@ -94,14 +128,14 @@ struct DfsConfig {
   int max_stage_workers = 4;
   int stage_scale_down_intervals = 3;
 
-  // Windowed asynchronous data path. `fetch_depth` bounds concurrently
-  // outstanding PCIe log reads in the fetch stage; `transfer_window` bounds
-  // replication chunks in flight past the transfer stage (submission stays in
-  // client-log order; completion is decoupled — the per-replica ack tracking
-  // tolerates out-of-order acks). Both = 1 reproduces the lock-step schedule:
-  // each operation completes before the next is issued.
-  int fetch_depth = 4;
-  int transfer_window = 4;
+  // Replication knobs live here; read them as `config.repl.*`.
+  ReplConfig repl;
+
+  // Deprecated flat aliases of the ReplConfig knobs, kept for pre-grouping
+  // call sites. 0 means "unset"; Normalize() folds a non-zero value into
+  // `repl` and rejects a value that contradicts an explicitly-set repl field.
+  int fetch_depth = 0;
+  int transfer_window = 0;
 
   // Replication flow control watermarks (§4).
   double mem_high_watermark = 0.70;
@@ -113,12 +147,10 @@ struct DfsConfig {
   sim::Time heartbeat_interval = sim::kSecond;  // Cluster manager (§3.6).
   sim::Time heartbeat_timeout = 2 * sim::kSecond;
 
-  // Replication retransmit sweeper: an unacked head-of-line chunk is re-sent
-  // point-to-point after repl_retry_timeout of silence (lost to a drop window
-  // or partition); the sweeper also re-evaluates liveness so chunks waiting on
-  // a declared-dead replica unblock without a resend.
-  sim::Time repl_retry_interval = 50 * sim::kMillisecond;
-  sim::Time repl_retry_timeout = 150 * sim::kMillisecond;
+  // Deprecated flat aliases of ReplConfig::retry_interval / retry_timeout
+  // (same 0 = "unset" convention as fetch_depth/transfer_window above).
+  sim::Time repl_retry_interval = 0;
+  sim::Time repl_retry_timeout = 0;
 
   // Lease management.
   sim::Time lease_duration = sim::kSecond;
@@ -136,10 +168,22 @@ struct DfsConfig {
   }
   bool pipeline_parallel() const { return mode == DfsMode::kLineFS; }
 
+  // Folds the deprecated flat replication aliases into `repl` (non-zero flat
+  // value wins over an untouched repl default; a flat value that contradicts
+  // an explicitly-set repl field is an error) and clears the aliases so
+  // `repl.*` is the single source of truth afterwards. Idempotent; called by
+  // the Cluster constructor before any knob is read.
+  Status Normalize();
+
   // Range-checks every knob (watermarks ordered and in (0,1), num_nodes >= 1,
-  // chunk_size > 0, positive timeouts, ...). Cluster::Start() refuses to boot
-  // on a failing config instead of silently misbehaving later.
+  // chunk_size > 0, positive timeouts, registered replication protocol, ...)
+  // on a normalized copy of *this. Cluster::Start() refuses to boot on a
+  // failing config instead of silently misbehaving later.
   Status Validate() const;
+
+ private:
+  // The check body behind Validate(); assumes Normalize() already ran.
+  Status ValidateNormalized() const;
 };
 
 }  // namespace linefs::core

@@ -79,6 +79,8 @@ struct ReplChunkMsg {
   uint8_t urgent = 0;          // fsync-path chunk: use the low-latency channel.
   int32_t origin_node = 0;     // Primary node id.
   int32_t hop = 0;             // Position in the chain (1 = first replica).
+  uint8_t fanout = 0;          // Terminal point-to-point delivery: apply, never forward
+                               // (quorum dispatch and retransmit refills).
   obs::TraceContext ctx;       // Sender-side transfer span; replica spans nest under it.
 };
 

@@ -7,6 +7,7 @@
 #include "src/core/cluster.h"
 #include "src/core/clustermgr.h"
 #include "src/pipeline/registry.h"
+#include "src/repl/registry.h"
 #include "src/sim/trace.h"
 
 namespace linefs::core {
@@ -138,6 +139,14 @@ NicFs::NicFs(Cluster* cluster, DfsNode* node, KernelWorker* kworker, const DfsCo
   }
   lease_ctx.lease_duration = config->lease_duration;
   leases_ = std::make_unique<LeaseManager>(lease_ctx);
+  repl::ProtocolParams repl_params;
+  repl_params.quorum_size = config->repl.quorum_size;
+  protocol_ = repl::Protocols().Create(config->repl.protocol, repl_params);
+  if (!protocol_) {
+    // Unknown names are rejected by Validate() before Start(); fall back to
+    // chain so the object stays usable for config-error reporting paths.
+    protocol_ = repl::Protocols().Create("chain", repl_params);
+  }
   validator_ = std::make_unique<fslib::Validator>(
       &node_->fs().inodes(), &node_->fs().dirs(),
       [this](uint32_t client, fslib::InodeNum inum) {
@@ -162,18 +171,30 @@ rdma::Initiator NicFs::NicInitiator(bool urgent) const {
   return init;
 }
 
+repl::PeerView NicFs::View() const {
+  repl::PeerView view;
+  view.self = node_->id();
+  view.num_nodes = cluster_->num_nodes();
+  view.alive = [cluster = cluster_](int n) { return cluster->service_alive(n); };
+  return view;
+}
+
 std::vector<int> NicFs::ChainFor(int origin) const {
   // Chain replication order, skipping nodes whose NICFS the cluster manager
   // has declared failed (the chain heals around them).
-  std::vector<int> chain;
-  int n = cluster_->num_nodes();
-  for (int i = 0; i < n; ++i) {
-    int node = (origin + i) % n;
-    if (node == origin || cluster_->service_alive(node)) {
-      chain.push_back(node);
-    }
+  repl::PeerView view = View();
+  view.self = origin;
+  return repl::ChainOrder(view);
+}
+
+void NicFs::OnPeerLiveness(int node, bool alive) {
+  if (shutdown_) {
+    return;
   }
-  return chain;
+  protocol_->OnPeerFailure(View(), node, alive);
+  for (auto& [client, pipe] : pipes_) {
+    pipe->retry_kick.NotifyAll();
+  }
 }
 
 void NicFs::Start() {
@@ -321,8 +342,8 @@ uint64_t NicFs::published_upto(int client) const {
 }
 
 void NicFs::RegisterClient(int client, ClientHooks hooks) {
-  auto pipe = std::make_unique<ClientPipe>(engine_, std::max(1, config_->fetch_depth),
-                                           std::max(1, config_->transfer_window));
+  auto pipe = std::make_unique<ClientPipe>(engine_, std::max(1, config_->repl.fetch_depth),
+                                           std::max(1, config_->repl.transfer_window));
   pipe->client = client;
   pipe->log = &node_->client_log(client);
   pipe->hooks = std::move(hooks);
@@ -453,7 +474,7 @@ sim::Task<> NicFs::FetchSlot(ClientPipe* pipe, ChunkPtr chunk, bool credited) {
 }
 
 sim::Task<> NicFs::FetchLoop(ClientPipe* pipe) {
-  const bool windowed = config_->fetch_depth > 1;
+  const bool windowed = config_->repl.fetch_depth > 1;
   while (!shutdown_) {
     if (!FetchReady(pipe)) {
       co_await pipe->fetch_cv.Wait();
@@ -636,10 +657,13 @@ void NicFs::RegisterStageGroups(ClientPipe* pipe) {
 // --- Transfer stage (replication pipeline) --------------------------------------
 
 sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
-  std::vector<int> chain = ChainFor(node_->id());
-  if (chain.size() == 1) {
-    // No replicas: the chunk is trivially "replicated".
+  // The protocol decides the wire topology: one successor for chain
+  // replication, every live replica for a quorum fan-out.
+  std::vector<repl::Target> targets = protocol_->OnChunkReady(View());
+  if (targets.empty()) {
+    // No live replicas: the chunk is trivially committed and retired.
     pipe->replicated_upto = std::max(pipe->replicated_upto, chunk->to);
+    pipe->retired_upto = std::max(pipe->retired_upto, chunk->to);
     pipe->progress.NotifyAll();
     TryReclaim(pipe);
     ReleaseChunk(chunk.get());
@@ -648,7 +672,6 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
   obs::Span span(trace_, component_, "transfer", node_->id(), pipe->client, chunk->no,
                  chunk->ctx);
   sim::Time t0 = engine_->Now();
-  int next = chain[1];
   // The wire carries the transformed image when any transform stage ran
   // (compression changes the size; encryption keeps it).
   uint64_t wire_bytes = chunk->wire.empty() ? chunk->bytes() : chunk->wire.size();
@@ -658,11 +681,18 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
   const bool urgent = chunk->urgent || pipe->urgent;
 
   // Register the pending acks BEFORE any await: acks race with this coroutine.
+  // Staleness clocks start for every live replica — under a forwarding
+  // protocol downstream peers are reached through the chain, but their copies
+  // still ride on this send, so the sweeper times all of them from here.
   {
     ClientPipe::AckState st;
     st.to = chunk->to;
     st.from = chunk->from;
-    st.last_send = engine_->Now();
+    for (int n = 0; n < cluster_->num_nodes(); ++n) {
+      if (n != node_->id() && cluster_->service_alive(n)) {
+        st.last_send[n] = engine_->Now();
+      }
+    }
     st.urgent = urgent;
     st.ctx = span.context();
     pipe->pending_acks[chunk->no] = std::move(st);
@@ -680,66 +710,81 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
   }
   payload.has_checksum = chunk->wire_checksummed;
   payload.checksum = chunk->wire_checksum;
-  cluster_->StashWire(Cluster::WireKey(next, pipe->client, chunk->no), std::move(payload));
 
-  // Bulk one-sided write into the next NICFS's memory, then the control
+  // Bulk one-sided write into each target NICFS's memory, then its control
   // message — issued back-to-back under the pipe's wire mutex so concurrent
-  // window slots submit to the QP strictly in client-log order.
+  // window slots submit to the QP strictly in client-log order (a fan-out's
+  // sends also stay contiguous on the local link).
+  const bool blocking = protocol_->info().blocking;
   co_await pipe->wire_mutex.Lock();
   // The stage histogram measures this chunk's own wire occupancy; time queued
   // behind other window slots is their wire time, not this chunk's (the
   // "transfer" span above still covers it for critical-path attribution).
   t0 = engine_->Now();
-  co_await cluster_->net().Write(NicInitiator(urgent),
-                                 rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
-                                 rdma::MemAddr{next, rdma::Space::kNicMem}, wire_bytes);
-  ReplChunkMsg msg;
-  msg.client = static_cast<uint32_t>(pipe->client);
-  msg.chunk_no = chunk->no;
-  msg.from = chunk->from;
-  msg.to = chunk->to;
-  msg.wire_bytes = wire_bytes;
-  msg.compressed = chunk->wire_compressed ? 1 : 0;
-  msg.encrypted = chunk->wire_encrypted ? 1 : 0;
-  msg.checksum_present = chunk->wire_checksummed ? 1 : 0;
-  msg.checksum = chunk->wire_checksum;
-  msg.urgent = urgent ? 1 : 0;
-  msg.origin_node = node_->id();
-  msg.hop = 1;
-  msg.ctx = span.context();
-  if (config_->transfer_window <= 1) {
-    // Closed window: the legacy blocking round trip. The receiver's dispatch
-    // wakeup, its handler admission, and the response's return flight all sit
-    // on the sender's critical path before the next chunk may start — exactly
-    // the pre-windowing lock-step schedule, and the tw=1 baseline the window
-    // sweep measures the one-way control path against.
-    Result<Ack> rt = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
-        NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
-        EndpointName(next), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
-        kRpcReplChunk, msg, 10 * sim::kMillisecond, span.context());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const repl::Target& target = targets[i];
+    const bool last_target = i + 1 == targets.size();
+    cluster_->StashWire(Cluster::WireKey(target.node, pipe->client, chunk->no),
+                        last_target ? std::move(payload) : payload);
+    co_await cluster_->net().Write(NicInitiator(urgent),
+                                   rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+                                   rdma::MemAddr{target.node, rdma::Space::kNicMem},
+                                   wire_bytes);
+    ReplChunkMsg msg;
+    msg.client = static_cast<uint32_t>(pipe->client);
+    msg.chunk_no = chunk->no;
+    msg.from = chunk->from;
+    msg.to = chunk->to;
+    msg.wire_bytes = wire_bytes;
+    msg.compressed = chunk->wire_compressed ? 1 : 0;
+    msg.encrypted = chunk->wire_encrypted ? 1 : 0;
+    msg.checksum_present = chunk->wire_checksummed ? 1 : 0;
+    msg.checksum = chunk->wire_checksum;
+    msg.urgent = urgent ? 1 : 0;
+    msg.origin_node = node_->id();
+    msg.hop = target.hop;
+    msg.fanout = target.terminal ? 1 : 0;
+    msg.ctx = span.context();
+    if (blocking) {
+      // The legacy blocking round trip (chain_sync): the receiver's dispatch
+      // wakeup, its handler admission, and the response's return flight all
+      // sit on the sender's critical path before the next chunk may start —
+      // exactly the pre-windowing lock-step schedule, and the baseline the
+      // window sweep measures the one-way control path against.
+      Result<Ack> rt = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
+          NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+          EndpointName(target.node),
+          urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
+          kRpcReplChunk, msg, 10 * sim::kMillisecond, span.context());
+      if (!rt.ok()) {
+        OnReplSendFailure(pipe, chunk->no, target.node);
+      }
+    } else {
+      // One-way send: the chunk's completion travels back as kRpcReplAck from
+      // each replica, so there is no response to wait for — the transfer
+      // stage resolves at its own send completion and the ack path runs fully
+      // decoupled. The wire mutex releases as soon as the final control
+      // message is on the wire (`on_wire`), so the next window slot's bulk
+      // write books the link while this slot is still processing its send
+      // completion.
+      Status sent = co_await cluster_->rpc().Post(
+          NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+          EndpointName(target.node),
+          urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
+          kRpcReplChunk, msg, 10 * sim::kMillisecond, span.context(),
+          last_target ? std::function<void()>([pipe] { pipe->wire_mutex.Unlock(); })
+                      : std::function<void()>{});
+      if (!sent.ok()) {
+        OnReplSendFailure(pipe, chunk->no, target.node);
+      }
+    }
+    metrics_.wire_bytes->Add(wire_bytes);
+  }
+  if (blocking) {
     pipe->wire_mutex.Unlock();
-    if (!rt.ok()) {
-      OnReplSendFailure(pipe, chunk->no);
-    }
-  } else {
-    // One-way send: the chunk's completion travels back as kRpcReplAck from
-    // each replica, so there is no response to wait for — the transfer stage
-    // resolves at its own send completion and the ack path runs fully
-    // decoupled. The wire mutex releases as soon as the control message is on
-    // the wire (`on_wire`), so the next window slot's bulk write books the
-    // link while this slot is still processing its send completion.
-    Status sent = co_await cluster_->rpc().Post(
-        NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
-        EndpointName(next), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
-        kRpcReplChunk, msg, 10 * sim::kMillisecond, span.context(),
-        [pipe] { pipe->wire_mutex.Unlock(); });
-    if (!sent.ok()) {
-      OnReplSendFailure(pipe, chunk->no);
-    }
   }
   span.End();
   metrics_.chunks_transferred->Increment();
-  metrics_.wire_bytes->Add(wire_bytes);
   metrics_.raw_repl_bytes->Add(chunk->bytes());
   metrics_.stage_transfer->Record(engine_->Now() - t0);
   chunk->transfer_done_at = engine_->Now();
@@ -762,7 +807,7 @@ sim::Task<> NicFs::TransferWorker(ClientPipe* pipe) {
   // sequence. With transfer_window > 1 completion is decoupled — up to
   // `transfer_window` chunks ride the wire concurrently and the per-replica
   // ack tracking (pending_acks / AdvanceReplicated) absorbs any ack reorder.
-  const bool windowed = config_->transfer_window > 1;
+  const bool windowed = config_->repl.transfer_window > 1;
   while (true) {
     std::optional<ChunkPtr> popped = co_await pipe->transfer_rb.PopNext();
     if (!popped.has_value()) {
@@ -938,7 +983,9 @@ sim::Task<> NicFs::HandleReplChunk(ReplChunkMsg msg) {
       cluster_->TakeWire(Cluster::WireKey(node_->id(), msg.client, msg.chunk_no));
   fslib::LogArea& log = node_->client_log(static_cast<int>(msg.client));
   std::vector<int> chain = ChainFor(msg.origin_node);
-  bool last = msg.hop + 1 >= static_cast<int>(chain.size());
+  // Terminal (fanout) deliveries — quorum dispatch and retransmit refills —
+  // are applied locally and never forwarded, whatever the chain looks like.
+  bool last = msg.fanout != 0 || msg.hop + 1 >= static_cast<int>(chain.size());
   bool urgent = msg.urgent != 0;
   uint64_t raw_bytes = msg.to - msg.from;
 
@@ -1099,8 +1146,8 @@ sim::Task<> NicFs::ForwardChunk(ReplChunkMsg msg, WirePayload payload,
                                    rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
                                    rdma::MemAddr{next, rdma::Space::kNicMem}, msg.wire_bytes);
   }
-  if (config_->transfer_window <= 1) {
-    // Closed window: legacy blocking forward (see DoTransfer).
+  if (protocol_->info().blocking) {
+    // chain_sync: legacy blocking forward (see DoTransfer).
     Result<Ack> rt = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
         NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
         EndpointName(next), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
@@ -1151,8 +1198,8 @@ sim::Task<> NicFs::LocalCopyAndAck(ReplChunkMsg msg, WirePayload payload,
   ack.to = msg.to;
   ack.replica_node = node_->id();
   ack.ctx = span.context();
-  if (config_->transfer_window <= 1) {
-    // Closed window: legacy round-trip ack (see DoTransfer).
+  if (protocol_->info().blocking) {
+    // chain_sync: legacy round-trip ack (see DoTransfer).
     Result<Ack> rt = co_await cluster_->rpc().Call<ReplAckMsg, Ack>(
         NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
         EndpointName(msg.origin_node),
@@ -1186,70 +1233,98 @@ void NicFs::HandleReplAck(const ReplAckMsg& msg) {
     return;  // Duplicate delivery of an already-completed chunk.
   }
   it->second.acked.insert(msg.replica_node);
+  protocol_->OnAck(View(), msg.replica_node, msg.chunk_no);
   AdvanceReplicated(pipe);
 }
 
-bool NicFs::AckComplete(const ClientPipe::AckState& state) const {
-  // A chunk is replicated once every *currently live* replica has acked it.
-  // Replicas the cluster manager has declared dead stop gating progress (the
-  // chain heals around them, §3.6); a readmitted replica that never acked is
-  // re-required — the retry sweeper re-sends until it answers.
-  for (int n = 0; n < cluster_->num_nodes(); ++n) {
-    if (n == node_->id()) {
-      continue;
-    }
-    if (cluster_->service_alive(n) && !state.acked.contains(n)) {
-      return false;
-    }
-  }
-  return true;
+bool NicFs::CommitComplete(const ClientPipe::AckState& state) const {
+  // The protocol decides when a chunk becomes client-visible: chain requires
+  // every *currently live* replica to have acked (replicas the cluster
+  // manager has declared dead stop gating progress — the chain heals around
+  // them, §3.6); quorum commits at a majority of copies. A readmitted replica
+  // that never acked is re-required for retire — the retry sweeper re-sends
+  // until it answers.
+  return protocol_->CommitPoint(View(), state.acked);
+}
+
+bool NicFs::RetireComplete(const ClientPipe::AckState& state) const {
+  return protocol_->RetirePoint(View(), state.acked);
 }
 
 void NicFs::AdvanceReplicated(ClientPipe* pipe) {
-  // Advance replicated_upto through contiguous fully-acked chunks.
+  // Commit scan: replicated_upto (the fsync-visible point) advances through
+  // the contiguous prefix of chunks whose protocol commit point is reached.
+  // Under quorum the prefix can commit while laggard acks are outstanding, so
+  // committed entries stay in the table past this scan.
   bool advanced = false;
-  while (!pipe->pending_acks.empty()) {
-    auto first = pipe->pending_acks.begin();
-    if (!AckComplete(first->second)) {
+  for (auto& [chunk_no, state] : pipe->pending_acks) {
+    if (state.committed) {
+      continue;
+    }
+    if (!CommitComplete(state)) {
       break;
     }
-    if (first->second.transfer_done > 0) {
-      metrics_.stage_ack->Record(engine_->Now() - first->second.transfer_done);
-      obs::TraceEvent ev{component_, "ack", node_->id(), pipe->client, first->first,
-                         first->second.transfer_done, engine_->Now()};
-      if (first->second.ctx.valid()) {
-        // The ack window (transfer done -> all replicas confirmed) nests as a
-        // sibling of the transfer span's children.
-        ev.trace_id = first->second.ctx.trace_id;
+    state.committed = true;
+    if (state.transfer_done > 0) {
+      metrics_.stage_ack->Record(engine_->Now() - state.transfer_done);
+      obs::TraceEvent ev{component_, "ack", node_->id(), pipe->client, chunk_no,
+                         state.transfer_done, engine_->Now()};
+      if (state.ctx.valid()) {
+        // The ack window (transfer done -> commit point) nests as a sibling
+        // of the transfer span's children.
+        ev.trace_id = state.ctx.trace_id;
         ev.span_id = trace_->NextId();
-        ev.parent_span = first->second.ctx.parent_span;
+        ev.parent_span = state.ctx.parent_span;
       }
       trace_->Record(std::move(ev));
     }
-    pipe->replicated_upto = std::max(pipe->replicated_upto, first->second.to);
-    pipe->pending_acks.erase(first);
+    pipe->replicated_upto = std::max(pipe->replicated_upto, state.to);
     advanced = true;
+  }
+  // Retire scan: an entry leaves the table — and its log range stops backing
+  // retransmits, making it reclaimable — only once every live replica acked.
+  bool retired = false;
+  while (!pipe->pending_acks.empty()) {
+    auto first = pipe->pending_acks.begin();
+    if (!first->second.committed || !RetireComplete(first->second)) {
+      break;
+    }
+    pipe->retired_upto = std::max(pipe->retired_upto, first->second.to);
+    pipe->pending_acks.erase(first);
+    retired = true;
   }
   if (advanced) {
     pipe->progress.NotifyAll();
+  }
+  if (advanced || retired) {
     TryReclaim(pipe);
   }
 }
 
-void NicFs::OnReplSendFailure(ClientPipe* pipe, uint64_t chunk_no) {
+void NicFs::OnReplSendFailure(ClientPipe* pipe, uint64_t chunk_no, int peer) {
   metrics_.repl_send_failures->Increment();
   auto it = pipe->pending_acks.find(chunk_no);
   if (it != pipe->pending_acks.end()) {
-    // Backdate the staleness clock so the sweeper treats the chunk as overdue
-    // right now instead of after a full repl_retry_timeout of silence.
-    it->second.last_send = engine_->Now() - config_->repl_retry_timeout;
+    // Backdate the staleness clocks so the sweeper treats the chunk as
+    // overdue right now instead of after a full retry_timeout of silence. A
+    // forwarding protocol loses every downstream copy with its first-hop
+    // send, so all clocks expire; a fan-out protocol lost only `peer`'s copy
+    // and the other in-flight sends are unaffected.
+    sim::Time expired = engine_->Now() - config_->repl.retry_timeout;
+    if (protocol_->info().forwards) {
+      for (auto& [node, clock] : it->second.last_send) {
+        clock = expired;
+      }
+    } else {
+      it->second.last_send[peer] = expired;
+    }
   }
   pipe->retry_kick.NotifyAll();
 }
 
 sim::Task<> NicFs::ReplRetryTicker(ClientPipe* pipe) {
   while (!shutdown_) {
-    co_await engine_->SleepFor(config_->repl_retry_interval);
+    co_await engine_->SleepFor(config_->repl.retry_interval);
     pipe->retry_kick.NotifyAll();
   }
 }
@@ -1267,21 +1342,35 @@ sim::Task<> NicFs::ReplRetryMonitor(ClientPipe* pipe) {
       continue;
     }
     auto it = pipe->pending_acks.begin();
-    if (engine_->Now() - it->second.last_send < config_->repl_retry_timeout) {
+    // Head-of-line chunk: collect the live unacked peers whose last (re)send
+    // has gone stale. A peer with no clock entry was readmitted after
+    // dispatch and never received the chunk at all — immediately stale.
+    std::vector<int> stale;
+    for (int n = 0; n < cluster_->num_nodes(); ++n) {
+      if (n == node_->id() || !cluster_->service_alive(n) ||
+          it->second.acked.contains(n)) {
+        continue;
+      }
+      auto [clock, missing] = it->second.last_send.try_emplace(n, 0);
+      if (missing || engine_->Now() - clock->second >= config_->repl.retry_timeout) {
+        clock->second = engine_->Now();
+        stale.push_back(n);
+      }
+    }
+    if (stale.empty()) {
       continue;
     }
-    // Head-of-line chunk is stale: a request/ack was lost, or a replica was
-    // unreachable at transfer time. Snapshot the entry (acks racing with the
-    // awaits below may erase it) and re-send point-to-point.
+    // A request/ack was lost, or a replica was unreachable at transfer time.
+    // Snapshot the entry (acks racing with the awaits below may erase it) and
+    // re-send point-to-point to exactly the stale peers.
     uint64_t chunk_no = it->first;
-    it->second.last_send = engine_->Now();
     co_await RetransmitChunk(pipe, chunk_no, it->second.from, it->second.to,
-                             it->second.acked, it->second.urgent, it->second.ctx);
+                             std::move(stale), it->second.urgent, it->second.ctx);
   }
 }
 
 sim::Task<> NicFs::RetransmitChunk(ClientPipe* pipe, uint64_t chunk_no, uint64_t from,
-                                   uint64_t to, std::set<int> already_acked, bool urgent,
+                                   uint64_t to, std::vector<int> peers, bool urgent,
                                    obs::TraceContext ctx) {
   obs::Span span(trace_, component_, "retransmit", node_->id(), pipe->client, chunk_no, ctx);
   // The log range is still resident: reclaim never passes an unreplicated
@@ -1296,9 +1385,10 @@ sim::Task<> NicFs::RetransmitChunk(ClientPipe* pipe, uint64_t chunk_no, uint64_t
       entries = std::move(*parsed);
     }
   }
-  for (int replica = 0; replica < cluster_->num_nodes(); ++replica) {
-    if (replica == node_->id() || already_acked.contains(replica) ||
-        !cluster_->service_alive(replica)) {
+  for (int replica : peers) {
+    // Re-check liveness per send: the awaits below span real simulated time
+    // and the sweeper pre-filtered against an older view.
+    if (replica == node_->id() || !cluster_->service_alive(replica)) {
       continue;
     }
     WirePayload payload;
@@ -1317,9 +1407,10 @@ sim::Task<> NicFs::RetransmitChunk(ClientPipe* pipe, uint64_t chunk_no, uint64_t
     msg.compressed = 0;
     msg.urgent = urgent ? 1 : 0;
     msg.origin_node = node_->id();
-    // Terminal hop: retransmits fan out point-to-point, never chain-forward
-    // (the original chain may have partially succeeded).
-    msg.hop = cluster_->num_nodes();
+    // Terminal delivery: retransmits fan out point-to-point, never
+    // chain-forward (the original chain may have partially succeeded).
+    msg.hop = 1;
+    msg.fanout = 1;
     msg.ctx = span.context();
     Status sent = co_await cluster_->rpc().Post(
         NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
@@ -1365,7 +1456,10 @@ sim::Task<Ack> NicFs::HandleFsync(FsyncReq req) {
 // --- Reclaim ------------------------------------------------------------------------------
 
 void NicFs::TryReclaim(ClientPipe* pipe) {
-  uint64_t upto = std::min(pipe->published_upto, pipe->replicated_upto);
+  // Reclaim is gated on the retire point, not the commit point: a committed
+  // chunk may still back retransmits to laggard replicas, and RetransmitChunk
+  // re-reads the bytes straight from the client log.
+  uint64_t upto = std::min(pipe->published_upto, pipe->retired_upto);
   if (upto > pipe->reclaimed_upto) {
     pipe->reclaimed_upto = upto;
     pipe->log->Reclaim(upto);

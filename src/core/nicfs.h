@@ -45,6 +45,7 @@
 #include "src/pipeline/placer.h"
 #include "src/pipeline/stage.h"
 #include "src/rdma/rpc.h"
+#include "src/repl/protocol.h"
 #include "src/sim/queue.h"
 #include "src/sim/stats.h"
 #include "src/sim/sync.h"
@@ -72,6 +73,11 @@ class NicFs {
 
   // Primary-side: attach a client whose LibFS lives on this node.
   void RegisterClient(int client, ClientHooks hooks);
+
+  // Cluster membership transition for `node` (declared dead or readmitted).
+  // Forwards to the replication protocol's OnPeerFailure hook and kicks every
+  // pipe's retry sweeper so pending acks re-evaluate against the new view.
+  void OnPeerLiveness(int node, bool alive);
 
   static std::string EndpointName(int node_id) { return "nicfs/" + std::to_string(node_id); }
 
@@ -186,12 +192,22 @@ class NicFs {
       uint64_t from = 0;
       std::set<int> acked;         // Replica nodes that confirmed this chunk.
       sim::Time transfer_done = 0;
-      sim::Time last_send = 0;     // Retransmit sweeper staleness clock.
+      // Retransmit sweeper staleness clocks, one per outstanding peer: a
+      // quorum fan-out that loses one send retries only the stale peer. A
+      // live unacked peer with no entry (readmitted after dispatch) is
+      // treated as immediately stale.
+      std::map<int, sim::Time> last_send;
+      bool committed = false;      // Protocol commit point reached.
       bool urgent = false;
       obs::TraceContext ctx;       // Transfer span; the ack event nests under it.
     };
     std::map<uint64_t, AckState> pending_acks;  // Keyed by chunk number.
+    // Commit point: client-visible (fsync) progress. A quorum protocol can
+    // advance this while laggard acks are still outstanding.
     uint64_t replicated_upto = 0;
+    // Retire point: every live replica acked, so the range no longer backs
+    // retransmits and its log space may be reclaimed.
+    uint64_t retired_upto = 0;
     uint64_t reclaimed_upto = 0;
     sim::Condition progress;
     // Wakes ReplRetryMonitor out of turn: the periodic ticker notifies every
@@ -251,18 +267,23 @@ class NicFs {
   sim::Task<> SequentialLoop(ClientPipe* pipe);
   sim::Task<> KworkerMonitor();
   // Replication robustness under faults: acks are tracked per replica node,
-  // completion is re-evaluated against *current* liveness (a declared-dead
-  // replica stops gating the head of line), and stale head-of-line chunks are
-  // retransmitted point-to-point to every live replica that has not acked.
-  bool AckComplete(const ClientPipe::AckState& state) const;
+  // commit/retire points are re-evaluated against *current* liveness through
+  // the protocol's hooks (a declared-dead replica stops gating the head of
+  // line), and stale head-of-line chunks are retransmitted point-to-point to
+  // exactly the live peers whose staleness clock expired.
+  bool CommitComplete(const ClientPipe::AckState& state) const;
+  bool RetireComplete(const ClientPipe::AckState& state) const;
   void AdvanceReplicated(ClientPipe* pipe);
-  // A failed one-way send (send-completion error from Post) marks the chunk
-  // stale and kicks the sweeper immediately instead of waiting out the tick.
-  void OnReplSendFailure(ClientPipe* pipe, uint64_t chunk_no);
+  // A failed send to `peer` (send-completion error from Post, or a blocking
+  // round trip that errored) marks the affected staleness clocks expired and
+  // kicks the sweeper immediately instead of waiting out the tick. Forwarding
+  // protocols lose the whole downstream chain with the first hop, so they
+  // expire every clock; fan-out protocols expire only `peer`'s.
+  void OnReplSendFailure(ClientPipe* pipe, uint64_t chunk_no, int peer);
   sim::Task<> ReplRetryTicker(ClientPipe* pipe);
   sim::Task<> ReplRetryMonitor(ClientPipe* pipe);
   sim::Task<> RetransmitChunk(ClientPipe* pipe, uint64_t chunk_no, uint64_t from, uint64_t to,
-                              std::set<int> already_acked, bool urgent,
+                              std::vector<int> peers, bool urgent,
                               obs::TraceContext ctx);
 
   // Registry-backed metric handles (hot-path increments stay pointer-cheap).
@@ -328,6 +349,9 @@ class NicFs {
   // Chain helpers: replication order for data originating at `origin`.
   std::vector<int> ChainFor(int origin) const;
 
+  // The replication protocol's view of the cluster, rooted at this node.
+  repl::PeerView View() const;
+
   rdma::Initiator NicInitiator(bool urgent) const;
 
   Cluster* cluster_;
@@ -336,6 +360,10 @@ class NicFs {
   const DfsConfig* config_;
   sim::Engine* engine_;
   std::unique_ptr<LeaseManager> leases_;
+  // Replication protocol driving dispatch topology and commit/retire
+  // decisions (DfsConfig::repl.protocol); the window/retry machinery around
+  // it is protocol-agnostic.
+  std::unique_ptr<repl::Protocol> protocol_;
   std::unique_ptr<fslib::Validator> validator_;
   std::unique_ptr<fslib::Validator> replica_validator_;
   std::unordered_map<int, std::unique_ptr<ClientPipe>> pipes_;

@@ -1,8 +1,10 @@
 #include "src/core/sharedfs.h"
 
 #include <algorithm>
+#include <set>
 
 #include "src/core/cluster.h"
+#include "src/repl/registry.h"
 #include "src/sim/trace.h"
 
 namespace linefs::core {
@@ -21,6 +23,12 @@ SharedFs::SharedFs(Cluster* cluster, DfsNode* node, const DfsConfig* config)
   }
   lease_ctx.lease_duration = config->lease_duration;
   leases_ = std::make_unique<LeaseManager>(lease_ctx);
+  repl::ProtocolParams repl_params;
+  repl_params.quorum_size = config->repl.quorum_size;
+  protocol_ = repl::Protocols().Create(config->repl.protocol, repl_params);
+  if (!protocol_) {
+    protocol_ = repl::Protocols().Create("chain", repl_params);
+  }
   validator_ = std::make_unique<fslib::Validator>(
       &node_->fs().inodes(), &node_->fs().dirs(),
       [this](uint32_t client, fslib::InodeNum inum) {
@@ -63,16 +71,18 @@ rdma::Initiator SharedFs::HostInitiator(bool urgent) const {
   return init;
 }
 
+repl::PeerView SharedFs::View() const {
+  repl::PeerView view;
+  view.self = node_->id();
+  view.num_nodes = cluster_->num_nodes();
+  view.alive = [cluster = cluster_](int n) { return cluster->service_alive(n); };
+  return view;
+}
+
 std::vector<int> SharedFs::ChainFor(int origin) const {
-  std::vector<int> chain;
-  int n = cluster_->num_nodes();
-  for (int i = 0; i < n; ++i) {
-    int node = (origin + i) % n;
-    if (node == origin || cluster_->service_alive(node)) {
-      chain.push_back(node);
-    }
-  }
-  return chain;
+  repl::PeerView view = View();
+  view.self = origin;
+  return repl::ChainOrder(view);
 }
 
 void SharedFs::Start() {
@@ -278,8 +288,8 @@ sim::Task<> SharedFs::BgReplWorker(int worker_id) {
 
 sim::Task<Status> SharedFs::ReplicateRange(ClientState* state, uint64_t from, uint64_t to,
                                            bool urgent, obs::TraceContext ctx) {
-  std::vector<int> chain = ChainFor(node_->id());
-  if (chain.size() == 1) {
+  std::vector<repl::Target> targets = protocol_->OnChunkReady(View());
+  if (targets.empty()) {
     state->replicated_upto = std::max(state->replicated_upto, to);
     state->progress.NotifyAll();
     co_return Status::Ok();
@@ -301,8 +311,7 @@ sim::Task<Status> SharedFs::ReplicateRange(ClientState* state, uint64_t from, ui
   }
 
   uint64_t bytes = to - from;
-  int next = chain[1];
-  // Build the wire payload for the first hop.
+  // Build the wire payload once; each target gets its own stashed copy.
   WirePayload payload;
   if (config_->materialize_data) {
     state->log->CopyRawOut(from, to, &payload.raw);
@@ -312,31 +321,53 @@ sim::Task<Status> SharedFs::ReplicateRange(ClientState* state, uint64_t from, ui
       payload.entries = std::move(*parsed);
     }
   }
-  cluster_->StashWire(Cluster::WireKey(next, state->client, from), std::move(payload));
 
-  // Host-posted RDMA write into the replica's PM, then the chain RPC. The
-  // handler forwards downstream before acking, so this call returns when the
-  // whole chain has persisted the range — Assise's synchronous semantics.
-  co_await cluster_->net().Write(HostInitiator(urgent),
-                                 rdma::MemAddr{node_->id(), rdma::Space::kHostPm},
-                                 rdma::MemAddr{next, rdma::Space::kHostPm}, bytes);
-  ReplChunkMsg msg;
-  msg.client = static_cast<uint32_t>(state->client);
-  msg.chunk_no = from;  // Ranges are identified by their start position.
-  msg.from = from;
-  msg.to = to;
-  msg.wire_bytes = bytes;
-  msg.urgent = urgent ? 1 : 0;
-  msg.origin_node = node_->id();
-  msg.hop = 1;
-  msg.ctx = span.context();
-  Result<Ack> ack = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
-      HostInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kHostPm},
-      EndpointName(next), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
-      kRpcReplChunk, msg, /*timeout=*/200 * sim::kMillisecond, span.context());
-  if (!ack.ok()) {
+  // Host-posted RDMA write into each target's PM, then its RPC — blocking
+  // round trips either way (the host baseline is synchronous). Under chain
+  // the single first-hop handler forwards downstream before acking, so one
+  // call covers the whole chain — Assise's synchronous semantics. Under a
+  // fan-out protocol every target is reached directly (terminal deliveries,
+  // no forwarding) and the range commits per the protocol's quorum rule.
+  std::set<int> acked;
+  Status send_error = Status::Ok();
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const repl::Target& target = targets[i];
+    const bool last_target = i + 1 == targets.size();
+    cluster_->StashWire(Cluster::WireKey(target.node, state->client, from),
+                        last_target ? std::move(payload) : payload);
+    co_await cluster_->net().Write(HostInitiator(urgent),
+                                   rdma::MemAddr{node_->id(), rdma::Space::kHostPm},
+                                   rdma::MemAddr{target.node, rdma::Space::kHostPm}, bytes);
+    ReplChunkMsg msg;
+    msg.client = static_cast<uint32_t>(state->client);
+    msg.chunk_no = from;  // Ranges are identified by their start position.
+    msg.from = from;
+    msg.to = to;
+    msg.wire_bytes = bytes;
+    msg.urgent = urgent ? 1 : 0;
+    msg.origin_node = node_->id();
+    msg.hop = target.hop;
+    msg.fanout = target.terminal ? 1 : 0;
+    msg.ctx = span.context();
+    Result<Ack> ack = co_await cluster_->rpc().Call<ReplChunkMsg, Ack>(
+        HostInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kHostPm},
+        EndpointName(target.node), urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
+        kRpcReplChunk, msg, /*timeout=*/200 * sim::kMillisecond, span.context());
+    if (ack.ok()) {
+      acked.insert(target.node);
+    } else {
+      send_error = ack.status();
+    }
+  }
+  // A forwarding protocol's single ack covers the whole chain; a fan-out
+  // protocol asks its commit rule whether enough targets answered.
+  bool committed = protocol_->info().forwards ? !acked.empty()
+                                              : protocol_->CommitPoint(View(), acked);
+  if (!committed) {
     state->repl_mu.Unlock();
-    co_return ack.status();
+    co_return send_error.ok() ? Status::Error(ErrorCode::kUnavailable,
+                                              "replication quorum not reached")
+                              : send_error;
   }
   metrics_.chunks_replicated->Increment();
   metrics_.bytes_replicated->Add(bytes);
@@ -458,9 +489,10 @@ sim::Task<> SharedFs::HandleReplRange(ReplChunkMsg msg) {
     }
     log.SetTail(msg.to);
 
-    // Forward down the chain before acking (chain replication).
+    // Forward down the chain before acking (chain replication). Terminal
+    // (fanout) deliveries are point-to-point and never relayed.
     std::vector<int> chain = ChainFor(msg.origin_node);
-    if (msg.hop + 1 < static_cast<int>(chain.size())) {
+    if (msg.fanout == 0 && msg.hop + 1 < static_cast<int>(chain.size())) {
       int next = chain[msg.hop + 1];
       cluster_->StashWire(Cluster::WireKey(next, static_cast<int>(msg.client), msg.from),
                           std::move(payload));

@@ -33,6 +33,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/rdma/rpc.h"
+#include "src/repl/protocol.h"
 #include "src/sim/queue.h"
 #include "src/sim/sync.h"
 
@@ -134,11 +135,17 @@ class SharedFs {
   ReplicaState* GetReplicaState(int client);
   rdma::Initiator HostInitiator(bool urgent) const;
   std::vector<int> ChainFor(int origin) const;
+  // The replication protocol's view of the cluster, rooted at this node.
+  repl::PeerView View() const;
 
   Cluster* cluster_;
   DfsNode* node_;
   const DfsConfig* config_;
   sim::Engine* engine_;
+  // Same protocol instance kind as the NIC path (DfsConfig::repl.protocol):
+  // decides dispatch targets and the range's commit point. The host baseline
+  // always sends blocking Calls, so only topology and commit differ here.
+  std::unique_ptr<repl::Protocol> protocol_;
   std::unique_ptr<LeaseManager> leases_;
   std::unique_ptr<fslib::Validator> validator_;
   std::unique_ptr<fslib::Validator> replica_validator_;

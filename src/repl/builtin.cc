@@ -1,0 +1,13 @@
+#include "src/repl/registry.h"
+
+namespace linefs::repl {
+
+void RegisterChainProtocols(ProtocolRegistry& registry);
+void RegisterQuorumProtocol(ProtocolRegistry& registry);
+
+void RegisterBuiltinProtocols(ProtocolRegistry& registry) {
+  RegisterChainProtocols(registry);
+  RegisterQuorumProtocol(registry);
+}
+
+}  // namespace linefs::repl

@@ -1,0 +1,49 @@
+// Chain replication ported onto the repl::Protocol API, unchanged in
+// behavior: the origin wires each chunk to its first live successor, replicas
+// forward down the rotation, and acks return one-way to the origin. Commit
+// and retire coincide -- every live replica must ack before a chunk is
+// client-visible. "chain_sync" is the same topology on the legacy blocking
+// round-trip schedule (the pre-window tw=1 special case, now an explicit
+// protocol config point).
+
+#include "src/repl/registry.h"
+
+namespace linefs::repl {
+namespace {
+
+class ChainProtocol : public Protocol {
+ public:
+  explicit ChainProtocol(bool blocking)
+      : info_{blocking ? "chain_sync" : "chain", blocking,
+              /*forwards=*/true, /*quorum=*/false} {}
+
+  const Info& info() const override { return info_; }
+
+  std::vector<Target> OnChunkReady(const PeerView& view) override {
+    std::vector<int> chain = ChainOrder(view);
+    if (chain.size() <= 1) return {};
+    // One wire send; replicas relay. Terminal only when the chain has a
+    // single replica (nothing downstream to forward to).
+    return {Target{chain[1], /*hop=*/1, /*terminal=*/chain.size() <= 2}};
+  }
+
+  bool CommitPoint(const PeerView& view, const std::set<int>& acked) const override {
+    return RetirePoint(view, acked);
+  }
+
+ private:
+  Info info_;
+};
+
+}  // namespace
+
+void RegisterChainProtocols(ProtocolRegistry& registry) {
+  registry.Register("chain", [](const ProtocolParams&) {
+    return std::make_unique<ChainProtocol>(/*blocking=*/false);
+  });
+  registry.Register("chain_sync", [](const ProtocolParams&) {
+    return std::make_unique<ChainProtocol>(/*blocking=*/true);
+  });
+}
+
+}  // namespace linefs::repl

@@ -1,0 +1,38 @@
+#include "src/repl/registry.h"
+
+namespace linefs::repl {
+
+void ProtocolRegistry::Register(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+bool ProtocolRegistry::Contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::unique_ptr<Protocol> ProtocolRegistry::Create(const std::string& name,
+                                                   const ProtocolParams& params) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  return it->second(params);
+}
+
+std::vector<std::string> ProtocolRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+ProtocolRegistry& Protocols() {
+  static ProtocolRegistry* registry = [] {
+    auto* r = new ProtocolRegistry();
+    RegisterBuiltinProtocols(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace linefs::repl

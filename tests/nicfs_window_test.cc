@@ -92,8 +92,8 @@ WindowRun RunWindowedWrite(const DfsConfig& config) {
   out.fetches = StageSpans(cluster.trace(), "nicfs.0", "fetch");
   if (getenv("WINDOW_DEBUG")) {
     NicFs::StatsSnapshot st = cluster.nicfs(0)->stats();
-    fprintf(stderr, "=== fd=%d tw=%d fsync_done=%lld stall=%llu\n", config.fetch_depth,
-            config.transfer_window, (long long)out.fsync_done,
+    fprintf(stderr, "=== fd=%d tw=%d fsync_done=%lld stall=%llu\n", config.repl.fetch_depth,
+            config.repl.transfer_window, (long long)out.fsync_done,
             (unsigned long long)st.flow_ctrl_stall_ns);
     for (const char* stage : {"fetch", "transfer"}) {
       for (const obs::TraceEvent& ev : StageSpans(cluster.trace(), "nicfs.0", stage)) {
@@ -145,8 +145,8 @@ class NicFsWindowTest : public ::testing::Test {
 
 TEST_F(NicFsWindowTest, ReplicasApplyInOrderUnderDropsWithOpenWindow) {
   DfsConfig config = Config();
-  config.fetch_depth = 4;
-  config.transfer_window = 4;
+  config.repl.fetch_depth = 4;
+  config.repl.transfer_window = 4;
   Start(config);
   LibFs* fs = cluster_->CreateClient(0);
 
@@ -205,8 +205,8 @@ TEST_F(NicFsWindowTest, OpenWindowStillRespectsNicMemoryWatermarks) {
   DfsConfig config = Config();
   // A wide-open window against a tiny NIC memory: the §4 watermark gate in
   // fetch admission must keep utilisation bounded regardless of credit count.
-  config.fetch_depth = 8;
-  config.transfer_window = 8;
+  config.repl.fetch_depth = 8;
+  config.repl.transfer_window = 8;
   config.node_params.nic.mem_capacity = 4ULL << 20;
   config.mem_high_watermark = 0.70;
   config.mem_low_watermark = 0.30;
@@ -243,8 +243,11 @@ TEST_F(NicFsWindowTest, OpenWindowStillRespectsNicMemoryWatermarks) {
 
 TEST(NicFsWindowSchedule, DepthOneIsLockStepAndDeterministic) {
   DfsConfig config = Config();
-  config.fetch_depth = 1;
-  config.transfer_window = 1;
+  // chain_sync is the explicit name for the legacy blocking round-trip
+  // schedule that used to be implied by transfer_window=1.
+  config.repl.protocol = "chain_sync";
+  config.repl.fetch_depth = 1;
+  config.repl.transfer_window = 1;
 
   WindowRun first = RunWindowedWrite(config);
   ASSERT_GE(first.transfers.size(), 8u);
@@ -266,13 +269,14 @@ TEST(NicFsWindowSchedule, DepthOneIsLockStepAndDeterministic) {
 
 TEST(NicFsWindowSchedule, OpenWindowOverlapsTransfersAndIsNoSlower) {
   DfsConfig lockstep = Config();
-  lockstep.fetch_depth = 1;
-  lockstep.transfer_window = 1;
+  lockstep.repl.protocol = "chain_sync";
+  lockstep.repl.fetch_depth = 1;
+  lockstep.repl.transfer_window = 1;
   WindowRun serial = RunWindowedWrite(lockstep);
 
   DfsConfig windowed = Config();
-  windowed.fetch_depth = 4;
-  windowed.transfer_window = 4;
+  windowed.repl.fetch_depth = 4;
+  windowed.repl.transfer_window = 4;
   WindowRun overlapped = RunWindowedWrite(windowed);
 
   ASSERT_GE(overlapped.transfers.size(), 8u);

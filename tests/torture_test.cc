@@ -26,9 +26,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/core/cluster.h"
@@ -52,9 +54,19 @@ namespace {
 using sim::kMillisecond;
 using sim::kSecond;
 
-core::DfsConfig TortureConfig() {
+// Replication protocols the torture suite sweeps. CI pins one per job via
+// LINEFS_REPL_PROTOCOL; a bare local run covers both built-in data paths.
+std::vector<std::string> TortureProtocols() {
+  if (const char* pinned = std::getenv("LINEFS_REPL_PROTOCOL")) {
+    return {pinned};
+  }
+  return {"chain", "quorum"};
+}
+
+core::DfsConfig TortureConfig(const std::string& protocol) {
   core::DfsConfig config;
   config.mode = core::DfsMode::kLineFS;
+  config.repl.protocol = protocol;
   config.num_nodes = 3;
   config.pm_size = 512ULL << 20;
   config.log_size = 8ULL << 20;
@@ -264,11 +276,13 @@ struct TortureResult {
   uint64_t total_ops = 0;
 };
 
-class TortureTest : public ::testing::TestWithParam<uint64_t> {};
+class TortureTest : public ::testing::TestWithParam<std::tuple<uint64_t, std::string>> {};
 
 TEST_P(TortureTest, SurvivesSeededFaultSchedule) {
-  const uint64_t seed = GetParam();
-  TortureHarness harness(TortureConfig());
+  const uint64_t seed = std::get<0>(GetParam());
+  const std::string& protocol = std::get<1>(GetParam());
+  SCOPED_TRACE("replication protocol: " + protocol);
+  TortureHarness harness(TortureConfig(protocol));
   core::Cluster& cluster = harness.cluster();
   sim::Engine& engine = harness.engine();
 
@@ -373,14 +387,21 @@ TEST_P(TortureTest, SurvivesSeededFaultSchedule) {
 }
 
 // Eight distinct seeded schedules; seeds 1..8 cover all five guaranteed
-// first-window fault classes (seed % 5) plus random extras.
-INSTANTIATE_TEST_SUITE_P(Seeds, TortureTest, ::testing::Range<uint64_t>(1, 9));
+// first-window fault classes (seed % 5) plus random extras. Every schedule
+// runs once per swept replication protocol.
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TortureTest,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 9),
+                       ::testing::ValuesIn(TortureProtocols())),
+    [](const ::testing::TestParamInfo<TortureTest::ParamType>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_" + std::get<1>(info.param);
+    });
 
 // --- Determinism: same seed, byte-identical fault logs -----------------------------
 
 TortureResult ShortTortureRun(uint64_t seed) {
   TortureResult result;
-  TortureHarness harness(TortureConfig());
+  TortureHarness harness(TortureConfig(TortureProtocols().front()));
   core::Cluster& cluster = harness.cluster();
 
   ScheduleOptions sched;
