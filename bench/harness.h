@@ -147,6 +147,8 @@ class Experiment {
     v.Set("fetch_depth", c.repl.fetch_depth);
     v.Set("transfer_window", c.repl.transfer_window);
     v.Set("pipeline_stages", c.pipeline_stages);
+    v.Set("num_shards", c.num_shards);
+    v.Set("shard_placement", c.shard_placement);
     v.Set("placer_pooling", c.placer_pooling);
     v.Set("placer_nic_saturation", c.placer_nic_saturation);
     return v;

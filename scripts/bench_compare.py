@@ -25,12 +25,13 @@ by name:
 A gated scalar that is more than --threshold percent worse than its baseline
 fails the comparison; a missing candidate report, run, or scalar also fails
 (silently dropping a bench is itself a regression). Exception: runs whose
-label contains "stage_mix" (experimental stage-composition sweeps) or
-"proto_" (alternative replication-protocol runs -- quorum trades fan-out
-bandwidth for commit latency, so its scalars are tracked, not gated) never
-gate, and such a run present on only one side is reported as a note, not a
-failure (new protocols and stage plugins can be benchmarked before their
-baselines are committed). The "meta" block (git sha, wall runtime) is
+label matches an entry in INFORMATIONAL_LABELS -- "stage_mix" (experimental
+stage-composition sweeps), "proto_" (alternative replication-protocol runs:
+quorum trades fan-out bandwidth for commit latency) and "scaleout_"
+(open-loop shard sweeps: absolute rates shift with load-generator tuning) --
+never gate, and such a run present on only one side is reported as a note,
+not a failure (new protocols, stage plugins and sweep points can be
+benchmarked before their baselines are committed). The "meta" block (git sha, wall runtime) is
 provenance and is always ignored. Exit status: 0 clean, 1 regression or
 structural mismatch, 2 usage/IO error.
 
@@ -73,10 +74,15 @@ def runs_by_label(report, path):
     return out
 
 
+# Run-label substrings whose runs are tracked but never gated (experimental
+# sweeps whose absolute numbers are expected to move): see module docstring.
+INFORMATIONAL_LABELS = ("stage_mix", "proto_", "scaleout_")
+
+
 def informational_label(label):
-    """Stage-mix sweeps and alternative replication-protocol runs are tracked
-    but never gated."""
-    return "stage_mix" in label or "proto_" in label
+    """Experimental-sweep runs (stage-mix, alternative protocols, scale-out
+    shard sweeps) are tracked but never gated."""
+    return any(tag in label for tag in INFORMATIONAL_LABELS)
 
 
 def compare_report(name, base, cand, threshold_pct, failures, rows):

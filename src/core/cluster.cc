@@ -42,6 +42,16 @@ const char* PublishMethodName(PublishMethod method) {
   return "unknown";
 }
 
+namespace {
+
+// Durable 2PC record (intent / decision): 64B from the arbiter's memory to
+// its host PM, the same cost model as a lease-grant persist.
+sim::Task<> PersistTxnRecord(rdma::Network* net, rdma::Initiator init, rdma::MemAddr self) {
+  co_await net->Write(init, self, rdma::MemAddr{self.node, rdma::Space::kHostPm}, 64);
+}
+
+}  // namespace
+
 Cluster::Cluster(sim::Engine* engine, const DfsConfig& config)
     : engine_(engine), config_(config) {
   config_.node_params.host.pm_size = config_.pm_size;
@@ -101,6 +111,41 @@ Cluster::Cluster(sim::Engine* engine, const DfsConfig& config)
     }
   }
   manager_ = std::make_unique<ClusterManager>(this, &config_);
+
+  shard::Placement placement = shard::Placement::kHash;
+  if (Result<shard::Placement> parsed = shard::ParsePlacement(config_.shard_placement);
+      parsed.ok()) {
+    placement = *parsed;  // Unknown names are rejected by Start()'s Validate().
+  }
+  shards_ = shard::ShardMap(config_.num_shards, config_.num_nodes, placement);
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    hw::Node& hwn = *hw_nodes_[i];
+    shard::TxnService::Context ctx;
+    ctx.engine = engine_;
+    ctx.rpc = rpc_.get();
+    ctx.node = i;
+    if (config_.IsLineFs()) {
+      // The transaction plane runs where the arbiter runs: on the SmartNIC.
+      ctx.self = rdma::MemAddr{i, rdma::Space::kNicMem};
+      ctx.cpu = &hwn.nic().cpu();
+      ctx.account = hwn.nic().nicfs_account();
+      ctx.initiator.extra_latency = hwn.params().nic.pcie_latency;
+    } else {
+      ctx.self = rdma::MemAddr{i, rdma::Space::kHostPm};
+      ctx.cpu = &hwn.host_cpu();
+      ctx.account = hwn.acct_fs();
+    }
+    ctx.initiator.cpu = ctx.cpu;
+    ctx.initiator.account = ctx.account;
+    ctx.node_alive = [this](int node) { return service_alive(node); };
+    ctx.persist = [net = net_.get(), init = ctx.initiator, self = ctx.self]() {
+      return PersistTxnRecord(net, init, self);
+    };
+    ctx.in_doubt_timeout = config_.txn_in_doubt_timeout;
+    ctx.sweep_interval = config_.txn_sweep_interval;
+    txns_.push_back(std::make_unique<shard::TxnService>(
+        ctx, obs::MetricScope(metrics_.get(), "txn." + std::to_string(i))));
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -135,6 +180,13 @@ Status Cluster::Start() {
   for (auto& fs : sharedfs_) {
     fs->Start();
   }
+  if (shards_.sharded()) {
+    // The transaction plane only exists when cross-shard operations can: the
+    // unsharded cluster stays byte-identical to the pre-sharding system.
+    for (auto& txn : txns_) {
+      txn->Start();
+    }
+  }
   manager_->Start();
   profiler_->Start();
   if (config_.pipeline_parallel()) {
@@ -144,6 +196,11 @@ Status Cluster::Start() {
 }
 
 void Cluster::Shutdown() {
+  if (shards_.sharded() && started_) {
+    for (auto& txn : txns_) {
+      txn->Shutdown();
+    }
+  }
   placer_->Stop();
   profiler_->Stop();
   manager_->Shutdown();
@@ -153,6 +210,22 @@ void Cluster::Shutdown() {
   for (auto& fs : sharedfs_) {
     fs->Shutdown();
   }
+}
+
+LeaseManager* Cluster::arbiter(int node) {
+  if (NicFs* fs = nicfs(node)) {
+    return &fs->leases();
+  }
+  if (SharedFs* fs = sharedfs(node)) {
+    return &fs->leases();
+  }
+  return nullptr;
+}
+
+bool Cluster::ArbiterCheckWrite(uint32_t client, uint64_t inum, int local_node) {
+  int arb = ArbiterNodeFor(inum, local_node);
+  LeaseManager* lm = arbiter(arb);
+  return lm != nullptr && lm->CheckWrite(client, inum);
 }
 
 LibFs* Cluster::CreateClient(int node_id) {

@@ -20,6 +20,8 @@
 #include "src/pipeline/placer.h"
 #include "src/rdma/rdma.h"
 #include "src/rdma/rpc.h"
+#include "src/shard/shard_map.h"
+#include "src/shard/txn.h"
 #include "src/sim/engine.h"
 
 namespace linefs::core {
@@ -28,6 +30,7 @@ class NicFs;
 class SharedFs;
 class KernelWorker;
 class ClusterManager;
+class LeaseManager;
 class LibFs;
 
 // Side-band for bulk NIC-to-NIC data: the simulated RDMA layer charges the
@@ -77,6 +80,31 @@ class Cluster {
                                                                  : nullptr;
   }
   ClusterManager& manager() { return *manager_; }
+
+  // --- Namespace sharding (src/shard/) -----------------------------------------
+
+  const shard::ShardMap& shards() const { return shards_; }
+
+  // Node arbitrating `inum`'s shard. Unsharded (num_shards == 0), every
+  // client keeps the legacy behaviour of arbitrating at its own node, so the
+  // caller supplies `local_node` as the identity fallback.
+  int ArbiterNodeFor(uint64_t inum, int local_node) const {
+    return shards_.sharded() ? shards_.ArbiterFor(inum) : local_node;
+  }
+
+  // The lease arbiter rooted at `node` (NICFS's for LineFS modes, SharedFS's
+  // for the Assise baselines); nullptr for an out-of-range node.
+  LeaseManager* arbiter(int node);
+
+  // Validation-stage lease check routed to the owning shard's arbiter. The
+  // shard lookup is a pure function and the arbiter table read is modelled as
+  // free (NIC-local state mirrored via PersistGrant), matching the unsharded
+  // validator's in-process check.
+  bool ArbiterCheckWrite(uint32_t client, uint64_t inum, int local_node);
+
+  shard::TxnService* txn(int id) {
+    return id >= 0 && static_cast<size_t>(id) < txns_.size() ? txns_[id].get() : nullptr;
+  }
 
   // --- Observability (metrics registry, trace ring, pipeline profiler) ---------
 
@@ -144,6 +172,8 @@ class Cluster {
   std::vector<std::unique_ptr<SharedFs>> sharedfs_;
   std::vector<std::unique_ptr<KernelWorker>> kworkers_;
   std::unique_ptr<ClusterManager> manager_;
+  shard::ShardMap shards_{0, 1, shard::Placement::kHash};
+  std::vector<std::unique_ptr<shard::TxnService>> txns_;
   std::vector<std::unique_ptr<LibFs>> clients_;
   std::unordered_map<std::string, WirePayload> wire_;
   std::vector<bool> service_alive_;

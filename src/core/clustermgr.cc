@@ -12,6 +12,12 @@ ClusterManager::ClusterManager(Cluster* cluster, const DfsConfig* config)
   seen_alive_.resize(cluster->num_nodes(), true);
 }
 
+const shard::ShardMap& ClusterManager::shards() const { return cluster_->shards(); }
+
+int ClusterManager::ArbiterNodeFor(uint64_t inum, int local_node) const {
+  return cluster_->ArbiterNodeFor(inum, local_node);
+}
+
 void ClusterManager::Start() { cluster_->engine()->Spawn(HeartbeatLoop()); }
 
 void ClusterManager::Shutdown() { shutdown_ = true; }
@@ -54,8 +60,13 @@ sim::Task<> ClusterManager::OnNicFsFailure(int node) {
   LFS_TRACE(cluster_->engine()->Now(), "clustermgr", "node %d failed; epoch -> %llu", node,
             static_cast<unsigned long long>(epoch_));
   // Expire every lease the failed arbiter issued; a live replica takes over
-  // lease management (§3.6).
-  if (config_->IsLineFs() && cluster_->nicfs(node) != nullptr) {
+  // lease management (§3.6). The sharded plane keeps the table: AcquireSerial
+  // persists each grant to host PM before the reply leaves and mirrors it to
+  // the replicas, so a recovering shard arbiter restores its grant table from
+  // PM instead of forcing every holder to re-acquire. Wiping it here would
+  // make late validation of legitimately-leased chunks fail after the node
+  // is readmitted (DESIGN.md §13).
+  if (config_->IsLineFs() && cluster_->nicfs(node) != nullptr && !shards().sharded()) {
     cluster_->nicfs(node)->leases().ExpireAll();
   }
   co_await BroadcastEpoch();

@@ -11,6 +11,7 @@
 
 #include "src/core/config.h"
 #include "src/core/messages.h"
+#include "src/shard/shard_map.h"
 #include "src/sim/task.h"
 
 namespace linefs::core {
@@ -25,6 +26,17 @@ class ClusterManager {
   void Shutdown();
 
   uint64_t epoch() const { return epoch_; }
+
+  // --- Namespace shard directory (§ DESIGN.md 13) -----------------------------
+  //
+  // The cluster manager is the authority clients consult for shard placement
+  // (the paper's ZooKeeper role, generalized): the map itself is a pure
+  // function of the config, so after this lookup every component computes
+  // placement locally with no directory round trips.
+  const shard::ShardMap& shards() const;
+  // Node currently arbitrating `inum`'s shard (identity-routes to
+  // `local_node` when unsharded).
+  int ArbiterNodeFor(uint64_t inum, int local_node) const;
 
   // Marks a NICFS failed: expires its leases, bumps the epoch, and notifies
   // every live NICFS (which persists the epoch, §3.6). Also invoked by the

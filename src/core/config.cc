@@ -6,6 +6,7 @@
 
 #include "src/pipeline/registry.h"
 #include "src/repl/registry.h"
+#include "src/shard/shard_map.h"
 
 namespace linefs::core {
 
@@ -87,6 +88,19 @@ Status DfsConfig::ValidateNormalized() const {
   }
   if (inode_count == 0) {
     return Invalid("inode_count must be > 0");
+  }
+  if (num_shards < 0) {
+    return Invalid("num_shards must be >= 0 (0 = sharding off), got " +
+                   std::to_string(num_shards));
+  }
+  if (!shard::ParsePlacement(shard_placement).ok()) {
+    return Invalid("shard_placement must be 'hash' or 'dir', got '" + shard_placement + "'");
+  }
+  if (num_shards >= 1 && txn_in_doubt_timeout <= 0) {
+    return Invalid("txn_in_doubt_timeout must be > 0 when sharded");
+  }
+  if (num_shards >= 1 && txn_sweep_interval <= 0) {
+    return Invalid("txn_sweep_interval must be > 0 when sharded");
   }
   if (!(mem_high_watermark > 0.0 && mem_high_watermark < 1.0)) {
     return Invalid("mem_high_watermark must be in (0,1), got " +

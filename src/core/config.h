@@ -155,6 +155,22 @@ struct DfsConfig {
   // Lease management.
   sim::Time lease_duration = sim::kSecond;
 
+  // Namespace sharding (src/shard/). With num_shards == 0 (default) the shard
+  // plane is off: every client arbitrates at its own node, exactly the
+  // pre-sharding behaviour. With num_shards >= 1 inode metadata is placed
+  // onto shards by shard_placement ("hash": splitmix64(inum) % shards; "dir":
+  // inum % shards with allocation biased so children co-locate with their
+  // parent directory), shard s is arbitered by node s % num_nodes, and
+  // cross-shard rename runs two-phase commit through shard::TxnService.
+  // num_shards == 1 therefore means one node arbitrates the whole namespace
+  // (the centralized baseline of bench_scaleout), not "off".
+  int num_shards = 0;
+  std::string shard_placement = "hash";
+  // 2PC recovery knobs: how long a participant holds an undecided prepared
+  // transaction before querying/presuming, and the sweep cadence.
+  sim::Time txn_in_doubt_timeout = 500 * sim::kMillisecond;
+  sim::Time txn_sweep_interval = 100 * sim::kMillisecond;
+
   // Scheduling priority of host-side DFS work (experiments vary this:
   // §5.2.1 busy runs DFS above streamcluster; §5.2.4 runs them equal).
   sim::Priority host_fs_priority = sim::Priority::kNormal;

@@ -38,6 +38,7 @@ Result<sim::Time> LeaseManager::TryAcquire(uint32_t client, fslib::InodeNum inum
       // grants get a grace period so hand-off cannot livelock.
       if (!record.revoking && now - record.granted_at >= context_.min_hold) {
         record.revoking = true;
+        ++revocations_;
         context_.engine->Spawn(RevokeFlow(record.writer - 1, inum));
       }
       return Status::Error(ErrorCode::kBusy, "write lease held by another client");
@@ -55,6 +56,7 @@ Result<sim::Time> LeaseManager::TryAcquire(uint32_t client, fslib::InodeNum inum
     if (record.writer != 0 && record.writer != client + 1) {
       if (!record.revoking && now - record.granted_at >= context_.min_hold) {
         record.revoking = true;
+        ++revocations_;
         context_.engine->Spawn(RevokeFlow(record.writer - 1, inum));
       }
       return Status::Error(ErrorCode::kBusy, "writer holds the lease");
@@ -92,6 +94,33 @@ sim::Task<> LeaseManager::PersistGrant() {
   co_await context_.net->Write(context_.initiator, context_.self,
                                rdma::MemAddr{context_.self.node, rdma::Space::kHostPm}, 64);
   // ...and mirror it to every replica arbiter.
+  for (const rdma::MemAddr& replica : context_.replicas) {
+    co_await context_.net->Write(context_.initiator, context_.self, replica, 64);
+  }
+  durable_.Done();
+}
+
+sim::Task<Result<sim::Time>> LeaseManager::AcquireSerial(uint32_t client, fslib::InodeNum inum,
+                                                         bool write, uint64_t cycles) {
+  co_await root_mu_.Lock();
+  if (context_.initiator.cpu != nullptr) {
+    co_await context_.initiator.cpu->RunCycles(cycles, context_.initiator.priority,
+                                               context_.initiator.account);
+  }
+  Result<sim::Time> granted = TryAcquire(client, inum, write);
+  if (granted.ok()) {
+    // Local grant record durable before the reply leaves (64B to host PM);
+    // replica mirrors retire the durability token asynchronously.
+    durable_.Add(1);
+    co_await context_.net->Write(context_.initiator, context_.self,
+                                 rdma::MemAddr{context_.self.node, rdma::Space::kHostPm}, 64);
+    context_.engine->Spawn(MirrorAndRetire());
+  }
+  root_mu_.Unlock();
+  co_return granted;
+}
+
+sim::Task<> LeaseManager::MirrorAndRetire() {
   for (const rdma::MemAddr& replica : context_.replicas) {
     co_await context_.net->Write(context_.initiator, context_.self, replica, 64);
   }

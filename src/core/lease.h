@@ -47,7 +47,7 @@ class LeaseManager {
   using RevokeHandler = std::function<sim::Task<>(fslib::InodeNum inum)>;
 
   explicit LeaseManager(const Context& context)
-      : context_(context), durable_(context.engine) {}
+      : context_(context), durable_(context.engine), root_mu_(context.engine) {}
 
   void RegisterRevokeHandler(uint32_t client, RevokeHandler handler) {
     revoke_handlers_[client] = std::move(handler);
@@ -58,6 +58,18 @@ class LeaseManager {
   // lease triggers asynchronous revocation: the holder publishes its pending
   // updates, then releases; the requester retries until granted (§3.4).
   Result<sim::Time> TryAcquire(uint32_t client, fslib::InodeNum inum, bool write);
+
+  // Sharded-plane grant path (DESIGN.md §13): each shard's arbiter is a
+  // single logical thread on its SmartNIC, so grant processing — the cycle
+  // charge, the table update, and the local persist of the grant record —
+  // serializes through root_mu_. The record must be durable before the reply
+  // leaves: peer validators consult this arbiter's mirrored state, so a grant
+  // lost in a crash could otherwise admit a second writer. Replica mirrors
+  // stay asynchronous (they only matter after failover, which expires the
+  // epoch). TryAcquire never suspends, so the root mutex is never held across
+  // a revocation wait and kRpcLeaseRelease stays deadlock-free.
+  sim::Task<Result<sim::Time>> AcquireSerial(uint32_t client, fslib::InodeNum inum, bool write,
+                                             uint64_t cycles);
 
   void Release(uint32_t client, fslib::InodeNum inum);
 
@@ -89,6 +101,7 @@ class LeaseManager {
 
   size_t active_leases() const { return records_.size(); }
   uint64_t grants() const { return grants_; }
+  uint64_t revocations() const { return revocations_; }
 
  private:
   struct Record {
@@ -100,12 +113,17 @@ class LeaseManager {
   };
 
   sim::Task<> RevokeFlow(uint32_t holder, fslib::InodeNum inum);
+  // Mirrors the latest grant record to every replica arbiter, then retires
+  // the durability token taken by AcquireSerial.
+  sim::Task<> MirrorAndRetire();
 
   Context context_;
   std::unordered_map<fslib::InodeNum, Record> records_;
   std::unordered_map<uint32_t, RevokeHandler> revoke_handlers_;
   sim::WaitGroup durable_;
+  sim::Mutex root_mu_;  // Serial arbiter root (sharded plane only).
   uint64_t grants_ = 0;
+  uint64_t revocations_ = 0;
 };
 
 }  // namespace linefs::core

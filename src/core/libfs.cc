@@ -85,6 +85,7 @@ void LibFs::Attach() {
   uint64_t range = (config_->inode_count - 2) /
                    static_cast<uint64_t>(std::max(config_->max_clients, 1));
   next_inum_ = 2 + static_cast<uint64_t>(client_id_) * range;
+  inum_range_start_ = next_inum_;
   inum_range_end_ = next_inum_ + range;
 
   auto on_published = [this](uint64_t upto) { index_.DropPublished(upto); };
@@ -105,6 +106,21 @@ void LibFs::Attach() {
     sharedfs_->leases().RegisterRevokeHandler(
         static_cast<uint32_t>(client_id_),
         [this](fslib::InodeNum inum) { return HandleLeaseRevoke(inum); });
+  }
+  if (cluster_->shards().sharded()) {
+    // Sharded namespace: any node's arbiter may grant this client a lease,
+    // so every arbiter needs the revoke path back to this process. Client
+    // ids are globally unique, so cross-registration cannot collide.
+    for (int n = 0; n < cluster_->num_nodes(); ++n) {
+      if (n == node_id_) {
+        continue;
+      }
+      if (LeaseManager* lm = cluster_->arbiter(n)) {
+        lm->RegisterRevokeHandler(
+            static_cast<uint32_t>(client_id_),
+            [this](fslib::InodeNum inum) { return HandleLeaseRevoke(inum); });
+      }
+    }
   }
 }
 
@@ -182,7 +198,30 @@ sim::Task<> LibFs::FlushForHandoff(uint64_t upto) {
   }
 }
 
-fslib::InodeNum LibFs::AllocInum() {
+fslib::InodeNum LibFs::AllocInum(fslib::InodeNum parent) {
+  const shard::ShardMap& shards = cluster_->shards();
+  if (shards.sharded() && shards.placement() == shard::Placement::kDir) {
+    // kDir placement: allocate from the parent's residue class (stride =
+    // num_shards inside this client's private range) so the child lands on
+    // the parent's shard and same-directory metadata ops stay single-shard.
+    // Every allocation under kDir goes through a residue cursor; the classes
+    // are disjoint so cursors never collide.
+    uint64_t stride = static_cast<uint64_t>(shards.num_shards());
+    uint32_t residue = shards.DesiredResidue(parent);
+    auto [it, fresh] = residue_cursor_.try_emplace(residue, 0);
+    if (fresh) {
+      it->second = inum_range_start_ +
+                   (residue + stride - inum_range_start_ % stride) % stride;
+    }
+    if (it->second >= inum_range_end_) {
+      std::fprintf(stderr, "libfs: client %d exhausted residue class %u of its inode range\n",
+                   client_id_, residue);
+      std::abort();
+    }
+    fslib::InodeNum inum = it->second;
+    it->second += stride;
+    return inum;
+  }
   if (next_inum_ >= inum_range_end_) {
     std::fprintf(stderr, "libfs: client %d exhausted its inode range\n", client_id_);
     std::abort();
@@ -263,16 +302,22 @@ sim::Task<Status> LibFs::EnsureLease(fslib::InodeNum inum, bool write) {
   }
   // Budget generously: a conflicting holder may need to flush (publish) its
   // pending updates before the lease can move (§3.4 revocation).
+  // Sharded namespace: the grant comes from the shard's arbiter, which may
+  // root at a remote node. Unsharded, this is always the local node (LineFS:
+  // the local NIC; Assise: the in-process SharedFS).
+  int arbiter_node = cluster_->ArbiterNodeFor(inum, node_id_);
   for (int attempt = 0; attempt < 8000; ++attempt) {
     uint64_t revokes_before = revoke_counts_[inum];
-    if (config_->IsLineFs()) {
+    if (config_->IsLineFs() || arbiter_node != node_id_) {
+      const std::string target = config_->IsLineFs() ? NicFs::EndpointName(arbiter_node)
+                                                     : SharedFs::EndpointName(arbiter_node);
       rdma::Initiator init;
       init.cpu = &node_->hw().host_cpu();
       init.priority = sim::Priority::kNormal;
       init.account = node_->hw().acct_fs();
       Result<LeaseResp> resp = co_await cluster_->rpc().Call<LeaseReq, LeaseResp>(
           init, rdma::MemAddr{node_id_, rdma::Space::kHostPm},
-          NicFs::EndpointName(node_id_), rdma::Channel::kLowLat, kRpcLease,
+          target, rdma::Channel::kLowLat, kRpcLease,
           LeaseReq{static_cast<uint32_t>(client_id_), inum, write ? uint8_t{1} : uint8_t{0}});
       if (resp.ok() && resp->status == 0) {
         if (revoke_counts_[inum] != revokes_before) {
@@ -459,7 +504,7 @@ sim::Task<Result<int>> LibFs::Open(const std::string& path, uint32_t flags, uint
       co_return lease;
     }
     MutationGuard guard(this);
-    inum = AllocInum();
+    inum = AllocInum(dir);
     fslib::LogEntryHeader h;
     h.type = fslib::LogOpType::kCreate;
     h.inum = inum;
@@ -711,7 +756,7 @@ sim::Task<Status> LibFs::Mkdir(const std::string& path, uint16_t mode) {
   MutationGuard guard(this);
   fslib::LogEntryHeader h;
   h.type = fslib::LogOpType::kMkdir;
-  h.inum = AllocInum();
+  h.inum = AllocInum(dir);
   h.parent = dir;
   h.mode = mode;
   h.ftype = fslib::FileType::kDirectory;
@@ -802,6 +847,14 @@ sim::Task<Status> LibFs::Rename(const std::string& from, const std::string& to) 
     co_return lease;
   }
   MutationGuard guard(this);
+  // When the two parent directories live on different shards, serialize the
+  // move against other cross-shard operations via two-phase commit between
+  // the shard arbiters. The log append below — the atomic namespace mutation
+  // — only happens once the transaction committed.
+  Status txn = co_await CrossShardPrepare(src->first, dst->first);
+  if (!txn.ok()) {
+    co_return txn;
+  }
   fslib::LogEntryHeader h;
   h.type = fslib::LogOpType::kRename;
   h.inum = *moved;
@@ -814,6 +867,35 @@ sim::Task<Status> LibFs::Rename(const std::string& from, const std::string& to) 
   co_return co_await AppendEntry(
       h, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(payload.data()),
                                   payload.size()));
+}
+
+sim::Task<Status> LibFs::CrossShardPrepare(fslib::InodeNum src_dir, fslib::InodeNum dst_dir) {
+  const shard::ShardMap& shards = cluster_->shards();
+  if (!shards.sharded() || shards.ShardOf(src_dir) == shards.ShardOf(dst_dir)) {
+    co_return Status::Ok();
+  }
+  shard::TxnService* txn = cluster_->txn(node_id_);
+  if (txn == nullptr) {
+    co_return Status::Ok();
+  }
+  // The local node's transaction service coordinates; the two shard arbiters
+  // participate with intent locks on the parent directories. A vote-abort is
+  // a transient lock conflict with another cross-shard transaction — back
+  // off and retry.
+  std::vector<int> participants = {shards.ArbiterFor(src_dir), shards.ArbiterFor(dst_dir)};
+  std::vector<uint64_t> locks = {src_dir, dst_dir};
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Result<bool> committed = co_await txn->Run(
+        shard::TxnOp::kRename, static_cast<uint32_t>(client_id_), participants, locks);
+    if (!committed.ok()) {
+      co_return committed.status();
+    }
+    if (*committed) {
+      co_return Status::Ok();
+    }
+    co_await engine_->SleepFor(200 * sim::kMicrosecond);
+  }
+  co_return Status::Error(ErrorCode::kBusy, "cross-shard rename kept losing intent locks");
 }
 
 sim::Task<Result<fslib::FileAttr>> LibFs::Stat(const std::string& path) {

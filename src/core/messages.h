@@ -31,6 +31,10 @@ enum RpcMethod : uint32_t {
   kRpcFetchInode = 14,    // recovering NICFS -> replica NICFS.
   kRpcShardWrite = 15,    // CephLike client -> server.
   kRpcShardRead = 16,
+  // 17-20 are reserved for the cross-shard transaction plane. Those messages
+  // travel on the dedicated "txn/<node>" endpoints with their own method
+  // numbering (shard::TxnRpc in src/shard/txn.h), never on nicfs/sharedfs
+  // endpoints; the reservation only prevents an accidental future overlap.
 };
 
 struct Ack {

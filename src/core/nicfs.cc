@@ -36,7 +36,10 @@ NicFs::Metrics::Metrics(const obs::MetricScope& scope_in)
       qdepth_publish_rb(scope.Sub("qdepth").HistogramAt("publish_rb")),
       inflight_fetch(scope.Sub("qdepth").HistogramAt("fetch_inflight")),
       inflight_transfer(scope.Sub("qdepth").HistogramAt("transfer_inflight")),
-      nic_mem_utilization(scope.GaugeAt("nic_mem_utilization")) {}
+      nic_mem_utilization(scope.GaugeAt("nic_mem_utilization")),
+      lease_active(scope.Sub("lease").GaugeAt("active")),
+      lease_grants(scope.Sub("lease").GaugeAt("grants")),
+      lease_revocations(scope.Sub("lease").GaugeAt("revocations")) {}
 
 NicFs::Metrics::StageSet& NicFs::Metrics::ForStage(const std::string& name) {
   auto it = stage_sets.find(name);
@@ -67,6 +70,9 @@ NicFs::StatsSnapshot NicFs::stats() const {
   s.repl_retransmits = metrics_.repl_retransmits->value();
   s.repl_send_failures = metrics_.repl_send_failures->value();
   s.stage_workers_retired = metrics_.stage_workers_retired->value();
+  s.lease_active = leases_->active_leases();
+  s.lease_grants = leases_->grants();
+  s.lease_revocations = leases_->revocations();
   s.stages["fetch"].latency = metrics_.stage_fetch->Summarize();
   s.stages["publish"].latency = metrics_.stage_publish->Summarize();
   s.stages["transfer"].latency = metrics_.stage_transfer->Summarize();
@@ -119,6 +125,9 @@ void NicFs::SampleObs() {
   metrics_.inflight_fetch->Record(static_cast<sim::Time>(fetch_inflight));
   metrics_.inflight_transfer->Record(static_cast<sim::Time>(transfer_inflight));
   metrics_.nic_mem_utilization->Set(node_->hw().nic().mem_utilization());
+  metrics_.lease_active->Set(static_cast<double>(leases_->active_leases()));
+  metrics_.lease_grants->Set(static_cast<double>(leases_->grants()));
+  metrics_.lease_revocations->Set(static_cast<double>(leases_->revocations()));
 }
 
 NicFs::NicFs(Cluster* cluster, DfsNode* node, KernelWorker* kworker, const DfsConfig* config)
@@ -150,7 +159,9 @@ NicFs::NicFs(Cluster* cluster, DfsNode* node, KernelWorker* kworker, const DfsCo
   validator_ = std::make_unique<fslib::Validator>(
       &node_->fs().inodes(), &node_->fs().dirs(),
       [this](uint32_t client, fslib::InodeNum inum) {
-        return leases_->CheckWrite(client, inum);
+        // Sharded namespace: the write lease lives at the shard's arbiter,
+        // which may be a peer NIC. Unsharded this resolves to leases_.
+        return cluster_->ArbiterCheckWrite(client, inum, node_->id());
       });
   replica_validator_ = std::make_unique<fslib::Validator>(
       &node_->fs().inodes(), &node_->fs().dirs(),
@@ -244,6 +255,17 @@ void NicFs::Start() {
   });
 
   ep->Handle<LeaseReq, LeaseResp>(kRpcLease, [this](LeaseReq req) -> sim::Task<LeaseResp> {
+    if (cluster_->shards().sharded()) {
+      // Sharded plane: this NIC is the shard's arbiter root — a single
+      // logical thread that serializes grants and persists each record
+      // before replying (DESIGN.md §13).
+      Result<sim::Time> expiry =
+          co_await leases_->AcquireSerial(req.client, req.inum, req.write != 0, 1200);
+      if (!expiry.ok()) {
+        co_return LeaseResp{static_cast<int32_t>(expiry.code()), 0};
+      }
+      co_return LeaseResp{0, static_cast<uint64_t>(*expiry)};
+    }
     co_await node_->hw().nic().cpu().RunCycles(1200, sim::Priority::kRealtime,
                                                node_->hw().nic().nicfs_account());
     Result<sim::Time> expiry = leases_->TryAcquire(req.client, req.inum, req.write != 0);

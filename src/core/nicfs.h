@@ -116,6 +116,10 @@ class NicFs {
     uint64_t repl_retransmits = 0;        // Chunk re-sends by the retry sweeper.
     uint64_t repl_send_failures = 0;      // One-way sends that returned an error.
     uint64_t stage_workers_retired = 0;   // Extra workers scaled back down.
+    // Per-arbiter lease-plane state (shard balance under a sharded namespace).
+    uint64_t lease_active = 0;            // Leases currently in this arbiter's table.
+    uint64_t lease_grants = 0;            // Grants issued since boot.
+    uint64_t lease_revocations = 0;       // Revoke flows started since boot.
     struct StageStats {
       obs::HistogramSummary latency;
       uint64_t bypassed = 0;  // Chunks passed through under backpressure (§3.3.2).
@@ -326,6 +330,11 @@ class NicFs {
     obs::Histogram* inflight_fetch;
     obs::Histogram* inflight_transfer;
     obs::Gauge* nic_mem_utilization;
+    // Lease-arbiter balance gauges ("nicfs.<n>.lease.*"), sampled by the
+    // profiler tick so bench sweeps can read shard balance from the registry.
+    obs::Gauge* lease_active;
+    obs::Gauge* lease_grants;
+    obs::Gauge* lease_revocations;
   };
 
   // Profiler callback: samples queue depths, worker counts, and NIC memory.

@@ -32,7 +32,9 @@ SharedFs::SharedFs(Cluster* cluster, DfsNode* node, const DfsConfig* config)
   validator_ = std::make_unique<fslib::Validator>(
       &node_->fs().inodes(), &node_->fs().dirs(),
       [this](uint32_t client, fslib::InodeNum inum) {
-        return leases_->CheckWrite(client, inum);
+        // Routed through the shard map: the owning arbiter may be a peer
+        // node. Unsharded this resolves to leases_ as before.
+        return cluster_->ArbiterCheckWrite(client, inum, node_->id());
       });
   // Replicas digest logs whose leases were checked at the primary; their own
   // lease table only mirrors grants asynchronously, so it is not consulted.
@@ -95,6 +97,31 @@ void SharedFs::Start() {
   ep->Handle<ReplChunkMsg, Ack>(kRpcReplChunk, [this](ReplChunkMsg msg) -> sim::Task<Ack> {
     co_await HandleReplRange(msg);
     co_return Ack{};
+  });
+
+  // Remote lease arbitration: with a sharded namespace a client whose inode
+  // lives on another node's shard acquires from that node's SharedFS over
+  // RPC. Unsharded clients keep the in-process fast path (LibFs::EnsureLease)
+  // and never send this message.
+  ep->Handle<LeaseReq, LeaseResp>(kRpcLease, [this](LeaseReq req) -> sim::Task<LeaseResp> {
+    if (cluster_->shards().sharded()) {
+      // Sharded plane: serial arbiter root with the grant record persisted
+      // before the reply (DESIGN.md §13), same as the NICFS arbiters.
+      Result<sim::Time> expiry =
+          co_await leases_->AcquireSerial(req.client, req.inum, req.write != 0, 1500);
+      if (!expiry.ok()) {
+        co_return LeaseResp{static_cast<int32_t>(expiry.code()), 0};
+      }
+      co_return LeaseResp{0, static_cast<uint64_t>(*expiry)};
+    }
+    co_await node_->hw().host_cpu().RunCycles(1500, config_->host_fs_priority,
+                                              node_->hw().acct_fs());
+    Result<sim::Time> expiry = leases_->TryAcquire(req.client, req.inum, req.write != 0);
+    if (!expiry.ok()) {
+      co_return LeaseResp{static_cast<int32_t>(expiry.code()), 0};
+    }
+    engine_->Spawn(leases_->PersistGrant());
+    co_return LeaseResp{0, static_cast<uint64_t>(*expiry)};
   });
 
   ep->Handle<HeartbeatMsg, Ack>(kRpcHeartbeat,

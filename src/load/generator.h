@@ -1,0 +1,189 @@
+// Open-loop cluster traffic generator (the "million users" harness).
+//
+// The closed-loop workloads under src/workloads/ measure service capacity: N
+// clients loop as fast as completions allow, so offered load self-throttles
+// and saturation never shows up as queueing delay. This generator is
+// *open-loop*: operation arrivals follow a Poisson (or bursty on/off) process
+// whose rate is configured, not derived from completions. Arrivals are
+// attributed to one of `sessions` simulated user sessions (thousands to
+// millions — sessions are identities, not tasks), mapped onto the pool of
+// real LibFS instances; each instance runs a small worker pool draining a
+// bounded queue. When delivered throughput falls behind offered load the
+// queues fill, latency (measured arrival -> completion, queueing included)
+// climbs, and past `max_backlog` arrivals are shed — so a sweep over
+// arrival rates traces the classic saturation knee, which closed-loop
+// clients structurally cannot show.
+//
+// Traffic shape: multi-tenant. Each tenant has an arrival-weight, a
+// pre-created file population with Zipfian popularity (sim::ZipfSampler), and
+// an op mix (namespace-heavy by default: create/stat/rename/mkdir/unlink plus
+// small writes with occasional fsync). Every random decision — arrival times,
+// tenant, session, file rank, op kind, fsync — is drawn in the single arrival
+// process from one seeded Rng, so a (seed, options) pair reproduces the exact
+// op sequence regardless of how the workers interleave.
+
+#ifndef SRC_LOAD_GENERATOR_H_
+#define SRC_LOAD_GENERATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/libfs.h"
+#include "src/obs/metrics.h"
+#include "src/sim/random.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace linefs::load {
+
+enum class OpKind : uint8_t {
+  kCreate = 0,  // Create + close a scratch file (enters the scratch pool).
+  kStat,        // Stat a population file (Zipf-popular).
+  kRename,      // Move a scratch file to another directory.
+  kMkdir,       // Create a fresh directory under the tenant root.
+  kUnlink,      // Remove a scratch file.
+  kWrite,       // Open a population file, append write_bytes, maybe fsync.
+};
+inline constexpr int kOpKinds = 6;
+
+const char* OpKindName(OpKind kind);
+
+// Relative arrival weights per op kind (normalized internally).
+struct OpMix {
+  double create = 0.25;
+  double stat = 0.40;
+  double rename = 0.10;
+  double mkdir = 0.02;
+  double unlink = 0.13;
+  double write = 0.10;
+  double fsync_prob = 0.2;  // P(fsync follows a write).
+};
+
+struct TenantSpec {
+  std::string name = "default";
+  double weight = 1.0;            // Share of total arrivals.
+  uint64_t files = 2048;          // Pre-created population size.
+  uint64_t dirs = 32;             // Directories the population spreads over.
+  double zipf_exponent = 0.99;    // Popularity skew over the population.
+  uint64_t write_bytes = 4096;
+  OpMix mix;
+};
+
+struct Options {
+  uint64_t sessions = 100000;     // Simulated user identities.
+  double arrival_rate = 20000.0;  // Aggregate offered ops/sec.
+  // On/off burst modulation. The time-weighted mean rate stays arrival_rate;
+  // during `burst_on` windows the instantaneous rate is burst_factor x the
+  // off-window rate.
+  bool bursty = false;
+  double burst_factor = 8.0;
+  sim::Time burst_on = 20 * sim::kMillisecond;
+  sim::Time burst_off = 80 * sim::kMillisecond;
+  int workers_per_client = 4;     // Concurrency per LibFS instance.
+  uint64_t max_backlog = 512;     // Per-client queue bound; beyond -> shed.
+  sim::Time duration = 1 * sim::kSecond;
+  uint64_t seed = 42;
+  // mdtest-style "unique directory per rank": each client works in a private
+  // per-client subtree of every tenant (its own dirs and population). No
+  // cross-client sharing means no lease ping-pong, so a sweep measures the
+  // metadata plane's capacity rather than per-inode sharing contention.
+  // False = all clients share one tree per tenant (contention-heavy).
+  bool private_dirs = false;
+  std::vector<TenantSpec> tenants;  // Empty -> one default tenant.
+};
+
+struct Report {
+  uint64_t offered = 0;          // Arrivals generated.
+  uint64_t delivered = 0;        // Ops completed successfully.
+  uint64_t errors = 0;           // Ops completed with an error status.
+  uint64_t shed = 0;             // Arrivals dropped at a full queue.
+  uint64_t sessions_touched = 0;  // Distinct session identities that hit the FS.
+  double offered_rate = 0;       // offered / duration, ops/sec.
+  double delivered_rate = 0;     // delivered / duration, ops/sec.
+  obs::HistogramSummary latency;  // Arrival -> completion (queueing included), ns.
+  uint64_t per_op[kOpKinds] = {0};  // Delivered count per kind.
+};
+
+class Generator {
+ public:
+  Generator(sim::Engine* engine, std::vector<core::LibFs*> clients, Options options);
+
+  // Pre-creates every tenant's directory tree and file population (closed
+  // loop, not part of the measured run).
+  sim::Task<Status> Setup();
+
+  // Runs the open-loop process for options.duration, then drains the queues
+  // and returns the offered-vs-delivered report.
+  sim::Task<Report> Run();
+
+ private:
+  struct Op {
+    sim::Time arrival = 0;
+    uint16_t tenant = 0;
+    OpKind kind = OpKind::kStat;
+    bool fsync = false;
+    uint64_t rank = 0;       // Population file rank (kStat/kWrite).
+    uint64_t serial = 0;     // Scratch/mkdir serial (kCreate/kRename/kMkdir).
+    uint64_t dir = 0;        // Target directory index (kCreate/kRename).
+    uint32_t session = 0;
+  };
+
+  struct ClientState {
+    explicit ClientState(sim::Engine* engine) : items(engine, 0) {}
+    std::deque<Op> queue;
+    sim::Semaphore items;
+    // Scratch files this client created, per tenant (renames/unlinks consume
+    // them; keeping the pool client-local avoids artificial lease ping-pong).
+    std::vector<std::vector<std::string>> scratch;
+  };
+
+  // Under private_dirs every client gets its own top-level tenant root
+  // ("/<tenant>_c<client>") directly under the preexisting root inode, so
+  // concurrent setup never races two creations of the same path on different
+  // nodes; `client` is ignored otherwise.
+  std::string TenantRoot(uint16_t tenant, size_t client) const;
+  std::string DirPath(uint16_t tenant, size_t client, uint64_t dir) const;
+  std::string FilePath(uint16_t tenant, size_t client, uint64_t rank) const;
+
+  sim::Task<> ArrivalProcess();
+  sim::Task<> Worker(size_t client_idx);
+  sim::Task<Status> Execute(core::LibFs* fs, size_t client, ClientState* state, const Op& op);
+  sim::Task<Status> CreateScratch(core::LibFs* fs, size_t client, ClientState* state,
+                                  const Op& op);
+  // Builds tenant `tenant`'s tree for `client`'s scope (private_dirs) or the
+  // shared tree (client 0 only) otherwise.
+  sim::Task<> SetupTenant(uint16_t tenant, size_t client, sim::WaitGroup* wg, Status* out);
+  void GenerateArrival();
+
+  sim::Engine* engine_;
+  std::vector<core::LibFs*> clients_;
+  Options options_;
+  sim::Rng rng_;
+  std::vector<sim::ZipfSampler> popularity_;  // One per tenant.
+  std::vector<double> tenant_cdf_;
+  std::vector<std::array<double, kOpKinds>> kind_cdf_;
+  std::vector<std::unique_ptr<ClientState>> states_;
+  std::vector<bool> session_seen_;
+  sim::WaitGroup workers_done_;
+  bool draining_ = false;
+
+  // Run accounting.
+  uint64_t offered_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t errors_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t sessions_touched_ = 0;
+  uint64_t serial_ = 0;
+  uint64_t per_op_[kOpKinds] = {0};
+  obs::Histogram latency_;
+};
+
+}  // namespace linefs::load
+
+#endif  // SRC_LOAD_GENERATOR_H_

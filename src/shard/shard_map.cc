@@ -1,0 +1,63 @@
+#include "src/shard/shard_map.h"
+
+namespace linefs::shard {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates sequential inode numbers so kHash
+// placement balances even though LibFS bump-allocates contiguous ranges.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* PlacementName(Placement placement) {
+  switch (placement) {
+    case Placement::kHash:
+      return "hash";
+    case Placement::kDir:
+      return "dir";
+  }
+  return "unknown";
+}
+
+Result<Placement> ParsePlacement(const std::string& name) {
+  if (name == "hash") {
+    return Placement::kHash;
+  }
+  if (name == "dir") {
+    return Placement::kDir;
+  }
+  return Status::Error(ErrorCode::kInvalid,
+                       "shard_placement must be 'hash' or 'dir', got '" + name + "'");
+}
+
+ShardMap::ShardMap(int num_shards, int num_nodes, Placement placement)
+    : enabled_(num_shards >= 1),
+      num_shards_(num_shards < 1 ? 1 : num_shards),
+      num_nodes_(num_nodes < 1 ? 1 : num_nodes),
+      placement_(placement) {}
+
+uint32_t ShardMap::ShardOf(uint64_t inum) const {
+  uint64_t shards = static_cast<uint64_t>(num_shards_);
+  if (placement_ == Placement::kDir) {
+    return static_cast<uint32_t>(inum % shards);
+  }
+  return static_cast<uint32_t>(Mix(inum) % shards);
+}
+
+int ShardMap::ArbiterNode(uint32_t shard) const {
+  return static_cast<int>(shard % static_cast<uint32_t>(num_nodes_));
+}
+
+int ShardMap::ArbiterFor(uint64_t inum) const { return ArbiterNode(ShardOf(inum)); }
+
+uint32_t ShardMap::DesiredResidue(uint64_t parent_inum) const {
+  return ShardOf(parent_inum);
+}
+
+}  // namespace linefs::shard

@@ -1,0 +1,76 @@
+// Namespace shard map (scale-out metadata plane, FalconFS direction).
+//
+// The metadata/lease plane is split into `num_shards` shared-nothing shards,
+// each rooted at one arbiter node (shard s -> node s % num_nodes). Placement
+// of an inode onto a shard is a pure function of the inode number so every
+// component (LibFS lease routing, NICFS validation, the 2PC participants)
+// derives the same owner with no directory-service round trip:
+//
+//   kHash  shard = splitmix64(inum) % num_shards
+//          Scatters a directory's children uniformly: best balance, most
+//          cross-shard renames.
+//   kDir   shard = inum % num_shards
+//          LibFS biases inode allocation so a directory's children share the
+//          parent's residue class (see LibFs::AllocInum): renames inside one
+//          directory stay single-shard, only cross-directory moves pay 2PC.
+//
+// With num_shards == 0 the shard plane is disabled and the map degenerates to
+// the pre-sharding system: callers keep the legacy "my own node arbitrates"
+// behaviour (Cluster routes lease traffic locally and never starts a
+// transaction). num_shards == 1 is distinct: the plane is *on* with a single
+// shard, i.e. one node arbitrates the whole namespace — the centralized
+// baseline point of the bench_scaleout sweep.
+
+#ifndef SRC_SHARD_SHARD_MAP_H_
+#define SRC_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/result.h"
+
+namespace linefs::shard {
+
+enum class Placement {
+  kHash,
+  kDir,
+};
+
+const char* PlacementName(Placement placement);
+
+// Parses "hash" / "dir"; anything else is a config error.
+Result<Placement> ParsePlacement(const std::string& name);
+
+class ShardMap {
+ public:
+  ShardMap(int num_shards, int num_nodes, Placement placement);
+
+  int num_shards() const { return num_shards_; }
+  int num_nodes() const { return num_nodes_; }
+  Placement placement() const { return placement_; }
+  bool sharded() const { return enabled_; }
+
+  // Shard owning `inum`'s metadata (lease arbitration + txn participation).
+  uint32_t ShardOf(uint64_t inum) const;
+
+  // The node whose arbiter roots `shard` (round-robin over nodes).
+  int ArbiterNode(uint32_t shard) const;
+
+  // Convenience: ArbiterNode(ShardOf(inum)).
+  int ArbiterFor(uint64_t inum) const;
+
+  // kDir placement: the residue class a child of `parent_inum` must allocate
+  // its inode number from to land on the parent's shard. kHash placement has
+  // no allocation lever; returns ShardOf(parent_inum) for symmetry.
+  uint32_t DesiredResidue(uint64_t parent_inum) const;
+
+ private:
+  bool enabled_;
+  int num_shards_;
+  int num_nodes_;
+  Placement placement_;
+};
+
+}  // namespace linefs::shard
+
+#endif  // SRC_SHARD_SHARD_MAP_H_

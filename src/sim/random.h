@@ -64,6 +64,12 @@ class Rng {
 
   bool Bernoulli(double p) { return NextDouble() < p; }
 
+  // Exponentially-distributed value with the given mean (inverse-CDF over one
+  // uniform draw). Used for Poisson inter-arrival times: deterministic per
+  // seed, unlike std::exponential_distribution whose draw count is
+  // implementation-defined. NextDouble() < 1 so the log argument is > 0.
+  double Exponential(double mean) { return -mean * std::log(1.0 - NextDouble()); }
+
   // Fisher-Yates shuffle.
   template <typename T>
   void Shuffle(std::vector<T>* v) {
@@ -118,6 +124,80 @@ class ZipfGenerator {
   double zeta2_;
   double alpha_;
   double eta_;
+};
+
+// Exact Zipf(n, exponent) sampler by rejection inversion (Hörmann &
+// Derflinger 1996, the scheme behind Apache Commons'
+// RejectionInversionZipfSampler). Differences from ZipfGenerator above: it is
+// exact for any exponent > 0 (including 1.0) rather than a YCSB-style
+// approximation, and it draws through a caller-supplied Rng so many samplers
+// (per-tenant popularity) can interleave on one deterministic stream.
+// Sample() returns a 0-based rank; rank 0 is the most popular element.
+// Expected cost is < 2 uniform draws per sample, independent of n.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double exponent)
+      : n_(n == 0 ? 1 : n), exponent_(exponent) {
+    h_integral_x1_ = HIntegral(1.5) - 1.0;
+    h_integral_n_ = HIntegral(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+  }
+
+  uint64_t n() const { return n_; }
+  double exponent() const { return exponent_; }
+
+  uint64_t Sample(Rng& rng) const {
+    while (true) {
+      double u = h_integral_n_ + rng.NextDouble() * (h_integral_x1_ - h_integral_n_);
+      double x = HIntegralInverse(u);
+      double kd = x + 0.5;
+      uint64_t k = kd < 1.0 ? 1 : static_cast<uint64_t>(kd);
+      if (k > n_) {
+        k = n_;
+      }
+      // Accept immediately inside the unconditional-acceptance band, else do
+      // the exact rejection test against the hat function.
+      if (static_cast<double>(k) - x <= s_ ||
+          u >= HIntegral(static_cast<double>(k) + 0.5) - H(static_cast<double>(k))) {
+        return k - 1;
+      }
+    }
+  }
+
+ private:
+  // H(x) = integral of x^-exponent, shifted so the expressions below stay
+  // finite and smooth through exponent == 1 (log1p/expm1 forms).
+  double HIntegral(double x) const {
+    double log_x = std::log(x);
+    return Helper2((1.0 - exponent_) * log_x) * log_x;
+  }
+
+  double H(double x) const { return std::exp(-exponent_ * std::log(x)); }
+
+  double HIntegralInverse(double x) const {
+    double t = x * (1.0 - exponent_);
+    if (t < -1.0) {
+      t = -1.0;  // Numerical guard: t touches -1 at the distribution edge.
+    }
+    return std::exp(Helper1(t) * x);
+  }
+
+  // log1p(x)/x, continuous at 0.
+  static double Helper1(double x) {
+    return std::abs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
+  }
+
+  // expm1(x)/x, continuous at 0.
+  static double Helper2(double x) {
+    return std::abs(x) > 1e-8 ? std::expm1(x) / x
+                              : 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + x * 0.25));
+  }
+
+  uint64_t n_;
+  double exponent_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
 };
 
 }  // namespace linefs::sim

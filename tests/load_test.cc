@@ -1,0 +1,227 @@
+// Open-loop traffic subsystem: deterministic samplers (sim::Rng Exponential,
+// sim::ZipfSampler) and the load::Generator driven against a real cluster —
+// offered/delivered/shed accounting, session attribution, and the
+// private_dirs (mdtest-style unique-subtree) population mode.
+
+#include <gtest/gtest.h>
+
+#include "tests/co_test_util.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/config.h"
+#include "src/core/libfs.h"
+#include "src/load/generator.h"
+#include "src/sim/engine.h"
+#include "src/sim/random.h"
+
+namespace linefs::load {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+// --- Sampler determinism -----------------------------------------------------------
+
+// Exact draw sequences pinned per seed: the open-loop arrival schedule is a
+// pure function of (seed, options), so any change to the samplers shows up
+// here before it silently reshapes every benchmark.
+TEST(ZipfSamplerTest, PinnedDrawsSeed42) {
+  sim::Rng rng(42);
+  sim::ZipfSampler zipf(1000, 0.99);
+  const uint64_t expected[10] = {544, 61, 5, 0, 0, 2, 4, 1, 2, 12};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), expected[i]) << "draw " << i;
+  }
+}
+
+TEST(ZipfSamplerTest, PinnedDrawsSkewedSmallPopulation) {
+  sim::Rng rng(42);
+  sim::ZipfSampler zipf(64, 1.2);
+  const uint64_t expected[10] = {34, 5, 1, 0, 0, 0, 0, 0, 0, 1};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), expected[i]) << "draw " << i;
+  }
+}
+
+TEST(ZipfSamplerTest, RanksFollowThePowerLaw) {
+  // 100k draws, n=64, exponent 1.2: observed rank shares must be monotone
+  // and the head must dominate per the power law (rank0/rank1 ~ 2^1.2).
+  sim::Rng rng(123);
+  sim::ZipfSampler zipf(64, 1.2);
+  uint64_t counts[4] = {0, 0, 0, 0};
+  constexpr uint64_t kDraws = 100000;
+  for (uint64_t i = 0; i < kDraws; ++i) {
+    uint64_t k = zipf.Sample(rng);
+    ASSERT_LT(k, 64u);
+    if (k < 4) {
+      ++counts[k];
+    }
+  }
+  EXPECT_EQ(counts[0], 29237u);  // Exact: the draw stream is deterministic.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[3]);
+  double ratio = static_cast<double>(counts[0]) / static_cast<double>(counts[1]);
+  EXPECT_NEAR(ratio, std::pow(2.0, 1.2), 0.15);
+}
+
+TEST(RngTest, ExponentialPinnedDraws) {
+  sim::Rng rng(7);
+  const double expected[5] = {60.294813, 16.338558, 91.512790, 198.423650, 234.756270};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(rng.Exponential(50.0), expected[i], 1e-4) << "draw " << i;
+  }
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  sim::Rng rng(99);
+  double sum = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += rng.Exponential(25.0);
+  }
+  EXPECT_NEAR(sum / kDraws, 25.0, 0.5);
+}
+
+// --- Generator against a live cluster ----------------------------------------------
+
+core::DfsConfig LoadTestConfig() {
+  core::DfsConfig config;
+  config.mode = core::DfsMode::kLineFS;
+  config.num_nodes = 3;
+  config.num_shards = 2;
+  config.pm_size = 256ULL << 20;
+  config.log_size = 8ULL << 20;
+  config.inode_count = 1 << 16;
+  config.chunk_size = 1ULL << 20;
+  config.materialize_data = true;
+  return config;
+}
+
+Options SmallLoad(double rate, bool private_dirs) {
+  Options opts;
+  opts.sessions = 500;
+  opts.arrival_rate = rate;
+  opts.workers_per_client = 2;
+  opts.max_backlog = 64;
+  opts.duration = 200 * kMillisecond;
+  opts.seed = 7;
+  opts.private_dirs = private_dirs;
+  TenantSpec tenant;
+  tenant.name = "t";
+  tenant.files = 32;
+  tenant.dirs = 4;
+  tenant.zipf_exponent = 0.99;
+  opts.tenants.push_back(tenant);
+  return opts;
+}
+
+struct LoadRun {
+  Report report;
+  bool setup_ok = false;
+};
+
+LoadRun RunLoad(const core::DfsConfig& config, const Options& options, int num_clients) {
+  sim::Engine engine;
+  core::Cluster cluster(&engine, config);
+  Status st = cluster.Start();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  std::vector<core::LibFs*> clients;
+  for (int i = 0; i < num_clients; ++i) {
+    clients.push_back(cluster.CreateClient(i % config.num_nodes));
+  }
+  Generator gen(&engine, clients, options);
+
+  LoadRun out;
+  bool done = false;
+  engine.Spawn([](Generator* gen, sim::Engine* engine, LoadRun* out, bool* done) -> sim::Task<> {
+    Status setup = co_await gen->Setup();
+    out->setup_ok = setup.ok();
+    if (setup.ok()) {
+      co_await engine->SleepFor(100 * kMillisecond);  // Replica publication.
+      out->report = co_await gen->Run();
+    }
+    *done = true;
+  }(&gen, &engine, &out, &done));
+  sim::Time deadline = engine.Now() + 600 * kSecond;
+  while (!done && engine.Now() < deadline && engine.RunOne()) {
+  }
+  EXPECT_TRUE(done) << "load run did not complete";
+  cluster.Shutdown();
+  engine.Run();
+  return out;
+}
+
+TEST(GeneratorTest, DeliversOfferedLoadWhenUnderCapacity) {
+  LoadRun run = RunLoad(LoadTestConfig(), SmallLoad(2000.0, /*private_dirs=*/true), 3);
+  ASSERT_TRUE(run.setup_ok);
+  const Report& r = run.report;
+  // 2000 ops/s for 200ms ~ 400 arrivals (Poisson). Well under capacity:
+  // everything delivered, nothing shed.
+  EXPECT_GT(r.offered, 300u);
+  EXPECT_LT(r.offered, 500u);
+  EXPECT_EQ(r.offered, r.delivered + r.errors + r.shed);
+  EXPECT_EQ(r.shed, 0u);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.sessions_touched, 0u);
+  EXPECT_LE(r.sessions_touched, 500u);
+  EXPECT_NEAR(r.offered_rate, 2000.0, 400.0);
+  EXPECT_GT(r.latency.p50, 0);
+  // Every op kind in the default mix showed up.
+  uint64_t kinds_seen = 0;
+  for (int k = 0; k < kOpKinds; ++k) {
+    kinds_seen += r.per_op[k] > 0 ? 1 : 0;
+  }
+  EXPECT_GE(kinds_seen, 4u);
+}
+
+TEST(GeneratorTest, SameSeedSameOfferedStream) {
+  // The arrival process is drawn from one seeded Rng: two runs with the same
+  // (seed, options) offer the identical op stream regardless of service-side
+  // interleavings.
+  LoadRun a = RunLoad(LoadTestConfig(), SmallLoad(3000.0, /*private_dirs=*/true), 3);
+  LoadRun b = RunLoad(LoadTestConfig(), SmallLoad(3000.0, /*private_dirs=*/true), 3);
+  ASSERT_TRUE(a.setup_ok);
+  ASSERT_TRUE(b.setup_ok);
+  EXPECT_EQ(a.report.offered, b.report.offered);
+  EXPECT_EQ(a.report.delivered, b.report.delivered);
+  for (int k = 0; k < kOpKinds; ++k) {
+    EXPECT_EQ(a.report.per_op[k], b.report.per_op[k]) << OpKindName(static_cast<OpKind>(k));
+  }
+}
+
+TEST(GeneratorTest, OverloadShedsAtTheBacklogBound) {
+  // Tiny backlog + one worker per client + absurd arrival rate: the queues
+  // must fill and shed rather than grow without bound, and the report must
+  // balance.
+  Options opts = SmallLoad(200000.0, /*private_dirs=*/true);
+  opts.workers_per_client = 1;
+  opts.max_backlog = 16;
+  opts.duration = 100 * kMillisecond;
+  LoadRun run = RunLoad(LoadTestConfig(), opts, 3);
+  ASSERT_TRUE(run.setup_ok);
+  const Report& r = run.report;
+  EXPECT_GT(r.shed, 0u) << "open-loop overload must shed at the backlog bound";
+  EXPECT_EQ(r.offered, r.delivered + r.errors + r.shed);
+  EXPECT_LT(r.delivered_rate, r.offered_rate);
+}
+
+TEST(GeneratorTest, BurstyModulationStaysDeterministic) {
+  Options opts = SmallLoad(4000.0, /*private_dirs=*/false);
+  opts.bursty = true;
+  opts.burst_factor = 6.0;
+  opts.burst_on = 10 * kMillisecond;
+  opts.burst_off = 40 * kMillisecond;
+  LoadRun a = RunLoad(LoadTestConfig(), opts, 3);
+  LoadRun b = RunLoad(LoadTestConfig(), opts, 3);
+  ASSERT_TRUE(a.setup_ok);
+  ASSERT_TRUE(b.setup_ok);
+  EXPECT_GT(a.report.offered, 0u);
+  EXPECT_EQ(a.report.offered, b.report.offered);
+}
+
+}  // namespace
+}  // namespace linefs::load

@@ -24,6 +24,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/co_test_util.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -436,6 +438,159 @@ TEST(TortureDeterminismTest, SameSeedByteIdenticalRuns) {
   EXPECT_EQ(a.messages_dropped, b.messages_dropped);
   EXPECT_EQ(a.total_ops, b.total_ops);
 }
+
+// --- Sharded-plane torture: cross-shard renames under faults -----------------------
+//
+// seed x shard-count matrix. A rename ring shuttles files between directories
+// that the shard map scatters across arbiters, so a steady fraction of the
+// moves pays cross-shard 2PC, while a seeded fault schedule crashes replicas,
+// stalls NICs and drops messages. After heal + recovery, the published
+// namespace must be dirent-clean:
+//
+//   - no dangling dirents: every listed child resolves via GetAttr;
+//   - no duplicated dirents: names unique within a directory, and every
+//     shuttled file appears exactly once across the whole tree (renames are
+//     moves, never copies — a crashed transaction must not leave both the
+//     source and destination entries);
+//   - no leaked intent locks at any transaction service.
+
+// Walks `dir` depth-first; records every file name into `names` (asserting
+// per-directory uniqueness) and every child into `inode_refs`.
+void AuditDirents(fslib::PublicFs& fs, fslib::InodeNum dir, const std::string& path,
+                  std::map<std::string, int>* names,
+                  std::map<fslib::InodeNum, int>* inode_refs) {
+  auto list = fs.dirs().List(dir);
+  ASSERT_TRUE(list.ok()) << path;
+  std::set<std::string> local;
+  for (const auto& [name, inum] : *list) {
+    EXPECT_TRUE(local.insert(name).second)
+        << "duplicate dirent \"" << name << "\" in " << path;
+    Result<fslib::FileAttr> attr = fs.GetAttr(inum);
+    ASSERT_TRUE(attr.ok()) << "dangling dirent " << path << "/" << name;
+    ++(*inode_refs)[inum];
+    if (attr->type == fslib::FileType::kDirectory) {
+      AuditDirents(fs, inum, path + "/" + name, names, inode_refs);
+    } else {
+      ++(*names)[name];
+    }
+  }
+}
+
+class ShardTortureTest : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(ShardTortureTest, NoDanglingOrDuplicatedDirents) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const int num_shards = std::get<1>(GetParam());
+  core::DfsConfig config = TortureConfig(TortureProtocols().front());
+  config.num_shards = num_shards;
+  config.shard_placement = "hash";
+  // Short in-doubt horizon: crashed transactions must resolve inside the run.
+  config.txn_in_doubt_timeout = 200 * kMillisecond;
+  config.txn_sweep_interval = 50 * kMillisecond;
+  TortureHarness harness(config);
+  core::Cluster& cluster = harness.cluster();
+
+  ScheduleOptions sched;
+  sched.num_nodes = 3;
+  sched.first_fault = 600 * kMillisecond;
+  sched.last_heal = 3 * kSecond;
+  sched.max_extra_faults = 1;
+  FaultPlan plan = RandomPlan(seed, sched);
+  ASSERT_TRUE(plan.Validate(3).ok()) << plan.ToSpec();
+  SCOPED_TRACE("fault plan:\n" + plan.ToSpec());
+  Injector injector(&cluster, plan);
+  ASSERT_TRUE(injector.Arm().ok());
+
+  constexpr int kRingDirs = 6;
+  constexpr int kRingFiles = 24;
+  core::LibFs* fs = cluster.CreateClient(0);
+  harness.RunClient([&]() -> sim::Task<> {
+    for (int d = 0; d < kRingDirs; ++d) {
+      CO_ASSERT_OK(co_await fs->Mkdir("/ring" + std::to_string(d)));
+    }
+    std::vector<int> at(kRingFiles, 0);  // Current ring position per file.
+    for (int f = 0; f < kRingFiles; ++f) {
+      Result<int> fd = co_await fs->Open("/ring0/f" + std::to_string(f),
+                                         fslib::kOpenCreate | fslib::kOpenWrite);
+      CO_ASSERT_OK(fd);
+      co_await fs->Close(*fd);
+    }
+    // Shuttle every file around the ring for the fault window. Failures are
+    // tolerated (an aborted cross-shard transaction leaves the file where it
+    // was); only successful renames advance the tracked position.
+    sim::Time stop = fs->engine()->Now() + 3500 * kMillisecond;
+    while (fs->engine()->Now() < stop) {
+      for (int f = 0; f < kRingFiles; ++f) {
+        int from = at[f];
+        int to = (from + 1) % kRingDirs;
+        std::string name = "/f" + std::to_string(f);
+        Status moved = co_await fs->Rename("/ring" + std::to_string(from) + name,
+                                           "/ring" + std::to_string(to) + name);
+        if (moved.ok()) {
+          at[f] = to;
+        }
+      }
+      co_await fs->engine()->SleepFor(20 * kMillisecond);
+    }
+  });
+  harness.Drain(2 * kSecond);
+  EXPECT_TRUE(injector.done());
+
+  // Readmit/recover the replicas FIRST: unlike the unsharded torture run, a
+  // dead node here takes its shard arbiters down with it, so any op touching
+  // that slice of the namespace (including the barrier below) is unavailable
+  // until the node rejoins.
+  harness.RunClient([&]() -> sim::Task<> {
+    for (int n = 1; n < 3; ++n) {
+      Result<uint64_t> synced = co_await cluster.nicfs(n)->Recover(0);
+      EXPECT_TRUE(synced.ok()) << "node " << n << ": " << synced.status().ToString();
+      cluster.SetServiceAlive(n, true);
+    }
+  });
+  harness.Drain(kSecond);
+
+  // Barrier: an fsynced write pushes the whole rename backlog through
+  // publication on every (now live) replica.
+  harness.RunClient([&]() -> sim::Task<> {
+    Result<int> fd = co_await fs->Open("/barrier.dat",
+                                       fslib::kOpenCreate | fslib::kOpenWrite);
+    CO_ASSERT_OK(fd);
+    std::vector<uint8_t> marker(4096, 0xCD);
+    CO_ASSERT_OK(co_await fs->Pwrite(*fd, marker, 0));
+    CO_ASSERT_OK(co_await fs->Fsync(*fd));
+    co_await fs->Close(*fd);
+  });
+  harness.Drain(2 * kSecond);
+
+  // Dirent audit on the origin's published tree.
+  std::map<std::string, int> file_names;
+  std::map<fslib::InodeNum, int> inode_refs;
+  AuditDirents(cluster.dfs_node(0).fs(), fslib::kRootInode, "", &file_names, &inode_refs);
+  for (int f = 0; f < kRingFiles; ++f) {
+    EXPECT_EQ(file_names["f" + std::to_string(f)], 1)
+        << "file f" << f << " must appear exactly once across the rename ring";
+  }
+  for (const auto& [inum, refs] : inode_refs) {
+    EXPECT_EQ(refs, 1) << "inode " << inum << " reachable through " << refs << " dirents";
+  }
+
+  // Replicas agree with the origin, and no transaction holds intent locks.
+  for (int node = 1; node < 3; ++node) {
+    CompareTrees(cluster.dfs_node(0).fs(), cluster.dfs_node(node).fs(), fslib::kRootInode,
+                 fslib::kRootInode, "", node);
+  }
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_EQ(cluster.txn(n)->intent_locks_held(), 0u) << "node " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByShards, ShardTortureTest,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 4), ::testing::Values(2, 3)),
+    [](const ::testing::TestParamInfo<ShardTortureTest::ParamType>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_shards" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace linefs::fault
