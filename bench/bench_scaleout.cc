@@ -105,6 +105,7 @@ struct Row {
   double p50_us = 0;
   double p95_us = 0;
   double p99_us = 0;
+  double p999_us = 0;
   uint64_t errors = 0;
   uint64_t shed = 0;
 };
@@ -147,6 +148,7 @@ Row RunPoint(const std::string& label, int num_shards, double arrival_rate) {
   row.p50_us = static_cast<double>(report.latency.p50) / sim::kMicrosecond;
   row.p95_us = static_cast<double>(report.latency.p95) / sim::kMicrosecond;
   row.p99_us = static_cast<double>(report.latency.p99) / sim::kMicrosecond;
+  row.p999_us = static_cast<double>(report.latency.p999) / sim::kMicrosecond;
   row.errors = report.errors;
   row.shed = report.shed;
 
@@ -156,6 +158,7 @@ Row RunPoint(const std::string& label, int num_shards, double arrival_rate) {
   exp.AddScalar("p50_latency_us", row.p50_us);
   exp.AddScalar("p95_latency_us", row.p95_us);
   exp.AddScalar("p99_latency_us", row.p99_us);
+  exp.AddScalar("p999_latency_us", row.p999_us);
   exp.AddScalar("errors", static_cast<double>(row.errors));
   exp.AddScalar("shed", static_cast<double>(row.shed));
   exp.AddScalar("sessions_touched", static_cast<double>(report.sessions_touched));

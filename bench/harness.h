@@ -21,6 +21,7 @@
 #include "src/core/sharedfs.h"
 #include "src/obs/critical_path.h"
 #include "src/obs/report.h"
+#include "src/obs/selfprof.h"
 #include "src/workloads/streamcluster.h"
 
 namespace linefs::bench {
@@ -37,6 +38,10 @@ class BenchReport {
 
   void AddRun(obs::BenchRun run) { data_.runs.push_back(std::move(run)); }
 
+  // Process-wide wall-clock self-profile: each Experiment merges its engine's
+  // profile here on destruction (only when $LINEFS_SELFPROF is set).
+  obs::SelfProfiler& selfprof() { return selfprof_; }
+
   // Writes BENCH_<name>.json into $LINEFS_BENCH_DIR (default "."). Returns a
   // process exit code so main() can `return WriteBenchReport(...)`.
   int Write(const std::string& name) {
@@ -50,6 +55,15 @@ class BenchReport {
       std::fprintf(stderr, "bench: failed to write BENCH_%s.json: %s\n", name.c_str(),
                    st.message().c_str());
       return 1;
+    }
+    // Self-profile capture: folded stacks to $LINEFS_SELFPROF ("-" = stderr)
+    // plus a top-components summary on stderr.
+    if (const char* path = std::getenv("LINEFS_SELFPROF")) {
+      if (!selfprof_.WriteFolded(path)) {
+        std::fprintf(stderr, "bench: cannot write self-profile to %s\n", path);
+        return 1;
+      }
+      std::fputs(selfprof_.Summary().c_str(), stderr);
     }
     return 0;
   }
@@ -76,6 +90,7 @@ class BenchReport {
   }
 
   obs::BenchReportData data_;
+  obs::SelfProfiler selfprof_;  // Accumulator mode: no engine attached.
   std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
 };
 
@@ -90,12 +105,20 @@ inline core::DfsConfig BenchConfig(core::DfsMode mode, bool materialize = false)
   config.inode_count = 1 << 20;
   config.chunk_size = 4ULL << 20;
   config.materialize_data = materialize;
+  // Telemetry window override (microseconds; 0 disables the timeline).
+  if (const char* window = std::getenv("LINEFS_TIMELINE_WINDOW_US")) {
+    config.timeline_window = static_cast<sim::Time>(std::atoll(window)) * sim::kMicrosecond;
+  }
   return config;
 }
 
 class Experiment {
  public:
   explicit Experiment(const core::DfsConfig& config) {
+    // Wall-clock self-profiling of the DES loop, merged process-wide at exit.
+    if (std::getenv("LINEFS_SELFPROF") != nullptr) {
+      selfprof_ = std::make_unique<obs::SelfProfiler>(&engine_);
+    }
     cluster_ = std::make_unique<core::Cluster>(&engine_, config);
     Status st = cluster_->Start();
     if (!st.ok()) {
@@ -106,18 +129,29 @@ class Experiment {
   ~Experiment() {
     cluster_->Shutdown();
     engine_.Run();
-    run_.metrics = cluster_->metrics().TakeSnapshot();
+    // Engine health counters: a nonzero clamp count means some cost model
+    // scheduled into the past (see Engine::ScheduleAt).
+    obs::MetricsRegistry& registry = cluster_->metrics();
+    registry.GetCounter("sim.events_processed")->Add(engine_.events_processed());
+    registry.GetCounter("sim.schedule.calls")->Add(engine_.schedule_calls());
+    registry.GetCounter("sim.schedule.clamped")->Add(engine_.schedule_clamps());
+    run_.metrics = registry.TakeSnapshot();
     run_.virtual_time_us = sim::ToMicros(engine_.Now());
     run_.config = ConfigJson(cluster_->config());
     // Per-stage critical-path attribution of every traced operation.
     run_.critical_path = obs::CriticalPathAnalyzer(&cluster_->trace()).ReportJson();
-    BenchReport::Get().AddRun(std::move(run_));
     // Optional structured trace capture: export the last experiment's pipeline
-    // spans as Chrome trace_event JSON (chrome://tracing, Perfetto).
+    // spans as Chrome trace_event JSON (chrome://tracing, Perfetto), with the
+    // timeline series as counter tracks.
     if (const char* path = std::getenv("LINEFS_TRACE_JSON")) {
-      if (!cluster_->trace().WriteChromeJson(path)) {
+      if (!cluster_->trace().WriteChromeJson(path, &run_.metrics.timeline)) {
         std::fprintf(stderr, "bench: cannot write trace to %s\n", path);
       }
+    }
+    BenchReport::Get().AddRun(std::move(run_));
+    if (selfprof_ != nullptr) {
+      selfprof_->Detach();
+      BenchReport::Get().selfprof().MergeFrom(*selfprof_);
     }
   }
 
@@ -161,10 +195,12 @@ class Experiment {
   void RunAll(std::vector<sim::Task<>> tasks) {
     int remaining = static_cast<int>(tasks.size());
     for (sim::Task<>& task : tasks) {
-      engine_.Spawn([](sim::Task<> t, int* remaining) -> sim::Task<> {
-        co_await std::move(t);
-        --*remaining;
-      }(std::move(task), &remaining));
+      engine_.Spawn(
+          [](sim::Task<> t, int* remaining) -> sim::Task<> {
+            co_await std::move(t);
+            --*remaining;
+          }(std::move(task), &remaining),
+          "client");
     }
     sim::Time deadline = engine_.Now() + 7200 * sim::kSecond;
     while (remaining > 0 && engine_.Now() < deadline && engine_.RunOne()) {
@@ -186,7 +222,7 @@ class Experiment {
     for (int n : nodes) {
       co_runners_.push_back(
           std::make_unique<workloads::Streamcluster>(&cluster_->hw_node(n), options));
-      engine_.Spawn(co_runners_.back()->Run());
+      engine_.Spawn(co_runners_.back()->Run(), "streamcluster");
       started.push_back(co_runners_.back().get());
     }
     return started;
@@ -194,6 +230,7 @@ class Experiment {
 
  private:
   sim::Engine engine_;
+  std::unique_ptr<obs::SelfProfiler> selfprof_;  // Must outlive engine_ events; see dtor.
   std::unique_ptr<core::Cluster> cluster_;
   std::vector<std::unique_ptr<workloads::Streamcluster>> co_runners_;
   obs::BenchRun run_;  // Filled during the run, flushed to BenchReport on destruction.

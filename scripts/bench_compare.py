@@ -32,7 +32,14 @@ quorum trades fan-out bandwidth for commit latency) and "scaleout_"
 never gate, and such a run present on only one side is reported as a note,
 not a failure (new protocols, stage plugins and sweep points can be
 benchmarked before their baselines are committed). The "meta" block (git sha, wall runtime) is
-provenance and is always ignored. Exit status: 0 clean, 1 regression or
+provenance and is always ignored.
+
+Schema v3 adds a per-run "timeline" section (windowed virtual-time series:
+delivered/shed rate, queue depth, latency percentiles per window) plus
+"p999"/"p999_us" fields on histogram summaries. The timeline is purely
+informational for this gate -- only "scalars" are compared, exactly as under
+v2, and a v3 candidate gates cleanly against a v2 baseline (the extra fields
+are simply never looked at). Exit status: 0 clean, 1 regression or
 structural mismatch, 2 usage/IO error.
 
 Only the Python standard library is used.

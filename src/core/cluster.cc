@@ -61,6 +61,8 @@ Cluster::Cluster(sim::Engine* engine, const DfsConfig& config)
   (void)config_.Normalize();
 
   metrics_ = std::make_unique<obs::MetricsRegistry>();
+  // Before any service mints a series: the window is stamped at creation.
+  metrics_->SetTimelineWindow(config_.timeline_window);
   trace_ = std::make_unique<obs::TraceBuffer>(engine_);
   trace_->SetDroppedCounter(obs::MetricScope(metrics_.get(), "obs.trace").CounterAt("dropped"));
   profiler_ = std::make_unique<obs::PipelineProfiler>(engine_);

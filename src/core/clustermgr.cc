@@ -18,7 +18,9 @@ int ClusterManager::ArbiterNodeFor(uint64_t inum, int local_node) const {
   return cluster_->ArbiterNodeFor(inum, local_node);
 }
 
-void ClusterManager::Start() { cluster_->engine()->Spawn(HeartbeatLoop()); }
+void ClusterManager::Start() {
+  cluster_->engine()->Spawn(HeartbeatLoop(), "clustermgr.heartbeat");
+}
 
 void ClusterManager::Shutdown() { shutdown_ = true; }
 

@@ -235,6 +235,9 @@ Status DfsConfig::ValidateNormalized() const {
   if (lease_duration <= 0) {
     return Invalid("lease_duration must be positive");
   }
+  if (timeline_window < 0) {
+    return Invalid("timeline_window must be >= 0 (0 disables telemetry)");
+  }
   if (repl.retry_interval <= 0) {
     return Invalid("repl.retry_interval must be positive");
   }

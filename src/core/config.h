@@ -155,6 +155,12 @@ struct DfsConfig {
   // Lease management.
   sim::Time lease_duration = sim::kSecond;
 
+  // Virtual-time telemetry: window width for obs::TimeSeries (the `timeline`
+  // section of BENCH_*.json). 0 disables telemetry — series become no-op and
+  // reports omit the section. Simulated behaviour is identical either way;
+  // only observation changes.
+  sim::Time timeline_window = 50 * sim::kMillisecond;
+
   // Namespace sharding (src/shard/). With num_shards == 0 (default) the shard
   // plane is off: every client arbitrates at its own node, exactly the
   // pre-sharding behaviour. With num_shards >= 1 inode metadata is placed

@@ -39,7 +39,7 @@ Result<sim::Time> LeaseManager::TryAcquire(uint32_t client, fslib::InodeNum inum
       if (!record.revoking && now - record.granted_at >= context_.min_hold) {
         record.revoking = true;
         ++revocations_;
-        context_.engine->Spawn(RevokeFlow(record.writer - 1, inum));
+        context_.engine->Spawn(RevokeFlow(record.writer - 1, inum), "lease.revoke");
       }
       return Status::Error(ErrorCode::kBusy, "write lease held by another client");
     }
@@ -57,7 +57,7 @@ Result<sim::Time> LeaseManager::TryAcquire(uint32_t client, fslib::InodeNum inum
       if (!record.revoking && now - record.granted_at >= context_.min_hold) {
         record.revoking = true;
         ++revocations_;
-        context_.engine->Spawn(RevokeFlow(record.writer - 1, inum));
+        context_.engine->Spawn(RevokeFlow(record.writer - 1, inum), "lease.revoke");
       }
       return Status::Error(ErrorCode::kBusy, "writer holds the lease");
     }
@@ -114,7 +114,7 @@ sim::Task<Result<sim::Time>> LeaseManager::AcquireSerial(uint32_t client, fslib:
     durable_.Add(1);
     co_await context_.net->Write(context_.initiator, context_.self,
                                  rdma::MemAddr{context_.self.node, rdma::Space::kHostPm}, 64);
-    context_.engine->Spawn(MirrorAndRetire());
+    context_.engine->Spawn(MirrorAndRetire(), "lease.mirror");
   }
   root_mu_.Unlock();
   co_return granted;

@@ -56,6 +56,8 @@ LibFs::LibFs(Cluster* cluster, int node_id, int client_id)
   metrics_.bytes_written = scope.CounterAt("bytes_written");
   metrics_.bytes_read = scope.CounterAt("bytes_read");
   metrics_.log_stall_waits = scope.CounterAt("log_stall_waits");
+  metrics_.fsync_latency =
+      cluster->metrics().GetTimeSeries("libfs.fsync_latency", obs::SeriesKind::kSampled);
 }
 
 LibFs::Stats LibFs::stats() const {
@@ -339,7 +341,7 @@ sim::Task<Status> LibFs::EnsureLease(fslib::InodeNum inum, bool write) {
       Result<sim::Time> expiry =
           sharedfs_->leases().TryAcquire(static_cast<uint32_t>(client_id_), inum, write);
       if (expiry.ok()) {
-        engine_->Spawn(sharedfs_->leases().PersistGrant());
+        engine_->Spawn(sharedfs_->leases().PersistGrant(), "lease.persist");
         write_leases_[inum] = *expiry;
         co_return Status::Ok();
       }
@@ -418,21 +420,23 @@ void LibFs::KickService() {
   if (config_->IsLineFs()) {
     // Asynchronous RPC: LibFS does not wait (§3.3.1). Each kick roots a
     // background-publish trace that the pipeline stages parent into.
-    engine_->Spawn([](LibFs* self) -> sim::Task<> {
-      obs::Span root(self->trace_, self->trace_component_, "publish_kick", self->node_id_,
-                     self->client_id_, 0, obs::TraceContext{});
-      obs::TraceContext ctx = root.context();
-      rdma::Initiator init;
-      init.cpu = &self->node_->hw().host_cpu();
-      init.priority = sim::Priority::kNormal;
-      init.account = self->node_->hw().acct_fs();
-      Result<Ack> ignored = co_await self->cluster_->rpc().Call<StartPipelineReq, Ack>(
-          init, rdma::MemAddr{self->node_id_, rdma::Space::kHostPm},
-          NicFs::EndpointName(self->node_id_), rdma::Channel::kHighTput, kRpcStartPipeline,
-          StartPipelineReq{static_cast<uint32_t>(self->client_id_), ctx},
-          /*timeout=*/10 * sim::kMillisecond, ctx);
-      (void)ignored;
-    }(this));
+    engine_->Spawn(
+        [](LibFs* self) -> sim::Task<> {
+          obs::Span root(self->trace_, self->trace_component_, "publish_kick", self->node_id_,
+                         self->client_id_, 0, obs::TraceContext{});
+          obs::TraceContext ctx = root.context();
+          rdma::Initiator init;
+          init.cpu = &self->node_->hw().host_cpu();
+          init.priority = sim::Priority::kNormal;
+          init.account = self->node_->hw().acct_fs();
+          Result<Ack> ignored = co_await self->cluster_->rpc().Call<StartPipelineReq, Ack>(
+              init, rdma::MemAddr{self->node_id_, rdma::Space::kHostPm},
+              NicFs::EndpointName(self->node_id_), rdma::Channel::kHighTput, kRpcStartPipeline,
+              StartPipelineReq{static_cast<uint32_t>(self->client_id_), ctx},
+              /*timeout=*/10 * sim::kMillisecond, ctx);
+          (void)ignored;
+        }(this),
+        "libfs.publish_kick");
   } else {
     sharedfs_->NotifyChunkReady(client_id_);
   }
@@ -710,6 +714,7 @@ sim::Task<Status> LibFs::Fsync(int fd) {
     co_return up;
   }
   uint64_t upto = log_->tail();
+  sim::Time fsync_start = engine_->Now();
   co_await ChargeCpu(config_->fs_costs.libfs_op_cycles);
   // Root of this operation's causal trace: every span the fsync touches —
   // NIC pipeline stages, replica copies, acks — parents into this one.
@@ -732,9 +737,14 @@ sim::Task<Status> LibFs::Fsync(int fd) {
     if (ack->status != 0) {
       co_return Status::Error(static_cast<ErrorCode>(ack->status), "fsync failed");
     }
+    metrics_.fsync_latency->Record(engine_->Now(), engine_->Now() - fsync_start);
     co_return Status::Ok();
   }
-  co_return co_await sharedfs_->Fsync(client_id_, upto, ctx);
+  Status st = co_await sharedfs_->Fsync(client_id_, upto, ctx);
+  if (st.ok()) {
+    metrics_.fsync_latency->Record(engine_->Now(), engine_->Now() - fsync_start);
+  }
+  co_return st;
 }
 
 // --- Namespace ops ----------------------------------------------------------------------------

@@ -39,7 +39,10 @@ NicFs::Metrics::Metrics(const obs::MetricScope& scope_in)
       nic_mem_utilization(scope.GaugeAt("nic_mem_utilization")),
       lease_active(scope.Sub("lease").GaugeAt("active")),
       lease_grants(scope.Sub("lease").GaugeAt("grants")),
-      lease_revocations(scope.Sub("lease").GaugeAt("revocations")) {}
+      lease_revocations(scope.Sub("lease").GaugeAt("revocations")),
+      tl_transfer_inflight(
+          scope.Sub("qdepth").TimeSeriesAt("transfer_inflight", obs::SeriesKind::kSampled)),
+      tl_lease_grants(scope.Sub("lease").TimeSeriesAt("grants", obs::SeriesKind::kCounter)) {}
 
 NicFs::Metrics::StageSet& NicFs::Metrics::ForStage(const std::string& name) {
   auto it = stage_sets.find(name);
@@ -49,6 +52,7 @@ NicFs::Metrics::StageSet& NicFs::Metrics::ForStage(const std::string& name) {
     set.bypassed = scope.Sub("bypassed").CounterAt(name);
     set.workers = scope.Sub("workers").GaugeAt(name);
     set.qdepth = scope.Sub("qdepth").HistogramAt(name);
+    set.tl_qdepth = scope.Sub("qdepth").TimeSeriesAt(name, obs::SeriesKind::kSampled);
     it = stage_sets.emplace(name, set).first;
   }
   return it->second;
@@ -114,8 +118,11 @@ void NicFs::SampleObs() {
   for (const auto& [client, pipe] : replica_pipes_) {
     publish_backlog += pipe->publish_rb.size();
   }
+  sim::Time now = engine_->Now();
   for (const auto& [name, depth] : stage_depth) {
-    metrics_.ForStage(name).qdepth->Record(static_cast<sim::Time>(depth));
+    Metrics::StageSet& set = metrics_.ForStage(name);
+    set.qdepth->Record(static_cast<sim::Time>(depth));
+    set.tl_qdepth->Record(now, static_cast<int64_t>(depth));
   }
   for (const auto& [name, workers] : stage_workers) {
     metrics_.ForStage(name).workers->Set(workers);
@@ -128,6 +135,14 @@ void NicFs::SampleObs() {
   metrics_.lease_active->Set(static_cast<double>(leases_->active_leases()));
   metrics_.lease_grants->Set(static_cast<double>(leases_->grants()));
   metrics_.lease_revocations->Set(static_cast<double>(leases_->revocations()));
+  metrics_.tl_transfer_inflight->Record(now, transfer_inflight);
+  // Grant *rate*: new grants since the previous tick, so the timeline shows
+  // per-shard-root arbitration activity over time, not a running total.
+  uint64_t grants = leases_->grants();
+  if (grants > last_grant_count_) {
+    metrics_.tl_lease_grants->Record(now, static_cast<int64_t>(grants - last_grant_count_));
+  }
+  last_grant_count_ = grants;
 }
 
 NicFs::NicFs(Cluster* cluster, DfsNode* node, KernelWorker* kworker, const DfsConfig* config)
@@ -273,7 +288,7 @@ void NicFs::Start() {
       co_return LeaseResp{static_cast<int32_t>(expiry.code()), 0};
     }
     // Persist + replicate the grant asynchronously (§3.4).
-    engine_->Spawn(leases_->PersistGrant());
+    engine_->Spawn(leases_->PersistGrant(), "nicfs.lease");
     co_return LeaseResp{0, static_cast<uint64_t>(*expiry)};
   });
 
@@ -286,7 +301,7 @@ void NicFs::Start() {
     // Ack receipt immediately; processing (local copy, forwarding, ack to the
     // primary, publication) proceeds asynchronously so the sender can pipeline
     // the next chunk (Fig. 3).
-    engine_->Spawn(HandleReplChunk(msg));
+    engine_->Spawn(HandleReplChunk(msg), "nicfs.repl_recv");
     co_return Ack{};
   });
 
@@ -328,7 +343,7 @@ void NicFs::Start() {
   // so registering here is race-free.
   cluster_->profiler().AddSampler([this] { SampleObs(); });
 
-  engine_->Spawn(KworkerMonitor());
+  engine_->Spawn(KworkerMonitor(), "nicfs.monitor");
 }
 
 void NicFs::Shutdown() {
@@ -388,25 +403,25 @@ void NicFs::RegisterClient(int client, ClientHooks hooks) {
   BuildStages(raw);
 
   if (config_->pipeline_parallel()) {
-    engine_->Spawn(FetchLoop(raw));
+    engine_->Spawn(FetchLoop(raw), "nicfs.fetch");
     for (auto& unit : raw->stages) {
       unit->workers = 1;
-      engine_->Spawn(StageWorker(raw, unit.get(), LocalPlacement()));
+      engine_->Spawn(StageWorker(raw, unit.get(), LocalPlacement()), "nicfs.stage");
     }
-    engine_->Spawn(PublishWorker(raw));
+    engine_->Spawn(PublishWorker(raw), "nicfs.publish");
     raw->publish_workers = 1;
-    engine_->Spawn(TransferWorker(raw));
+    engine_->Spawn(TransferWorker(raw), "nicfs.transfer");
     // Dynamic scaling moved to the cluster-wide StagePlacer: each scalable
     // stage of this pipe becomes a placement group it grows and shrinks.
     RegisterStageGroups(raw);
   } else {
-    engine_->Spawn(SequentialLoop(raw));
+    engine_->Spawn(SequentialLoop(raw), "nicfs.sequential");
   }
   // Both modes: sweep for chunks wedged by dropped messages or dead replicas.
   // The ticker turns the sweep interval into retry_kick notifications so a
   // failed one-way send can also wake the monitor out of turn.
-  engine_->Spawn(ReplRetryTicker(raw));
-  engine_->Spawn(ReplRetryMonitor(raw));
+  engine_->Spawn(ReplRetryTicker(raw), "nicfs.retry");
+  engine_->Spawn(ReplRetryMonitor(raw), "nicfs.retry");
 }
 
 // --- Fetch stage --------------------------------------------------------------
@@ -533,7 +548,7 @@ sim::Task<> NicFs::FetchLoop(ClientPipe* pipe) {
       continue;
     }
     ++pipe->fetch_inflight;
-    engine_->Spawn(FetchSlot(pipe, std::move(chunk), credited));
+    engine_->Spawn(FetchSlot(pipe, std::move(chunk), credited), "nicfs.fetch");
   }
 }
 
@@ -666,7 +681,7 @@ void NicFs::RegisterStageGroups(ClientPipe* pipe) {
     group.retire_pending = [unit] { return unit->retire_pending; };
     group.spawn = [this, pipe, unit](const pipeline::StagePlacer::Site& site) {
       ++unit->workers;
-      engine_->Spawn(StageWorker(pipe, unit, PlacementFor(site)));
+      engine_->Spawn(StageWorker(pipe, unit, PlacementFor(site)), "nicfs.stage");
     };
     group.retire = [unit] {
       ++unit->retire_pending;
@@ -842,7 +857,7 @@ sim::Task<> NicFs::TransferWorker(ClientPipe* pipe) {
     }
     co_await pipe->transfer_credits.Acquire();
     ++pipe->transfer_inflight;
-    engine_->Spawn(TransferSlot(pipe, std::move(*popped)));
+    engine_->Spawn(TransferSlot(pipe, std::move(*popped)), "nicfs.transfer");
   }
 }
 
@@ -994,7 +1009,7 @@ NicFs::ReplicaPipe* NicFs::GetReplicaPipe(int client) {
   ReplicaPipe* raw = pipe.get();
   replica_pipes_[client] = std::move(pipe);
   if (config_->replica_publish) {
-    engine_->Spawn(PublishWorker(raw));
+    engine_->Spawn(PublishWorker(raw), "nicfs.publish");
     raw->publish_workers = 1;
   }
   return raw;

@@ -301,6 +301,7 @@ class NicFs {
       obs::Counter* bypassed = nullptr;
       obs::Gauge* workers = nullptr;
       obs::Histogram* qdepth = nullptr;
+      obs::TimeSeries* tl_qdepth = nullptr;  // Sampled depth over virtual time.
     };
     StageSet& ForStage(const std::string& name);
     obs::MetricScope scope;
@@ -335,6 +336,10 @@ class NicFs {
     obs::Gauge* lease_active;
     obs::Gauge* lease_grants;
     obs::Gauge* lease_revocations;
+    // Timeline series ("when", not just "how much"): sampled replication
+    // window occupancy and the lease grant rate per profiler tick.
+    obs::TimeSeries* tl_transfer_inflight;
+    obs::TimeSeries* tl_lease_grants;
   };
 
   // Profiler callback: samples queue depths, worker counts, and NIC memory.
@@ -382,6 +387,7 @@ class NicFs {
   bool isolated_ = false;
   uint64_t epoch_ = 0;
   std::string component_;  // "nicfs.<node>": metric scope and trace category.
+  uint64_t last_grant_count_ = 0;  // For the lease grant-rate timeline delta.
   Metrics metrics_;
   obs::TraceBuffer* trace_;
 };

@@ -120,7 +120,7 @@ void SharedFs::Start() {
     if (!expiry.ok()) {
       co_return LeaseResp{static_cast<int32_t>(expiry.code()), 0};
     }
-    engine_->Spawn(leases_->PersistGrant());
+    engine_->Spawn(leases_->PersistGrant(), "sharedfs.lease");
     co_return LeaseResp{0, static_cast<uint64_t>(*expiry)};
   });
 
@@ -135,7 +135,7 @@ void SharedFs::Start() {
     for (int i = 0; i < config_->bg_repl_threads; ++i) {
       bg_queues_.push_back(
           std::make_unique<sim::Queue<std::pair<int, std::pair<uint64_t, uint64_t>>>>(engine_));
-      engine_->Spawn(BgReplWorker(i));
+      engine_->Spawn(BgReplWorker(i), "sharedfs.bgrepl");
     }
   }
 }
@@ -161,7 +161,7 @@ void SharedFs::RegisterClient(int client, ClientHooks hooks) {
   state->hooks = std::move(hooks);
   ClientState* raw = state.get();
   clients_[client] = std::move(state);
-  engine_->Spawn(DigestWorker(raw));
+  engine_->Spawn(DigestWorker(raw), "sharedfs.digest");
 }
 
 uint64_t SharedFs::published_upto(int client) const {
@@ -487,7 +487,7 @@ sim::Task<Status> SharedFs::ReplicateHyperloop(ClientState* state, uint64_t from
           EndpointName(target), rdma::Channel::kHighTput, kRpcReplChunk, note,
           /*timeout=*/200 * sim::kMillisecond);
       (void)ignored;
-    }(this, target, note));
+    }(this, target, note), "sharedfs.repl");
   }
   co_return Status::Ok();
 }
@@ -555,7 +555,7 @@ SharedFs::ReplicaState* SharedFs::GetReplicaState(int client) {
   state->log = &node_->client_log(client);
   ReplicaState* raw = state.get();
   replicas_[client] = std::move(state);
-  engine_->Spawn(ReplicaDigestWorker(raw));
+  engine_->Spawn(ReplicaDigestWorker(raw), "sharedfs.digest");
   return raw;
 }
 

@@ -65,7 +65,7 @@ Status Injector::Arm() {
   cluster_->rpc().SetDropFilter(
       [this](int src, int dst, rdma::Channel) { return ShouldDrop(src, dst); });
   armed_ = true;
-  cluster_->engine()->Spawn(ApplyLoop());
+  cluster_->engine()->Spawn(ApplyLoop(), "fault");
   return Status::Ok();
 }
 

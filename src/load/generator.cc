@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/core/cluster.h"
 #include "src/fslib/types.h"
 #include "src/sim/engine.h"
 
@@ -75,6 +76,20 @@ Generator::Generator(sim::Engine* engine, std::vector<core::LibFs*> clients, Opt
     states_.back()->scratch.resize(options_.tenants.size());
   }
   session_seen_.assign(options_.sessions, false);
+
+  // Timeline series live in the cluster's registry so they ride the same
+  // snapshot/report path as the service metrics.
+  obs::MetricsRegistry& registry = clients_[0]->cluster()->metrics();
+  tl_offered_ = registry.GetTimeSeries("load.offered", obs::SeriesKind::kCounter);
+  tl_delivered_ = registry.GetTimeSeries("load.delivered", obs::SeriesKind::kCounter);
+  tl_shed_ = registry.GetTimeSeries("load.shed", obs::SeriesKind::kCounter);
+  tl_latency_ = registry.GetTimeSeries("load.latency", obs::SeriesKind::kSampled);
+  for (size_t c = 0; c < clients_.size(); ++c) {
+    std::string node = "load.node." + std::to_string(clients_[c]->node_id());
+    tl_node_delivered_.push_back(
+        registry.GetTimeSeries(node + ".delivered", obs::SeriesKind::kCounter));
+    tl_node_shed_.push_back(registry.GetTimeSeries(node + ".shed", obs::SeriesKind::kCounter));
+  }
 }
 
 std::string Generator::TenantRoot(uint16_t tenant, size_t client) const {
@@ -148,7 +163,8 @@ sim::Task<Status> Generator::Setup() {
     for (size_t c = 0; c < scopes; ++c) {
       wg.Add(1);
       engine_->Spawn(
-          SetupTenant(static_cast<uint16_t>(t), c, &wg, &results[t * scopes + c]));
+          SetupTenant(static_cast<uint16_t>(t), c, &wg, &results[t * scopes + c]),
+          "load.setup");
     }
   }
   co_await wg.Wait();
@@ -162,6 +178,7 @@ sim::Task<Status> Generator::Setup() {
 
 void Generator::GenerateArrival() {
   ++offered_;
+  tl_offered_->Record(engine_->Now(), 1);
   Op op;
   op.arrival = engine_->Now();
 
@@ -209,9 +226,12 @@ void Generator::GenerateArrival() {
       break;
   }
 
-  ClientState* state = states_[session % states_.size()].get();
+  size_t client_idx = session % states_.size();
+  ClientState* state = states_[client_idx].get();
   if (state->queue.size() >= options_.max_backlog) {
     ++shed_;
+    tl_shed_->Record(engine_->Now(), 1);
+    tl_node_shed_[client_idx]->Record(engine_->Now(), 1);
     return;
   }
   state->queue.push_back(op);
@@ -336,10 +356,14 @@ sim::Task<> Generator::Worker(size_t client_idx) {
     Op op = state->queue.front();
     state->queue.pop_front();
     Status st = co_await Execute(fs, client_idx, state, op);
-    latency_.Record(engine_->Now() - op.arrival);
+    sim::Time done = engine_->Now();
+    latency_.Record(done - op.arrival);
+    tl_latency_->Record(done, done - op.arrival);
     if (st.ok()) {
       ++delivered_;
       ++per_op_[static_cast<int>(op.kind)];
+      tl_delivered_->Record(done, 1);
+      tl_node_delivered_[client_idx]->Record(done, 1);
     } else {
       ++errors_;
     }
@@ -353,7 +377,7 @@ sim::Task<Report> Generator::Run() {
   for (size_t c = 0; c < clients_.size(); ++c) {
     for (int w = 0; w < workers; ++w) {
       workers_done_.Add(1);
-      engine_->Spawn(Worker(c));
+      engine_->Spawn(Worker(c), "load.worker");
     }
   }
   co_await ArrivalProcess();

@@ -182,6 +182,16 @@ class Generator {
   uint64_t serial_ = 0;
   uint64_t per_op_[kOpKinds] = {0};
   obs::Histogram latency_;
+
+  // Virtual-time telemetry (cluster registry): offered/delivered/shed rate
+  // and the latency distribution per window, plus per-client-node
+  // delivered/shed so load imbalance across nodes is visible over time.
+  obs::TimeSeries* tl_offered_ = nullptr;
+  obs::TimeSeries* tl_delivered_ = nullptr;
+  obs::TimeSeries* tl_shed_ = nullptr;
+  obs::TimeSeries* tl_latency_ = nullptr;
+  std::vector<obs::TimeSeries*> tl_node_delivered_;
+  std::vector<obs::TimeSeries*> tl_node_shed_;
 };
 
 }  // namespace linefs::load

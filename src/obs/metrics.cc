@@ -14,6 +14,7 @@ HistogramSummary Histogram::Summarize() const {
   s.p50 = recorder_.Percentile(50);
   s.p95 = recorder_.Percentile(95);
   s.p99 = recorder_.Percentile(99);
+  s.p999 = recorder_.Percentile(99.9);
   return s;
 }
 
@@ -51,6 +52,17 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   return GetOrCreate<decltype(histograms_), Histogram>(&histograms_, name);
 }
 
+TimeSeries* MetricsRegistry::GetTimeSeries(std::string_view name, SeriesKind kind) {
+  auto it = series_.find(name);
+  if (it != series_.end()) {
+    return it->second.get();
+  }
+  auto series = std::make_unique<TimeSeries>(kind, timeline_window_);
+  TimeSeries* raw = series.get();
+  series_.emplace(std::string(name), std::move(series));
+  return raw;
+}
+
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
   return Find(counters_, name);
 }
@@ -63,6 +75,10 @@ const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
   return Find(histograms_, name);
 }
 
+const TimeSeries* MetricsRegistry::FindTimeSeries(std::string_view name) const {
+  return Find(series_, name);
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   Snapshot snap;
   for (const auto& [name, counter] : counters_) {
@@ -73,6 +89,12 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   }
   for (const auto& [name, histogram] : histograms_) {
     snap.histograms[name] = histogram->Summarize();
+  }
+  for (const auto& [name, series] : series_) {
+    TimeSeriesSnapshot ts = series->Snapshot();
+    if (!ts.windows.empty()) {
+      snap.timeline.emplace(name, std::move(ts));
+    }
   }
   return snap;
 }

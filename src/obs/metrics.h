@@ -22,6 +22,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/obs/timeseries.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -59,6 +60,7 @@ struct HistogramSummary {
   sim::Time p50 = 0;
   sim::Time p95 = 0;
   sim::Time p99 = 0;
+  sim::Time p999 = 0;  // The tail beyond p99 is where saturation knees live.
 };
 
 // Sample distribution; wraps sim::LatencyRecorder (exact order statistics).
@@ -84,15 +86,29 @@ class MetricsRegistry {
   Counter* GetCounter(std::string_view name);
   Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
+  // The series is created with the registry's configured timeline window; a
+  // window of 0 yields a disabled series whose Record() is a no-op. Asking
+  // again with a different kind returns the existing series unchanged.
+  TimeSeries* GetTimeSeries(std::string_view name, SeriesKind kind);
 
   // Const lookups; nullptr when the metric does not exist.
   const Counter* FindCounter(std::string_view name) const;
   const Gauge* FindGauge(std::string_view name) const;
   const Histogram* FindHistogram(std::string_view name) const;
+  const TimeSeries* FindTimeSeries(std::string_view name) const;
 
   size_t counter_count() const { return counters_.size(); }
   size_t gauge_count() const { return gauges_.size(); }
   size_t histogram_count() const { return histograms_.size(); }
+  size_t timeseries_count() const { return series_.size(); }
+
+  // Window width stamped into series minted afterwards (existing series keep
+  // theirs). 0 disables virtual-time telemetry for new series. Set before
+  // components mint series, i.e. before the cluster builds its services.
+  void SetTimelineWindow(sim::Time width) { timeline_window_ = width; }
+  sim::Time timeline_window() const { return timeline_window_; }
+
+  static constexpr sim::Time kDefaultTimelineWindow = 50 * sim::kMillisecond;
 
   // Point-in-time copy of every metric, keyed by full name. This is the only
   // way values leave the registry: callers can never mutate live metrics
@@ -101,6 +117,9 @@ class MetricsRegistry {
     std::map<std::string, uint64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, HistogramSummary> histograms;
+    // Windowed series with at least one non-empty window (disabled or
+    // never-fed series are omitted).
+    TimelineSnapshot timeline;
   };
   Snapshot TakeSnapshot() const;
 
@@ -110,6 +129,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, Less> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, Less> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, Less> histograms_;
+  std::map<std::string, std::unique_ptr<TimeSeries>, Less> series_;
+  sim::Time timeline_window_ = kDefaultTimelineWindow;
 };
 
 // A registry handle bound to a name prefix ("nicfs.0"). Sub("stage") yields
@@ -130,6 +151,9 @@ class MetricScope {
   Gauge* GaugeAt(std::string_view name) const { return registry_->GetGauge(Join(name)); }
   Histogram* HistogramAt(std::string_view name) const {
     return registry_->GetHistogram(Join(name));
+  }
+  TimeSeries* TimeSeriesAt(std::string_view name, SeriesKind kind) const {
+    return registry_->GetTimeSeries(Join(name), kind);
   }
 
   const std::string& prefix() const { return prefix_; }

@@ -4,13 +4,25 @@
 
 namespace linefs::obs {
 
+void PipelineProfiler::AddSampler(std::function<void()> sampler) {
+  samplers_.push_back(std::move(sampler));
+  // If Start() ran before any sampler existed, the loop was deferred; spawn
+  // it now so late registrants still get sampled.
+  if (started_ && !running_) {
+    running_ = true;
+    stopped_ = false;
+    engine_->Spawn(Run(), "obs.profiler");
+  }
+}
+
 void PipelineProfiler::Start() {
+  started_ = true;
   if (samplers_.empty() || running_) {
     return;
   }
   running_ = true;
   stopped_ = false;
-  engine_->Spawn(Run());
+  engine_->Spawn(Run(), "obs.profiler");
 }
 
 sim::Task<> PipelineProfiler::Run() {
@@ -19,8 +31,10 @@ sim::Task<> PipelineProfiler::Run() {
     if (stopped_) {
       break;
     }
-    for (const auto& sampler : samplers_) {
-      sampler();
+    // Index loop: a sampler registered during this tick must not invalidate
+    // iteration (push_back may reallocate).
+    for (size_t i = 0; i < samplers_.size(); ++i) {
+      samplers_[i]();
     }
     ++samples_taken_;
   }

@@ -26,10 +26,13 @@ class PipelineProfiler {
   explicit PipelineProfiler(sim::Engine* engine, sim::Time interval = kDefaultInterval)
       : engine_(engine), interval_(interval <= 0 ? kDefaultInterval : interval) {}
 
-  // Registers a sampling callback. Must happen before Start().
-  void AddSampler(std::function<void()> sampler) { samplers_.push_back(std::move(sampler)); }
+  // Registers a sampling callback. Safe at any time: a sampler added after
+  // Start() joins the loop from its next tick (spawning the loop if Start()
+  // found nothing to sample).
+  void AddSampler(std::function<void()> sampler);
 
-  // Spawns the sampling loop (no-op without samplers).
+  // Spawns the sampling loop (deferred until the first sampler arrives when
+  // none are registered yet).
   void Start();
 
   // Lets the loop exit at its next tick so the engine can drain.
@@ -45,6 +48,7 @@ class PipelineProfiler {
   sim::Engine* engine_;
   sim::Time interval_;
   std::vector<std::function<void()>> samplers_;
+  bool started_ = false;  // Start() was called; late AddSampler may spawn.
   bool running_ = false;
   bool stopped_ = false;
   uint64_t samples_taken_ = 0;

@@ -14,6 +14,7 @@ JsonValue StageJson(const HistogramSummary& s) {
   v.Set("p50_us", sim::ToMicros(s.p50));
   v.Set("p95_us", sim::ToMicros(s.p95));
   v.Set("p99_us", sim::ToMicros(s.p99));
+  v.Set("p999_us", sim::ToMicros(s.p999));
   v.Set("max_us", sim::ToMicros(s.max));
   return v;
 }
@@ -26,7 +27,38 @@ JsonValue RawHistogramJson(const HistogramSummary& s) {
   v.Set("p50", s.p50);
   v.Set("p95", s.p95);
   v.Set("p99", s.p99);
+  v.Set("p999", s.p999);
   v.Set("max", s.max);
+  return v;
+}
+
+JsonValue TimelineJson(const TimelineSnapshot& timeline) {
+  JsonValue v = JsonValue::Object();
+  // All series share the registry-configured window; stamp it once from the
+  // first series rather than per window.
+  v.Set("window_us", sim::ToMicros(timeline.begin()->second.window_width));
+  JsonValue series = JsonValue::Object();
+  for (const auto& [name, snap] : timeline) {
+    JsonValue s = JsonValue::Object();
+    s.Set("kind", std::string(SeriesKindName(snap.kind)));
+    JsonValue windows = JsonValue::Array();
+    for (const TimeSeriesWindow& w : snap.windows) {
+      JsonValue wj = JsonValue::Object();
+      wj.Set("t_us", sim::ToMicros(static_cast<sim::Time>(w.index) * snap.window_width));
+      wj.Set("count", w.count);
+      wj.Set("sum", w.sum);
+      wj.Set("max", w.max);
+      if (snap.kind == SeriesKind::kSampled) {
+        wj.Set("p50", w.p50);
+        wj.Set("p95", w.p95);
+        wj.Set("p99", w.p99);
+      }
+      windows.Append(std::move(wj));
+    }
+    s.Set("windows", std::move(windows));
+    series.Set(name, std::move(s));
+  }
+  v.Set("series", std::move(series));
   return v;
 }
 
@@ -35,7 +67,7 @@ JsonValue RawHistogramJson(const HistogramSummary& s) {
 JsonValue ReportJson(const BenchReportData& data) {
   JsonValue doc = JsonValue::Object();
   doc.Set("bench", data.name);
-  doc.Set("schema_version", 2);
+  doc.Set("schema_version", 3);
   JsonValue meta = JsonValue::Object();
   meta.Set("git_sha", data.git_sha.empty() ? std::string("unknown") : data.git_sha);
   meta.Set("wall_runtime_sec", data.wall_runtime_sec);
@@ -74,6 +106,9 @@ JsonValue ReportJson(const BenchReportData& data) {
       gauges.Set(name, value);
     }
     r.Set("gauges", std::move(gauges));
+    if (!run.metrics.timeline.empty()) {
+      r.Set("timeline", TimelineJson(run.metrics.timeline));
+    }
     if (!run.critical_path.is_null()) {
       r.Set("critical_path", run.critical_path);
     }

@@ -1,10 +1,10 @@
 // JSON bench reporting: turns metric snapshots plus bench-specific scalars
 // into the BENCH_<name>.json files the experiment trajectory consumes.
 //
-// Schema v2 (see DESIGN.md "Observability"):
+// Schema v3 (see DESIGN.md "Observability" and §14):
 //   {
 //     "bench": "<name>",
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "meta": {"git_sha": "...", "wall_runtime_sec": ...},
 //     "runs": [
 //       {
@@ -14,11 +14,23 @@
 //         "config": {...},                  // Key config knobs (when stamped).
 //         "stages": {
 //           "nicfs.0.stage.fetch": {"count": n, "mean_us": ..., "p50_us": ...,
-//                                    "p95_us": ..., "p99_us": ..., "max_us": ...},
+//                                    "p95_us": ..., "p99_us": ..., "p999_us": ...,
+//                                    "max_us": ...},
 //           ...
 //         },
 //         "counters": {...},
 //         "gauges": {...},
+//         "timeline": {                     // Virtual-time telemetry (schema v3).
+//           "window_us": ...,               // Window width all series share.
+//           "series": {
+//             "load.latency": {"kind": "sampled", "windows": [
+//               {"t_us": ..., "count": n, "sum": ..., "max": ...,
+//                "p50": ..., "p95": ..., "p99": ...}, ...]},
+//             "load.delivered": {"kind": "counter", "windows": [
+//               {"t_us": ..., "count": n, "sum": ..., "max": ...}, ...]},
+//             ...
+//           }
+//         },
 //         "critical_path": {...},           // CriticalPathAnalyzer::ReportJson.
 //         "extra": {...}                    // Bench-specific structured payload.
 //       }, ...
@@ -27,9 +39,13 @@
 //
 // Stage entries are every histogram whose name contains ".stage."; remaining
 // histograms (queue depths, op latencies) are exported under "histograms"
-// with raw-unit percentiles. "config", "critical_path", and "extra" are
-// omitted when null. "meta" is provenance only — regression tooling
-// (scripts/bench_compare.py) ignores it.
+// with raw-unit percentiles (p50/p95/p99/p999). "config", "timeline",
+// "critical_path", and "extra" are omitted when null/empty. Timeline windows
+// are sparse (zero-count windows skipped); "t_us" is the window's start in
+// virtual microseconds; sampled-series quantiles carry the sketch's relative
+// error (<= 1/16, upper-bounded). v3 additions are purely additive over v2:
+// "meta" is provenance only and regression tooling
+// (scripts/bench_compare.py) treats "timeline" as informational.
 
 #ifndef SRC_OBS_REPORT_H_
 #define SRC_OBS_REPORT_H_

@@ -1,0 +1,159 @@
+#include "src/obs/selfprof.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace linefs::obs {
+
+namespace {
+
+constexpr const char* kUnlabeled = "(unlabeled)";
+
+}  // namespace
+
+SelfProfiler::SelfProfiler(sim::Engine* engine) : engine_(engine) {
+  if (engine_ != nullptr) {
+    engine_->SetObserver(this);
+  }
+}
+
+SelfProfiler::~SelfProfiler() { Detach(); }
+
+void SelfProfiler::OnEvent(const char* label, uint64_t wall_ns, size_t queue_depth) {
+  if (label == nullptr) {
+    label = kUnlabeled;
+  }
+  Entry& e = by_label_[label];
+  if (e.events == 0 && e.label.empty()) {
+    e.label = label;
+  }
+  ++e.events;
+  e.wall_ns += wall_ns;
+  ++total_events_;
+  total_wall_ns_ += wall_ns;
+  depth_sum_ += queue_depth;
+  max_queue_depth_ = std::max(max_queue_depth_, queue_depth);
+}
+
+void SelfProfiler::Detach() {
+  if (engine_ == nullptr) {
+    return;
+  }
+  schedule_calls_ += engine_->schedule_calls();
+  schedule_clamps_ += engine_->schedule_clamps();
+  if (engine_->observer() == this) {
+    engine_->SetObserver(nullptr);
+  }
+  engine_ = nullptr;
+}
+
+void SelfProfiler::MergeFrom(const SelfProfiler& other) {
+  for (const auto& [ptr, entry] : other.by_label_) {
+    // Merge by name, not pointer: labels from different binaries/engines may
+    // share text but not storage.
+    Entry* target = nullptr;
+    for (auto& [my_ptr, my_entry] : by_label_) {
+      if (my_entry.label == entry.label) {
+        target = &my_entry;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      target = &by_label_[ptr];
+      target->label = entry.label;
+    }
+    target->events += entry.events;
+    target->wall_ns += entry.wall_ns;
+  }
+  total_events_ += other.total_events_;
+  total_wall_ns_ += other.total_wall_ns_;
+  schedule_calls_ += other.schedule_calls_;
+  schedule_clamps_ += other.schedule_clamps_;
+  depth_sum_ += other.depth_sum_;
+  max_queue_depth_ = std::max(max_queue_depth_, other.max_queue_depth_);
+}
+
+std::vector<SelfProfiler::ComponentStat> SelfProfiler::Components() const {
+  std::vector<ComponentStat> out;
+  out.reserve(by_label_.size());
+  for (const auto& [ptr, entry] : by_label_) {
+    out.push_back(ComponentStat{entry.label, entry.events, entry.wall_ns});
+  }
+  std::sort(out.begin(), out.end(), [](const ComponentStat& a, const ComponentStat& b) {
+    if (a.wall_ns != b.wall_ns) {
+      return a.wall_ns > b.wall_ns;
+    }
+    return a.label < b.label;  // Deterministic order among ties.
+  });
+  return out;
+}
+
+std::string SelfProfiler::Folded() const {
+  std::string out;
+  for (const ComponentStat& c : Components()) {
+    out += "engine;";
+    // Dots in labels are hierarchy ("nicfs.stage") — expose them as stack
+    // frames so the flamegraph groups components.
+    for (char ch : c.label) {
+      out += (ch == '.') ? ';' : ch;
+    }
+    out += ' ';
+    out += std::to_string(c.wall_ns);
+    out += '\n';
+  }
+  return out;
+}
+
+bool SelfProfiler::WriteFolded(const std::string& path) const {
+  std::string folded = Folded();
+  if (path == "-") {
+    std::fwrite(folded.data(), 1, folded.size(), stderr);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(folded.data(), 1, folded.size(), f);
+  int rc = std::fclose(f);
+  return written == folded.size() && rc == 0;
+}
+
+double SelfProfiler::mean_queue_depth() const {
+  if (total_events_ == 0) {
+    return 0;
+  }
+  return static_cast<double>(depth_sum_) / static_cast<double>(total_events_);
+}
+
+std::string SelfProfiler::Summary(size_t top_n) const {
+  if (total_events_ == 0) {
+    return "";
+  }
+  std::vector<ComponentStat> comps = Components();
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "selfprof: %llu events, %.3f s wall in engine, "
+                "%llu scheduled (%llu clamped), queue depth mean %.1f max %zu\n",
+                static_cast<unsigned long long>(total_events_),
+                static_cast<double>(total_wall_ns_) * 1e-9,
+                static_cast<unsigned long long>(schedule_calls_),
+                static_cast<unsigned long long>(schedule_clamps_), mean_queue_depth(),
+                max_queue_depth_);
+  out += line;
+  size_t n = std::min(top_n, comps.size());
+  for (size_t i = 0; i < n; ++i) {
+    const ComponentStat& c = comps[i];
+    double pct = total_wall_ns_ == 0
+                     ? 0
+                     : 100.0 * static_cast<double>(c.wall_ns) / static_cast<double>(total_wall_ns_);
+    std::snprintf(line, sizeof(line), "  %5.1f%%  %-24s %llu events, %.3f ms\n", pct,
+                  c.label.c_str(), static_cast<unsigned long long>(c.events),
+                  static_cast<double>(c.wall_ns) * 1e-6);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace linefs::obs

@@ -1,0 +1,104 @@
+// Wall-clock self-profiler for the simulation engine.
+//
+// The DES hot loop dominates bench wall time (fig4 spends ~54 s of wall clock
+// per simulated second) but virtual-time metrics can't see it: they measure
+// the modelled system, not the simulator. SelfProfiler implements
+// sim::EngineObserver to attribute *wall* time and event counts to the task
+// labels flowing through the engine (see Engine::Spawn), and tracks
+// event-queue depth plus schedule/clamp rates. Output:
+//
+//   - Components(): per-label totals sorted by wall time, for the top-N
+//     summary printed after a bench run.
+//   - Folded(): folded-stack lines ("engine;nicfs;stage 12345") compatible
+//     with flamegraph.pl / speedscope, written to $LINEFS_SELFPROF.
+//
+// Wall-clock readings happen strictly outside coroutine resumption and never
+// feed back into the simulation, so enabling the profiler cannot change
+// simulated results. When no observer is installed the engine takes no clock
+// readings at all.
+
+#ifndef SRC_OBS_SELFPROF_H_
+#define SRC_OBS_SELFPROF_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/engine.h"
+
+namespace linefs::obs {
+
+class SelfProfiler : public sim::EngineObserver {
+ public:
+  // With an engine, installs itself as the observer (replacing any previous
+  // one) and captures schedule/clamp/event counters on Detach. With nullptr
+  // the profiler is a pure accumulator fed via MergeFrom — the process-wide
+  // total across experiments uses this mode.
+  explicit SelfProfiler(sim::Engine* engine = nullptr);
+  ~SelfProfiler() override;
+  SelfProfiler(const SelfProfiler&) = delete;
+  SelfProfiler& operator=(const SelfProfiler&) = delete;
+
+  void OnEvent(const char* label, uint64_t wall_ns, size_t queue_depth) override;
+
+  // Uninstalls from the engine (if attached) and freezes engine counters into
+  // this profiler. Idempotent; also called by the destructor.
+  void Detach();
+
+  // Folds another profiler's per-label totals and engine counters into this
+  // one. Labels are merged by name.
+  void MergeFrom(const SelfProfiler& other);
+
+  struct ComponentStat {
+    std::string label;
+    uint64_t events = 0;
+    uint64_t wall_ns = 0;
+  };
+
+  // Per-label totals, sorted by wall time descending.
+  std::vector<ComponentStat> Components() const;
+
+  // Folded-stack output: one "engine;<label with '.' -> ';'> <wall_ns>" line
+  // per label, suitable for flamegraph tooling. Deterministically ordered.
+  std::string Folded() const;
+
+  // Appends folded output to `path` ("-" writes to stderr). Returns false on
+  // I/O error.
+  bool WriteFolded(const std::string& path) const;
+
+  // Human-readable top-`top_n` summary with percentages of total wall time,
+  // plus event/schedule/clamp totals. Empty string when nothing was recorded.
+  std::string Summary(size_t top_n = 3) const;
+
+  uint64_t total_events() const { return total_events_; }
+  uint64_t total_wall_ns() const { return total_wall_ns_; }
+  uint64_t schedule_calls() const { return schedule_calls_; }
+  uint64_t schedule_clamps() const { return schedule_clamps_; }
+  size_t max_queue_depth() const { return max_queue_depth_; }
+  // Mean queue depth observed across events (0 when no events ran).
+  double mean_queue_depth() const;
+
+ private:
+  struct Entry {
+    std::string label;
+    uint64_t events = 0;
+    uint64_t wall_ns = 0;
+  };
+
+  // Keyed by label pointer identity: labels are string literals (see
+  // Engine::Spawn), so the hot path is one pointer-hash lookup; the string is
+  // copied only the first time a label is seen.
+  std::unordered_map<const void*, Entry> by_label_;
+  sim::Engine* engine_ = nullptr;
+  uint64_t total_events_ = 0;
+  uint64_t total_wall_ns_ = 0;
+  uint64_t schedule_calls_ = 0;
+  uint64_t schedule_clamps_ = 0;
+  uint64_t depth_sum_ = 0;
+  size_t max_queue_depth_ = 0;
+};
+
+}  // namespace linefs::obs
+
+#endif  // SRC_OBS_SELFPROF_H_

@@ -1,0 +1,121 @@
+#include "src/obs/timeseries.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace linefs::obs {
+
+namespace {
+
+constexpr int64_t kExactLimit = 16;  // Values below this map to their own bucket.
+
+// Windows per series are bounded so a buggy far-future timestamp cannot
+// balloon memory: 1 << 20 windows of the default 50 ms width covers ~14.5 h
+// of virtual time, far past any experiment.
+constexpr size_t kMaxWindows = 1 << 20;
+
+}  // namespace
+
+const char* SeriesKindName(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kCounter:
+      return "counter";
+    case SeriesKind::kSampled:
+      return "sampled";
+  }
+  return "unknown";
+}
+
+size_t QuantileSketch::BucketIndex(int64_t v) {
+  if (v < kExactLimit) {
+    return v < 0 ? 0 : static_cast<size_t>(v);
+  }
+  uint64_t u = static_cast<uint64_t>(v);
+  int octave = std::bit_width(u) - 1;  // >= 4 here.
+  size_t sub = static_cast<size_t>(u >> (octave - kSubBits)) & ((1u << kSubBits) - 1);
+  return kExactLimit + static_cast<size_t>(octave - kSubBits) * (1u << kSubBits) + sub;
+}
+
+int64_t QuantileSketch::BucketUpperBound(size_t index) {
+  if (index < kExactLimit) {
+    return static_cast<int64_t>(index);
+  }
+  size_t rel = index - kExactLimit;
+  int octave = kSubBits + static_cast<int>(rel >> kSubBits);
+  int64_t sub = static_cast<int64_t>(rel & ((1u << kSubBits) - 1));
+  int64_t lower = (int64_t{1} << octave) + (sub << (octave - kSubBits));
+  return lower + (int64_t{1} << (octave - kSubBits)) - 1;
+}
+
+void QuantileSketch::Record(int64_t v) {
+  size_t index = BucketIndex(v);
+  if (index >= buckets_.size()) {
+    buckets_.resize(index + 1, 0);
+  }
+  ++buckets_[index];
+  ++count_;
+}
+
+int64_t QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the order statistic at quantile q (1-based, nearest-rank method).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return BucketUpperBound(i);
+    }
+  }
+  return BucketUpperBound(buckets_.empty() ? 0 : buckets_.size() - 1);
+}
+
+void TimeSeries::Record(sim::Time t, int64_t v) {
+  if (width_ <= 0) {
+    return;
+  }
+  size_t index = t < 0 ? 0 : static_cast<size_t>(t / width_);
+  if (index >= kMaxWindows) {
+    index = kMaxWindows - 1;
+  }
+  if (index >= windows_.size()) {
+    windows_.resize(index + 1);
+  }
+  Window& w = windows_[index];
+  ++w.count;
+  w.sum += static_cast<double>(v);
+  w.max = std::max(w.max, v);
+  if (kind_ == SeriesKind::kSampled) {
+    w.sketch.Record(v);
+  }
+  ++total_count_;
+}
+
+TimeSeriesSnapshot TimeSeries::Snapshot() const {
+  TimeSeriesSnapshot snap;
+  snap.kind = kind_;
+  snap.window_width = width_;
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    const Window& w = windows_[i];
+    if (w.count == 0) {
+      continue;
+    }
+    TimeSeriesWindow out;
+    out.index = static_cast<uint32_t>(i);
+    out.count = w.count;
+    out.sum = w.sum;
+    out.max = w.max;
+    if (kind_ == SeriesKind::kSampled) {
+      out.p50 = w.sketch.Quantile(0.50);
+      out.p95 = w.sketch.Quantile(0.95);
+      out.p99 = w.sketch.Quantile(0.99);
+    }
+    snap.windows.push_back(out);
+  }
+  return snap;
+}
+
+}  // namespace linefs::obs

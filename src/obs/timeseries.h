@@ -1,0 +1,127 @@
+// Virtual-time telemetry: fixed-width windowed time series with a compact
+// per-window quantile sketch.
+//
+// The whole-run metrics in MetricsRegistry (counters, histograms) answer "how
+// much, overall"; a TimeSeries answers "when". Every window of simulated time
+// accumulates count/sum/max plus, for sampled series, a log-linear quantile
+// sketch, so the bench reports can show delivered/shed rate, queue depth, and
+// latency percentiles as curves over virtual time instead of two end-of-run
+// scalars. Recording is side-effect-free on the simulation (pure accumulation
+// keyed by the simulated clock), so a run with telemetry enabled is
+// byte-identical to the same seed without it.
+//
+// Two kinds:
+//   kCounter - event/rate series (delivered ops, shed arrivals, lease
+//              grants). No sketch; per-window count/sum/max only.
+//   kSampled - value series (latency, queue depth, window occupancy). Each
+//              window additionally keeps a QuantileSketch so p50/p95/p99 are
+//              available per window.
+//
+// Series are registered through MetricsRegistry (GetTimeSeries) and exported
+// in the `timeline` section of BENCH_*.json (schema v3) and as Chrome
+// `counter` events next to the span trace.
+
+#ifndef SRC_OBS_TIMESERIES_H_
+#define SRC_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace linefs::obs {
+
+// Log-linear histogram sketch over non-negative integer values (ns, items).
+// Values 0..15 are exact; above that, each power-of-two octave splits into 16
+// linear sub-buckets, so a reported quantile is the true bucket's upper bound:
+// never below the exact order statistic and at most kRelativeError above it.
+// Storage grows with the largest recorded value: bit_width(max) * 16 counts
+// (a 10 ms latency ceiling costs ~1.4 KB per window).
+class QuantileSketch {
+ public:
+  static constexpr int kSubBits = 4;                    // 16 sub-buckets per octave.
+  static constexpr double kRelativeError = 1.0 / 16.0;  // 2^-kSubBits.
+
+  void Record(int64_t v);
+
+  uint64_t count() const { return count_; }
+  // Value at quantile q in [0, 1] (upper bound of the holding bucket);
+  // 0 when empty.
+  int64_t Quantile(double q) const;
+
+  // Bucket mapping, exposed for tests pinning the error bound.
+  static size_t BucketIndex(int64_t v);
+  static int64_t BucketUpperBound(size_t index);
+
+ private:
+  uint64_t count_ = 0;
+  std::vector<uint32_t> buckets_;  // Sized lazily to the largest index used.
+};
+
+enum class SeriesKind : uint8_t {
+  kCounter,  // Rate series: count/sum/max per window.
+  kSampled,  // Value series: count/sum/max + quantile sketch per window.
+};
+
+const char* SeriesKindName(SeriesKind kind);
+
+// One exported window (value copy; quantiles are 0 for kCounter series).
+struct TimeSeriesWindow {
+  uint32_t index = 0;     // Window ordinal: covers [index*width, (index+1)*width).
+  uint64_t count = 0;
+  double sum = 0;
+  int64_t max = 0;
+  int64_t p50 = 0;
+  int64_t p95 = 0;
+  int64_t p99 = 0;
+};
+
+struct TimeSeriesSnapshot {
+  SeriesKind kind = SeriesKind::kCounter;
+  sim::Time window_width = 0;
+  std::vector<TimeSeriesWindow> windows;  // Sparse: zero-count windows omitted.
+};
+
+class TimeSeries {
+ public:
+  // width <= 0 disables the series: Record() is a no-op and the snapshot is
+  // empty. Components keep unconditional Record calls on the hot path; the
+  // telemetry on/off decision lives in the registry's configured window.
+  TimeSeries(SeriesKind kind, sim::Time width) : kind_(kind), width_(width) {}
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  // Accumulates `v` into the window holding simulated instant `t`.
+  // For rate series call with v = items (usually 1); for value series v is
+  // the sample (latency ns, queue depth).
+  void Record(sim::Time t, int64_t v);
+
+  SeriesKind kind() const { return kind_; }
+  sim::Time window_width() const { return width_; }
+  bool enabled() const { return width_ > 0; }
+  uint64_t total_count() const { return total_count_; }
+
+  TimeSeriesSnapshot Snapshot() const;
+
+ private:
+  struct Window {
+    uint64_t count = 0;
+    double sum = 0;
+    int64_t max = 0;
+    QuantileSketch sketch;  // Only fed for kSampled series.
+  };
+
+  SeriesKind kind_;
+  sim::Time width_;
+  uint64_t total_count_ = 0;
+  std::vector<Window> windows_;
+};
+
+// Timeline snapshot map as exported by MetricsRegistry (name -> series).
+using TimelineSnapshot = std::map<std::string, TimeSeriesSnapshot>;
+
+}  // namespace linefs::obs
+
+#endif  // SRC_OBS_TIMESERIES_H_

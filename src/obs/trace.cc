@@ -42,7 +42,7 @@ void TraceBuffer::Clear() {
   last_id_ = 0;
 }
 
-std::string TraceBuffer::ToChromeJson() const {
+std::string TraceBuffer::ToChromeJson(const TimelineSnapshot* timeline) const {
   // Streamed emission: a 64K-event buffer would be wasteful to round-trip
   // through the JsonValue DOM.
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -69,6 +69,27 @@ std::string TraceBuffer::ToChromeJson() const {
                   static_cast<unsigned long long>(e.parent_span));
     out += buf;
   });
+  if (timeline != nullptr) {
+    for (const auto& [name, snap] : *timeline) {
+      // One counter track per series on pid 0: rate/window for counter
+      // series, per-window p95 for sampled ones.
+      bool sampled = snap.kind == SeriesKind::kSampled;
+      for (const TimeSeriesWindow& w : snap.windows) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        out += "{\"name\":\"";
+        out += JsonEscape(name);
+        out += "\",\"cat\":\"timeline\",\"ph\":\"C\",\"pid\":0,\"tid\":0";
+        double value = sampled ? static_cast<double>(w.p95) : static_cast<double>(w.count);
+        std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"args\":{\"%s\":%.3f}}",
+                      sim::ToMicros(static_cast<sim::Time>(w.index) * snap.window_width),
+                      sampled ? "p95" : "count", value);
+        out += buf;
+      }
+    }
+  }
   out += "],\"otherData\":{";
   std::snprintf(buf, sizeof(buf), "\"dropped\":%llu,\"total_recorded\":%llu",
                 static_cast<unsigned long long>(dropped_),
@@ -78,12 +99,12 @@ std::string TraceBuffer::ToChromeJson() const {
   return out;
 }
 
-bool TraceBuffer::WriteChromeJson(const std::string& path) const {
+bool TraceBuffer::WriteChromeJson(const std::string& path, const TimelineSnapshot* timeline) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return false;
   }
-  std::string json = ToChromeJson();
+  std::string json = ToChromeJson(timeline);
   size_t written = std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   return written == json.size();

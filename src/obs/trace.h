@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/timeseries.h"
 #include "src/sim/engine.h"
 #include "src/sim/time.h"
 
@@ -87,10 +88,13 @@ class TraceBuffer {
 
   // Chrome trace_event JSON (ts/dur in microseconds of simulated time).
   // Span linkage rides in args.{trace,span,parent}; ring-drop accounting in
-  // otherData.{dropped,total_recorded}.
-  std::string ToChromeJson() const;
+  // otherData.{dropped,total_recorded}. With a timeline, each series also
+  // emits ph:"C" counter events (per-window rate for counter series, p95 for
+  // sampled ones), so telemetry curves render as counter tracks above the
+  // spans in Perfetto / chrome://tracing.
+  std::string ToChromeJson(const TimelineSnapshot* timeline = nullptr) const;
   // Returns false when the file cannot be opened for writing.
-  bool WriteChromeJson(const std::string& path) const;
+  bool WriteChromeJson(const std::string& path, const TimelineSnapshot* timeline = nullptr) const;
 
  private:
   sim::Engine* engine_;

@@ -22,7 +22,7 @@ size_t StagePlacer::RegisterGroup(Group group) {
 void StagePlacer::Start() {
   if (!running_) {
     running_ = true;
-    engine_->Spawn(Loop());
+    engine_->Spawn(Loop(), "placer");
   }
 }
 

@@ -141,7 +141,7 @@ sim::Task<Result<std::vector<uint8_t>>> RpcSystem::CallRaw(const Initiator& call
   auto state = std::make_shared<CallState>(engine);
   engine->Spawn(InvokeHandler(endpoint, handler_priority, &handler_it->second,
                               std::move(request), state, &network_->costs()));
-  engine->Spawn(CallTimer(engine, timeout, state));
+  engine->Spawn(CallTimer(engine, timeout, state), "rpc.timer");
   co_await state->completed.Wait();
   if (!state->response.ok() && state->response.code() == ErrorCode::kTimeout) {
     co_return Status::Error(ErrorCode::kUnavailable, "rpc timed out: " + target);

@@ -36,7 +36,7 @@ void TxnService::Start() {
       kTxnAbort, [this](TxnDecisionReq req) { return HandleAbort(req); });
   ep->Handle<TxnDecisionReq, TxnStatusResp>(
       kTxnStatus, [this](TxnDecisionReq req) { return HandleStatus(req); });
-  context_.engine->Spawn(Sweeper());
+  context_.engine->Spawn(Sweeper(), "txn.sweeper");
 }
 
 void TxnService::Shutdown() {

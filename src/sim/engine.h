@@ -22,6 +22,19 @@
 
 namespace linefs::sim {
 
+// Wall-clock observation hook for the self-profiler (src/obs/selfprof.h):
+// when installed via Engine::SetObserver, OnEvent fires after every processed
+// event with the label attributed to it, the wall-clock nanoseconds the
+// resumption consumed, and the event-queue depth after it ran. The engine
+// takes no wall-clock readings when no observer is installed, so the disabled
+// cost is a single branch per event and simulated behaviour is identical
+// either way.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void OnEvent(const char* label, uint64_t wall_ns, size_t queue_depth) = 0;
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -30,12 +43,17 @@ class Engine {
 
   Time Now() const { return now_; }
 
-  // Schedules `handle` to resume at absolute time `t` (clamped to now).
+  // Schedules `handle` to resume at absolute time `t`. A past-due `t` is
+  // clamped to now and counted: a nonzero clamp count usually means a
+  // scheduling bug (a cost model computed a wake-up in the past), so the
+  // bench harness exposes it as the `sim.schedule.clamped` counter.
   void ScheduleAt(Time t, std::coroutine_handle<> handle) {
+    ++schedule_calls_;
     if (t < now_) {
       t = now_;
+      ++schedule_clamped_;
     }
-    queue_.push(Item{t, next_seq_++, handle});
+    queue_.push(Item{t, next_seq_++, current_label_, handle});
   }
 
   void ScheduleNow(std::coroutine_handle<> handle) { ScheduleAt(now_, handle); }
@@ -52,7 +70,13 @@ class Engine {
 
   // Detaches a task as a root simulation process. The engine keeps it alive
   // until completion; `live_tasks()` counts unfinished root processes.
-  void Spawn(Task<> task);
+  //
+  // `label` attributes the task's events for the self-profiler: every event
+  // the task (and anything it schedules) produces carries the label until a
+  // nested Spawn overrides it. Must point at storage outliving the engine's
+  // event queue — in practice, a string literal. nullptr inherits the label
+  // active at the call site.
+  void Spawn(Task<> task, const char* label = nullptr);
 
   // Runs a single event. Returns false when the queue is empty.
   bool RunOne();
@@ -69,6 +93,17 @@ class Engine {
 
   int64_t live_tasks() const { return live_tasks_; }
   uint64_t events_processed() const { return events_processed_; }
+  uint64_t schedule_calls() const { return schedule_calls_; }
+  uint64_t schedule_clamps() const { return schedule_clamped_; }
+  size_t queue_depth() const { return queue_.size(); }
+
+  // At most one observer; nullptr uninstalls. The caller owns the observer
+  // and must outlive the engine or uninstall first.
+  void SetObserver(EngineObserver* observer) {
+    observer_ = observer;
+    observer_last_ts_ = 0;  // Re-anchor wall-clock attribution on (re)install.
+  }
+  EngineObserver* observer() const { return observer_; }
 
  private:
   friend struct RootCleanup;
@@ -84,6 +119,7 @@ class Engine {
   struct Item {
     Time t;
     uint64_t seq;
+    const char* label;  // Self-profiler attribution; may be nullptr.
     std::coroutine_handle<> handle;
     bool operator>(const Item& other) const {
       if (t != other.t) {
@@ -97,6 +133,14 @@ class Engine {
   uint64_t next_seq_ = 0;
   int64_t live_tasks_ = 0;
   uint64_t events_processed_ = 0;
+  uint64_t schedule_calls_ = 0;
+  uint64_t schedule_clamped_ = 0;
+  // Label flowing with the executing task: RunOne restores it from the item,
+  // so anything the event schedules (sleeps, nested spawns without a label)
+  // inherits its attribution.
+  const char* current_label_ = nullptr;
+  EngineObserver* observer_ = nullptr;
+  uint64_t observer_last_ts_ = 0;  // steady_clock ns of the previous OnEvent edge.
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
 };
 

@@ -36,7 +36,7 @@ sim::Task<> Streamcluster::Run() {
   started_ = engine->Now();
   done_.Add(options_.threads);
   for (int t = 0; t < options_.threads; ++t) {
-    engine->Spawn(Thread());
+    engine->Spawn(Thread(), "streamcluster");
   }
   co_await done_.Wait();
   elapsed_ = engine->Now() - started_;

@@ -244,7 +244,7 @@ TEST(BenchReport, JsonSchemaContainsStagesAndScalars) {
   std::optional<JsonValue> parsed = JsonValue::Parse(text);
   ASSERT_TRUE(parsed.has_value()) << text.substr(0, 200);
   EXPECT_EQ(parsed->Find("bench")->AsString(), "unit");
-  EXPECT_DOUBLE_EQ(parsed->Find("schema_version")->AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("schema_version")->AsDouble(), 3.0);
   ASSERT_NE(parsed->Find("meta"), nullptr);
   EXPECT_TRUE(parsed->Find("meta")->Find("git_sha")->is_string());
   const JsonValue& first = parsed->Find("runs")->items().at(0);
