@@ -3,6 +3,14 @@
 //
 // Paper shape: reads never touch the SmartNIC (the whole read path runs on
 // host CPUs), so LineFS ~= Assise for both patterns (~3 GB/s class).
+//
+// The read_path sweep (ISSUE 10) adds LineFS rows for the three route
+// policies at the same 16KB IOs: host (the paper baseline above), nic_rpc
+// (every read forwarded to the NIC), and adaptive (per-read choice by size +
+// NIC-load EWMA). At 16KB the fixed RPC overhead dominates, so adaptive must
+// track host — the acceptance bar is adaptive >= max(host, nic_rpc) on both
+// patterns. Sweep rows are labelled "readpath/..." and are informational in
+// bench_compare except through the gated LineFS baseline rows.
 
 #include <benchmark/benchmark.h>
 
@@ -18,9 +26,12 @@ constexpr uint64_t kFileBytes = 256ULL << 20;  // Scaled from 12GB.
 constexpr uint64_t kIoSize = 16 << 10;
 
 std::map<std::pair<int, int>, double> g_results;  // (mode, random) -> B/s
+std::map<std::pair<std::string, int>, double> g_readpath;  // (policy, random) -> B/s
 
-double RunConfig(core::DfsMode mode, bool random) {
-  Experiment exp(BenchConfig(mode));
+double RunConfig(core::DfsMode mode, bool random, const std::string& read_path = "host") {
+  core::DfsConfig config = BenchConfig(mode);
+  config.read_path = read_path;
+  Experiment exp(config);
   core::LibFs* fs = exp.cluster().CreateClient(0);
   // Write + publish the file first (setup, not measured).
   std::vector<sim::Task<>> setup;
@@ -40,7 +51,11 @@ double RunConfig(core::DfsMode mode, bool random) {
     *out = r.throughput();
   }(fs, random, &tput));
   e->RunAll(std::move(tasks));
-  exp.SetLabel(std::string(core::DfsModeName(mode)) + (random ? "/rand" : "/seq"));
+  std::string label = std::string(core::DfsModeName(mode)) + (random ? "/rand" : "/seq");
+  if (read_path != "host") {
+    label = "readpath/" + read_path + (random ? "/rand" : "/seq");
+  }
+  exp.SetLabel(label);
   exp.AddScalar("throughput_bytes_per_sec", tput);
   return tput;
 }
@@ -57,6 +72,21 @@ void BM_Table2(benchmark::State& state) {
   state.SetLabel(std::string(core::DfsModeName(mode)) + (random ? "/rand" : "/seq"));
 }
 
+// read_path policy sweep on LineFS: host / nic_rpc / adaptive x seq/random.
+// The "host" rows reuse the gated LineFS baseline numbers above.
+void BM_ReadPath(benchmark::State& state) {
+  static const char* kPolicies[] = {"nic_rpc", "adaptive"};
+  const std::string policy = kPolicies[state.range(0)];
+  bool random = state.range(1) != 0;
+  double tput = 0;
+  for (auto _ : state) {
+    tput = RunConfig(core::DfsMode::kLineFS, random, policy);
+  }
+  g_readpath[{policy, random}] = tput;
+  state.counters["MB/s"] = tput / 1e6;
+  state.SetLabel("readpath/" + policy + (random ? "/rand" : "/seq"));
+}
+
 void PrintTable() {
   std::printf("\n=== Table 2: read throughput (MB/s) ===\n");
   std::printf("%-18s %12s %12s\n", "", "Assise", "LineFS");
@@ -64,12 +94,25 @@ void PrintTable() {
               g_results[{1, 0}] / 1e6);
   std::printf("%-18s %12.0f %12.0f\n", "Random read", g_results[{0, 1}] / 1e6,
               g_results[{1, 1}] / 1e6);
+  std::printf("\n=== read_path sweep, LineFS 16KB IOs (MB/s) ===\n");
+  std::printf("%-18s %12s %12s %12s\n", "", "host", "nic_rpc", "adaptive");
+  for (int random = 0; random <= 1; ++random) {
+    std::printf("%-18s %12.0f %12.0f %12.0f\n",
+                random ? "Random read" : "Sequential read", g_results[{1, random}] / 1e6,
+                g_readpath[{"nic_rpc", random}] / 1e6,
+                g_readpath[{"adaptive", random}] / 1e6);
+  }
 }
 
 }  // namespace
 }  // namespace linefs::bench
 
 BENCHMARK(linefs::bench::BM_Table2)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(linefs::bench::BM_ReadPath)
     ->ArgsProduct({{0, 1}, {0, 1}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);

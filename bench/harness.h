@@ -135,6 +135,18 @@ class Experiment {
     registry.GetCounter("sim.events_processed")->Add(engine_.events_processed());
     registry.GetCounter("sim.schedule.calls")->Add(engine_.schedule_calls());
     registry.GetCounter("sim.schedule.clamped")->Add(engine_.schedule_clamps());
+    // Engine-speed trajectory (informational, tracked across PRs): how many
+    // DES events the engine retires per wall-clock second, and how much wall
+    // time one simulated second costs for this run's workload.
+    double wall_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_).count();
+    double virtual_sec = sim::ToMicros(engine_.Now()) / 1e6;
+    if (wall_sec > 0) {
+      AddScalar("sim.events_per_wall_sec", engine_.events_processed() / wall_sec);
+    }
+    if (virtual_sec > 0) {
+      AddScalar("sim.wall_sec_per_virtual_sec", wall_sec / virtual_sec);
+    }
     run_.metrics = registry.TakeSnapshot();
     run_.virtual_time_us = sim::ToMicros(engine_.Now());
     run_.config = ConfigJson(cluster_->config());
@@ -181,6 +193,10 @@ class Experiment {
     v.Set("fetch_depth", c.repl.fetch_depth);
     v.Set("transfer_window", c.repl.transfer_window);
     v.Set("pipeline_stages", c.pipeline_stages);
+    v.Set("read_path", c.read_path);
+    v.Set("read_nic_threshold", c.read_nic_threshold);
+    v.Set("read_nic_load_max", c.read_nic_load_max);
+    v.Set("doorbell_batch", c.doorbell_batch);
     v.Set("num_shards", c.num_shards);
     v.Set("shard_placement", c.shard_placement);
     v.Set("placer_pooling", c.placer_pooling);
@@ -230,6 +246,7 @@ class Experiment {
 
  private:
   sim::Engine engine_;
+  std::chrono::steady_clock::time_point wall_start_ = std::chrono::steady_clock::now();
   std::unique_ptr<obs::SelfProfiler> selfprof_;  // Must outlive engine_ events; see dtor.
   std::unique_ptr<core::Cluster> cluster_;
   std::vector<std::unique_ptr<workloads::Streamcluster>> co_runners_;

@@ -163,6 +163,25 @@ Status DfsConfig::ValidateNormalized() const {
                      " would overlap it (use 1, or the non-blocking variant)");
     }
   }
+  if (read_path != "host" && read_path != "nic_rpc" && read_path != "adaptive") {
+    return Invalid("read_path must be 'host', 'nic_rpc' or 'adaptive', got '" +
+                   read_path + "'");
+  }
+  if (read_path != "host" && !IsLineFs()) {
+    return Invalid("read_path '" + read_path + "' requires a LineFS mode "
+                   "(non-LineFS baselines have no NICFS to forward reads to)");
+  }
+  if (read_nic_threshold == 0) {
+    return Invalid("read_nic_threshold must be > 0");
+  }
+  if (!(read_nic_load_max > 0.0 && read_nic_load_max <= 1.0)) {
+    return Invalid("read_nic_load_max must be in (0,1], got " +
+                   std::to_string(read_nic_load_max));
+  }
+  if (doorbell_batch < 1) {
+    return Invalid("doorbell_batch must be >= 1 (1 disables batching), got " +
+                   std::to_string(doorbell_batch));
+  }
   if (compression_threads < 1) {
     return Invalid("compression_threads must be >= 1, got " +
                    std::to_string(compression_threads));

@@ -106,6 +106,30 @@ struct DfsConfig {
   bool placer_pooling = false;
   double placer_nic_saturation = 0.75;
 
+  // Read-path policy (off-path SmartNIC characterization, PAPERS.md): which
+  // route a LibFs read takes to the data.
+  //   host     - host CPU walks the index and copies from local PM (the
+  //              original behaviour, and the only route for non-LineFS modes).
+  //   nic_rpc  - every read is forwarded to the local NICFS as an RPC; the NIC
+  //              wimpy cores walk the index and DMA the bytes back, freeing
+  //              host CPU at the price of two PCIe crossings and NIC cycles.
+  //   adaptive - per-read choice: small transfers stay on the host (fixed RPC
+  //              overhead dominates), large transfers go to the NIC unless its
+  //              load EWMA (NicFs::nic_load(), fed by the per-stage queue
+  //              telemetry) is above `read_nic_load_max`.
+  std::string read_path = "host";
+  // Adaptive route: reads of at least this many bytes prefer the NIC route.
+  // Default sits just above the host/NIC cost-model crossover (~57 KB).
+  uint64_t read_nic_threshold = 64ULL << 10;
+  // Adaptive route: NIC-load EWMA at or above this keeps reads on the host.
+  double read_nic_load_max = 0.75;
+
+  // Doorbell/CQ batching on the windowed replication send path: consecutive
+  // posts on the same QP within the doorbell idle gap are coalesced so only
+  // every `doorbell_batch`-th post pays the post + completion verb cost.
+  // 1 disables batching (every post pays full cost, the original behaviour).
+  int doorbell_batch = 8;
+
   // Publication coalescing stage (§3.3.1).
   bool coalescing = true;
 

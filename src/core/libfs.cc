@@ -56,6 +56,7 @@ LibFs::LibFs(Cluster* cluster, int node_id, int client_id)
   metrics_.bytes_written = scope.CounterAt("bytes_written");
   metrics_.bytes_read = scope.CounterAt("bytes_read");
   metrics_.log_stall_waits = scope.CounterAt("log_stall_waits");
+  metrics_.reads_nic_routed = scope.CounterAt("reads_nic_routed");
   metrics_.fsync_latency =
       cluster->metrics().GetTimeSeries("libfs.fsync_latency", obs::SeriesKind::kSampled);
 }
@@ -68,6 +69,7 @@ LibFs::Stats LibFs::stats() const {
   s.bytes_written = metrics_.bytes_written->value();
   s.bytes_read = metrics_.bytes_read->value();
   s.log_stall_waits = metrics_.log_stall_waits->value();
+  s.reads_nic_routed = metrics_.reads_nic_routed->value();
   return s;
 }
 
@@ -651,11 +653,43 @@ sim::Task<Result<uint64_t>> LibFs::ReadInternal(FdState* fd, std::span<uint8_t> 
     co_return static_cast<uint64_t>(0);
   }
   uint64_t len = std::min<uint64_t>(out.size(), size - offset);
-  uint64_t cycles = config_->fs_costs.read_index_cycles +
-                    static_cast<uint64_t>(config_->fs_costs.memcpy_cycles_per_byte *
-                                          static_cast<double>(len));
-  co_await ChargeCpu(cycles);
-  co_await hw.pm_read().Transfer(len);
+
+  // Route selection (DfsConfig::read_path): host CPU copy vs NIC-forwarded
+  // RPC. The NIC route frees the host CPU from index walk + per-byte copy at
+  // the price of a fixed RPC overhead and two PCIe crossings; "adaptive"
+  // takes it only for large transfers on an unloaded NIC.
+  bool nic_route = false;
+  if (config_->read_path != "host" && config_->IsLineFs() && nicfs_ != nullptr &&
+      cluster_->service_alive(node_id_)) {
+    nic_route = config_->read_path == "nic_rpc" ||
+                (len >= config_->read_nic_threshold &&
+                 nicfs_->nic_load() < config_->read_nic_load_max);
+  }
+  if (nic_route) {
+    // Host side only submits the RPC and consumes the completion.
+    co_await ChargeCpu(config_->fs_costs.libfs_op_cycles);
+    rdma::Initiator init;
+    init.cpu = &node_->hw().host_cpu();
+    init.priority = sim::Priority::kNormal;
+    init.account = node_->hw().acct_fs();
+    Result<Ack> ack = co_await cluster_->rpc().Call<ReadReq, Ack>(
+        init, rdma::MemAddr{node_id_, rdma::Space::kHostPm}, NicFs::EndpointName(node_id_),
+        rdma::Channel::kLowLat, kRpcRead,
+        ReadReq{static_cast<uint32_t>(client_id_), fd->inum, offset, len},
+        /*timeout=*/10 * sim::kSecond);
+    if (ack.ok() && ack->status == 0) {
+      metrics_.reads_nic_routed->Increment();
+    } else {
+      nic_route = false;  // NIC unreachable mid-read: fall back to the host route.
+    }
+  }
+  if (!nic_route) {
+    uint64_t cycles = config_->fs_costs.read_index_cycles +
+                      static_cast<uint64_t>(config_->fs_costs.memcpy_cycles_per_byte *
+                                            static_cast<double>(len));
+    co_await ChargeCpu(cycles);
+    co_await hw.pm_read().Transfer(len);
+  }
 
   if (config_->materialize_data) {
     // Base from the public area, then overlay pending log writes (oldest to

@@ -35,6 +35,7 @@ enum RpcMethod : uint32_t {
   // travel on the dedicated "txn/<node>" endpoints with their own method
   // numbering (shard::TxnRpc in src/shard/txn.h), never on nicfs/sharedfs
   // endpoints; the reservation only prevents an accidental future overlap.
+  kRpcRead = 21,          // LibFS -> local NICFS: NIC-routed read (adaptive path).
 };
 
 struct Ack {
@@ -50,6 +51,18 @@ struct FsyncReq {
   uint32_t client = 0;
   uint64_t upto = 0;  // Logical log position that must be replicated+durable.
   obs::TraceContext ctx;  // Root minted by LibFs::Fsync.
+};
+
+// NIC-routed read (read_path = nic_rpc/adaptive): the NIC core walks the
+// index and streams the data host-ward over PCIe, freeing the host CPU from
+// the per-byte copy. Data movement is modelled by timing only; the host still
+// materialises bytes locally (same Region), so no payload travels in the
+// response message.
+struct ReadReq {
+  uint32_t client = 0;
+  fslib::InodeNum inum = 0;
+  uint64_t offset = 0;
+  uint64_t len = 0;
 };
 
 struct OpenReq {

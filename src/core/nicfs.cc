@@ -28,6 +28,8 @@ NicFs::Metrics::Metrics(const obs::MetricScope& scope_in)
       repl_retransmits(scope.CounterAt("repl_retransmits")),
       repl_send_failures(scope.CounterAt("repl_send_failures")),
       stage_workers_retired(scope.CounterAt("stage_workers_retired")),
+      nic_reads(scope.CounterAt("nic_reads")),
+      nic_read_bytes(scope.CounterAt("nic_read_bytes")),
       stage_fetch(scope.Sub("stage").HistogramAt("fetch")),
       stage_publish(scope.Sub("stage").HistogramAt("publish")),
       stage_transfer(scope.Sub("stage").HistogramAt("transfer")),
@@ -74,6 +76,8 @@ NicFs::StatsSnapshot NicFs::stats() const {
   s.repl_retransmits = metrics_.repl_retransmits->value();
   s.repl_send_failures = metrics_.repl_send_failures->value();
   s.stage_workers_retired = metrics_.stage_workers_retired->value();
+  s.nic_reads = metrics_.nic_reads->value();
+  s.nic_read_bytes = metrics_.nic_read_bytes->value();
   s.lease_active = leases_->active_leases();
   s.lease_grants = leases_->grants();
   s.lease_revocations = leases_->revocations();
@@ -143,6 +147,23 @@ void NicFs::SampleObs() {
     metrics_.tl_lease_grants->Record(now, static_cast<int64_t>(grants - last_grant_count_));
   }
   last_grant_count_ = grants;
+
+  // Adaptive read-path load signal: windowed data-path occupancy (in-flight
+  // fetch DMAs + in-flight transfers + queued chunks) over the configured
+  // window capacity, clamped to [0,1] and EWMA-smoothed so a single profiler
+  // tick's spike doesn't flip the route.
+  size_t queued = transfer_backlog + publish_backlog;
+  for (const auto& [name, depth] : stage_depth) {
+    queued += depth;
+  }
+  double capacity =
+      static_cast<double>(std::max(1, config_->repl.fetch_depth) +
+                          std::max(1, config_->repl.transfer_window)) *
+      static_cast<double>(std::max<size_t>(1, pipes_.size()));
+  double inst = std::min(
+      1.0, (static_cast<double>(fetch_inflight + transfer_inflight) +
+            static_cast<double>(queued)) / capacity);
+  nic_load_ = 0.75 * nic_load_ + 0.25 * inst;
 }
 
 NicFs::NicFs(Cluster* cluster, DfsNode* node, KernelWorker* kworker, const DfsConfig* config)
@@ -249,6 +270,22 @@ void NicFs::Start() {
                             [this](FsyncReq req) -> sim::Task<Ack> {
                               co_return co_await HandleFsync(req);
                             });
+
+  ep->Handle<ReadReq, Ack>(kRpcRead, [this](ReadReq req) -> sim::Task<Ack> {
+    // NIC-side half of the adaptive read path (DfsConfig::read_path): the
+    // wimpy NIC core walks the index, pulls the bytes from host PM, and
+    // streams them host-ward over PCIe. Pure timing model — the host-side
+    // LibFs materialises the bytes locally (same Region), so the response
+    // carries no payload.
+    metrics_.nic_reads->Increment();
+    metrics_.nic_read_bytes->Add(req.len);
+    co_await node_->hw().nic().cpu().RunCycles(config_->fs_costs.read_index_cycles,
+                                               sim::Priority::kNormal,
+                                               node_->hw().nic().nicfs_account());
+    co_await node_->hw().pm_read().Transfer(req.len);
+    co_await node_->hw().nic().pcie_n2h().Transfer(req.len);
+    co_return Ack{};
+  });
 
   ep->Handle<OpenReq, Ack>(kRpcOpen, [this](OpenReq req) -> sim::Task<Ack> {
     // Permission check on the SmartNIC (§3.6)...
@@ -455,7 +492,7 @@ sim::Task<NicFs::ChunkPtr> NicFs::AdmitFetch(ClientPipe* pipe) {
   if (shutdown_) {
     co_return nullptr;
   }
-  uint64_t to = pipe->log->ChunkEnd(pipe->fetch_upto, config_->chunk_size);
+  uint64_t to = pipe->log->ChunkEnd(pipe->fetch_upto, AdmitChunkBytes(pipe));
   if (to == pipe->fetch_upto) {
     co_return nullptr;
   }
@@ -693,6 +730,39 @@ void NicFs::RegisterStageGroups(ClientPipe* pipe) {
 
 // --- Transfer stage (replication pipeline) --------------------------------------
 
+bool NicFs::BatchedPost(ClientPipe* pipe, int target) {
+  if (config_->doorbell_batch <= 1) {
+    return false;
+  }
+  // Posts separated by more than this have no batch to ride: the QP drained
+  // and its CQ was swept, so the next post rings the doorbell afresh. Sized to
+  // span back-to-back window slots on a busy pipe, not genuine idleness.
+  constexpr sim::Time kIdleGap = 100 * sim::kMicrosecond;
+  ClientPipe::Doorbell& db = pipe->doorbells[target];
+  sim::Time now = engine_->Now();
+  if (db.count > 0 && now - db.last_post > kIdleGap) {
+    db.count = 0;
+  }
+  db.last_post = now;
+  bool leader = db.count % static_cast<uint64_t>(config_->doorbell_batch) == 0;
+  ++db.count;
+  return !leader;
+}
+
+uint64_t NicFs::AdmitChunkBytes(const ClientPipe* pipe) const {
+  uint64_t bytes = config_->chunk_size;
+  int window = std::max(1, config_->repl.transfer_window);
+  size_t backlog = pipe->transfer_rb.size() + static_cast<size_t>(pipe->transfer_inflight);
+  // Window saturated with an fsync blocked behind it: admit quarter-size
+  // chunks (floor 64KB) so the urgent range doesn't queue behind multi-MB
+  // transfers. With slack, full-size chunks amortize per-chunk verb and
+  // stage costs.
+  if (static_cast<int>(backlog) >= window && pipe->urgent_waiters > 0) {
+    bytes = std::max<uint64_t>(bytes / 4, 64ULL << 10);
+  }
+  return bytes;
+}
+
 sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
   // The protocol decides the wire topology: one successor for chain
   // replication, every live replica for a quorum fan-out.
@@ -763,7 +833,12 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
     const bool last_target = i + 1 == targets.size();
     cluster_->StashWire(Cluster::WireKey(target.node, pipe->client, chunk->no),
                         last_target ? std::move(payload) : payload);
-    co_await cluster_->net().Write(NicInitiator(urgent),
+    // Doorbell batching: the bulk write and its control send are consecutive
+    // posts on this target's QP; under a busy window only every
+    // doorbell_batch-th post pays the verb + doorbell cost.
+    rdma::Initiator bulk_init = NicInitiator(urgent);
+    bulk_init.batched = BatchedPost(pipe, target.node);
+    co_await cluster_->net().Write(bulk_init,
                                    rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
                                    rdma::MemAddr{target.node, rdma::Space::kNicMem},
                                    wire_bytes);
@@ -804,8 +879,10 @@ sim::Task<> NicFs::DoTransfer(ClientPipe* pipe, ChunkPtr chunk) {
       // message is on the wire (`on_wire`), so the next window slot's bulk
       // write books the link while this slot is still processing its send
       // completion.
+      rdma::Initiator ctl_init = NicInitiator(urgent);
+      ctl_init.batched = BatchedPost(pipe, target.node);
       Status sent = co_await cluster_->rpc().Post(
-          NicInitiator(urgent), rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
+          ctl_init, rdma::MemAddr{node_->id(), rdma::Space::kNicMem},
           EndpointName(target.node),
           urgent ? rdma::Channel::kLowLat : rdma::Channel::kHighTput,
           kRpcReplChunk, msg, 10 * sim::kMillisecond, span.context(),

@@ -89,6 +89,11 @@ class NicFs {
   uint64_t replicated_upto(int client) const;
   uint64_t published_upto(int client) const;
 
+  // Adaptive read-path input (DfsConfig::read_path = "adaptive"): how busy
+  // this NIC's data path is as a 0..1 fraction of its windowed capacity,
+  // EWMA-smoothed over profiler ticks so route decisions don't flap.
+  double nic_load() const { return nic_load_; }
+
   // Recovery protocol (§3.6): after a restart, read the persisted epoch,
   // fetch the history bitmap from `peer`, and resynchronise every inode
   // updated since. Returns the number of inodes synced.
@@ -116,6 +121,8 @@ class NicFs {
     uint64_t repl_retransmits = 0;        // Chunk re-sends by the retry sweeper.
     uint64_t repl_send_failures = 0;      // One-way sends that returned an error.
     uint64_t stage_workers_retired = 0;   // Extra workers scaled back down.
+    uint64_t nic_reads = 0;               // Reads served on the NIC RPC route.
+    uint64_t nic_read_bytes = 0;          // Bytes those reads moved over PCIe.
     // Per-arbiter lease-plane state (shard balance under a sharded namespace).
     uint64_t lease_active = 0;            // Leases currently in this arbiter's table.
     uint64_t lease_grants = 0;            // Grants issued since boot.
@@ -231,6 +238,15 @@ class NicFs {
     int fetch_inflight = 0;
     int transfer_inflight = 0;
     int urgent_waiters = 0;
+    // Doorbell/CQ batching state, one per target QP (DfsConfig::doorbell_batch):
+    // verb posts since the last doorbell ring, and the last post time — a gap
+    // longer than the idle window means the QP drained and the next post must
+    // ring again.
+    struct Doorbell {
+      uint64_t count = 0;
+      sim::Time last_post = 0;
+    };
+    std::map<int, Doorbell> doorbells;
   };
 
   struct ReplicaPipe : PipeBase {
@@ -264,6 +280,15 @@ class NicFs {
   // Registers each scalable stage of this pipe as a placement group with the
   // cluster's StagePlacer (which replaces the old per-node ScalingMonitor).
   void RegisterStageGroups(ClientPipe* pipe);
+  // Doorbell/CQ batching decision for the next verb post on `pipe`'s QP to
+  // `target`: true when the post may ride an already-rung doorbell (skip verb
+  // costs); the batch leader (every doorbell_batch-th post, or the first after
+  // an idle gap) returns false and pays full cost.
+  bool BatchedPost(ClientPipe* pipe, int target);
+  // Adaptive chunk sizing on top of the transfer window: full chunk_size when
+  // the window has slack, smaller admissions when it is saturated and an
+  // urgent fsync is waiting.
+  uint64_t AdmitChunkBytes(const ClientPipe* pipe) const;
   sim::Task<> DoTransfer(ClientPipe* pipe, ChunkPtr chunk);
   sim::Task<> TransferSlot(ClientPipe* pipe, ChunkPtr chunk);
   sim::Task<> TransferWorker(ClientPipe* pipe);
@@ -320,6 +345,8 @@ class NicFs {
     obs::Counter* repl_retransmits;
     obs::Counter* repl_send_failures;
     obs::Counter* stage_workers_retired;
+    obs::Counter* nic_reads;        // kRpcRead requests served (adaptive path).
+    obs::Counter* nic_read_bytes;
     // Fixed pipeline phases (not pluggable stages).
     obs::Histogram* stage_fetch;
     obs::Histogram* stage_publish;
@@ -388,6 +415,7 @@ class NicFs {
   uint64_t epoch_ = 0;
   std::string component_;  // "nicfs.<node>": metric scope and trace category.
   uint64_t last_grant_count_ = 0;  // For the lease grant-rate timeline delta.
+  double nic_load_ = 0.0;  // EWMA data-path occupancy, updated by SampleObs.
   Metrics metrics_;
   obs::TraceBuffer* trace_;
 };

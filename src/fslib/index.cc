@@ -13,6 +13,7 @@ void PrivateIndex::OnData(InodeNum inum, uint64_t file_offset, uint32_t len, uin
   for (uint64_t b = first; b <= last; ++b) {
     state.blocks[b].push_back(overlay);
     ++overlay_count_;
+    overlay_log_.push_back(OverlayRef{logical_pos, inum, b});
   }
   uint64_t end = file_offset + len;
   if (!state.pending_size.has_value() || *state.pending_size < end) {
@@ -147,21 +148,39 @@ bool PrivateIndex::PendingDeleted(InodeNum inum) const {
 }
 
 void PrivateIndex::DropPublished(uint64_t published_upto) {
-  for (auto it = inodes_.begin(); it != inodes_.end();) {
-    InodeState& state = it->second;
-    for (auto bit = state.blocks.begin(); bit != state.blocks.end();) {
-      std::vector<Overlay>& overlays = bit->second;
-      size_t before = overlays.size();
-      std::erase_if(overlays, [published_upto](const Overlay& o) {
-        return o.logical_pos < published_upto;
-      });
-      overlay_count_ -= before - overlays.size();
+  // Overlay reclaim is driven by the append-ordered ref log: logical positions
+  // are monotone, so exactly the refs below `published_upto` sit at the front
+  // and the rest of the index is never scanned. A ref whose block was already
+  // cleared (unlink, truncate) just falls through — overlay_count_ only
+  // tracks live overlays actually erased here.
+  while (!overlay_log_.empty() && overlay_log_.front().logical_pos < published_upto) {
+    OverlayRef ref = overlay_log_.front();
+    overlay_log_.pop_front();
+    auto it = inodes_.find(ref.inum);
+    if (it == inodes_.end()) {
+      continue;
+    }
+    auto bit = it->second.blocks.find(ref.block);
+    if (bit == it->second.blocks.end()) {
+      continue;
+    }
+    std::vector<Overlay>& overlays = bit->second;
+    // Per-block vectors are in append (= logical_pos) order: published
+    // overlays form a prefix.
+    size_t drop = 0;
+    while (drop < overlays.size() && overlays[drop].logical_pos < published_upto) {
+      ++drop;
+    }
+    if (drop > 0) {
+      overlays.erase(overlays.begin(), overlays.begin() + drop);
+      overlay_count_ -= drop;
       if (overlays.empty()) {
-        bit = state.blocks.erase(bit);
-      } else {
-        ++bit;
+        it->second.blocks.erase(bit);
       }
     }
+  }
+  for (auto it = inodes_.begin(); it != inodes_.end();) {
+    InodeState& state = it->second;
     bool attrs_published = state.last_pos < published_upto;
     if (state.blocks.empty() && attrs_published) {
       it = inodes_.erase(it);

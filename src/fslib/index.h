@@ -100,8 +100,18 @@ class PrivateIndex {
     }
   };
 
+  // Append-ordered log of every overlay insertion, so DropPublished reclaims
+  // by popping the published prefix instead of scanning the whole index.
+  // Refs can go stale (unlink/truncate cleared the block); they are skipped.
+  struct OverlayRef {
+    uint64_t logical_pos;
+    InodeNum inum;
+    uint64_t block;
+  };
+
   std::unordered_map<InodeNum, InodeState> inodes_;
   std::unordered_map<NameKey, NameEntry, NameKeyHash> names_;
+  std::deque<OverlayRef> overlay_log_;
   size_t overlay_count_ = 0;
 };
 

@@ -5,16 +5,44 @@
 
 namespace linefs::pmem {
 
+namespace {
+
+// Process-wide recycled slabs. Benchmarks construct Regions by the hundred;
+// reusing backing pages avoids re-paying allocation + fault-in each time.
+// Single-threaded by design (the whole simulator is).
+std::vector<std::unique_ptr<uint8_t[]>>& SlabPool() {
+  static std::vector<std::unique_ptr<uint8_t[]>> pool;
+  return pool;
+}
+constexpr size_t kMaxPooledSlabs = 4096;  // 8 GB worth of 2 MB slabs.
+
+}  // namespace
+
 Region::Region(uint64_t size) : size_(size) {
   slabs_.resize((size + kSlabSize - 1) >> kSlabShift);
+}
+
+Region::~Region() {
+  std::vector<std::unique_ptr<uint8_t[]>>& pool = SlabPool();
+  for (std::unique_ptr<uint8_t[]>& slab : slabs_) {
+    if (slab && pool.size() < kMaxPooledSlabs) {
+      pool.push_back(std::move(slab));
+    }
+  }
 }
 
 uint8_t* Region::SlabFor(uint64_t offset, bool create) {
   uint64_t idx = offset >> kSlabShift;
   assert(idx < slabs_.size());
   if (!slabs_[idx] && create) {
-    slabs_[idx] = std::make_unique<uint8_t[]>(kSlabSize);
-    std::memset(slabs_[idx].get(), 0, kSlabSize);
+    std::vector<std::unique_ptr<uint8_t[]>>& pool = SlabPool();
+    if (!pool.empty()) {
+      slabs_[idx] = std::move(pool.back());
+      pool.pop_back();
+      std::memset(slabs_[idx].get(), 0, kSlabSize);  // Recycled slabs are dirty.
+    } else {
+      slabs_[idx] = std::make_unique<uint8_t[]>(kSlabSize);  // Value-init zeroes.
+    }
   }
   return slabs_[idx] ? slabs_[idx].get() + (offset & (kSlabSize - 1)) : nullptr;
 }
@@ -51,26 +79,35 @@ void Region::CopyOut(uint64_t offset, void* dst, uint64_t n) const {
 void Region::Write(uint64_t offset, const void* src, uint64_t n) {
   assert(offset + n <= size_);
   // Capture undo data so an un-persisted write can be rolled back on Crash().
+  // Old bytes append to the shared arena: no per-write allocation.
   UndoEntry undo;
   undo.offset = offset;
-  undo.old_data.resize(n);
-  CopyOut(offset, undo.old_data.data(), n);
-  by_offset_[offset].push_back(undo_log_.size());
-  undo_log_.push_back(std::move(undo));
-  ++live_undo_;
+  undo.arena_off = undo_arena_.size();
+  undo.len = static_cast<uint32_t>(n);
+  undo_arena_.resize(undo_arena_.size() + n);
+  CopyOut(offset, undo_arena_.data() + undo.arena_off, n);
+  live_.push_back(static_cast<uint32_t>(undo_log_.size()));
+  undo_log_.push_back(undo);
   CopyIn(offset, src, n);
   total_bytes_written_ += n;
 }
 
 void Region::Fill(uint64_t offset, uint8_t value, uint64_t n) {
-  std::vector<uint8_t> buf(n, value);
-  Write(offset, buf.data(), n);
+  static std::vector<uint8_t> scratch;
+  if (scratch.size() < n) {
+    scratch.resize(n);
+  }
+  std::memset(scratch.data(), value, n);
+  Write(offset, scratch.data(), n);
 }
 
 void Region::Copy(uint64_t dst, uint64_t src, uint64_t n) {
-  std::vector<uint8_t> buf(n);
-  CopyOut(src, buf.data(), n);
-  Write(dst, buf.data(), n);
+  static std::vector<uint8_t> scratch;
+  if (scratch.size() < n) {
+    scratch.resize(n);
+  }
+  CopyOut(src, scratch.data(), n);
+  Write(dst, scratch.data(), n);
 }
 
 void Region::Read(uint64_t offset, void* dst, uint64_t n) const {
@@ -79,31 +116,19 @@ void Region::Read(uint64_t offset, void* dst, uint64_t n) const {
 }
 
 void Region::Persist(uint64_t offset, uint64_t n) {
-  // Drop undo entries fully contained in the persisted range. The file system
-  // persists exactly the ranges it writes, so the offset index makes this a
-  // targeted O(log n) operation rather than a scan.
+  // Kill undo entries fully contained in the persisted range. The live set is
+  // small (the file system persists the ranges it writes almost immediately),
+  // so an unordered scan beats maintaining an index on the write path.
   uint64_t end = offset + n;
-  auto it = by_offset_.lower_bound(offset);
-  while (it != by_offset_.end() && it->first < end) {
-    std::vector<size_t>& indices = it->second;
-    std::erase_if(indices, [this, end](size_t idx) {
-      UndoEntry& e = undo_log_[idx];
-      if (e.dead) {
-        return true;
-      }
-      if (e.offset + e.old_data.size() <= end) {
-        e.dead = true;
-        e.old_data.clear();
-        e.old_data.shrink_to_fit();
-        --live_undo_;
-        return true;
-      }
-      return false;
-    });
-    if (indices.empty()) {
-      it = by_offset_.erase(it);
+  size_t i = 0;
+  while (i < live_.size()) {
+    UndoEntry& e = undo_log_[live_[i]];
+    if (e.offset >= offset && e.offset + e.len <= end) {
+      e.dead = true;
+      live_[i] = live_.back();
+      live_.pop_back();
     } else {
-      ++it;
+      ++i;
     }
   }
   MaybeCompact();
@@ -111,15 +136,15 @@ void Region::Persist(uint64_t offset, uint64_t n) {
 
 void Region::PersistAll() {
   undo_log_.clear();
-  by_offset_.clear();
-  live_undo_ = 0;
+  undo_arena_.clear();
+  live_.clear();
 }
 
 void Region::Crash() {
   // Roll back newest-first so overlapping writes unwind correctly.
   for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
     if (!it->dead) {
-      CopyIn(it->offset, it->old_data.data(), it->old_data.size());
+      CopyIn(it->offset, undo_arena_.data() + it->arena_off, it->len);
     }
   }
   PersistAll();
@@ -127,30 +152,39 @@ void Region::Crash() {
 
 uint64_t Region::unpersisted_bytes() const {
   uint64_t total = 0;
-  for (const UndoEntry& e : undo_log_) {
-    if (!e.dead) {
-      total += e.old_data.size();
-    }
+  for (uint32_t idx : live_) {
+    total += undo_log_[idx].len;
   }
   return total;
 }
 
-size_t Region::pending_undo_count() const { return live_undo_; }
+size_t Region::pending_undo_count() const { return live_.size(); }
 
 void Region::MaybeCompact() {
-  if (undo_log_.size() < 1024 || live_undo_ * 2 > undo_log_.size()) {
+  if (undo_log_.size() < 1024 || live_.size() * 2 > undo_log_.size()) {
     return;
   }
-  std::vector<UndoEntry> compacted;
-  compacted.reserve(live_undo_);
-  by_offset_.clear();
-  for (UndoEntry& e : undo_log_) {
-    if (!e.dead) {
-      by_offset_[e.offset].push_back(compacted.size());
-      compacted.push_back(std::move(e));
+  // In-place: slide live records (and their arena bytes) down over the dead
+  // ones, preserving append order for Crash(). Capacity is kept, so steady
+  // state does no allocation.
+  size_t w = 0;
+  uint64_t arena_w = 0;
+  for (size_t r = 0; r < undo_log_.size(); ++r) {
+    UndoEntry e = undo_log_[r];
+    if (e.dead) {
+      continue;
     }
+    std::memmove(undo_arena_.data() + arena_w, undo_arena_.data() + e.arena_off, e.len);
+    e.arena_off = arena_w;
+    arena_w += e.len;
+    undo_log_[w++] = e;
   }
-  undo_log_ = std::move(compacted);
+  undo_log_.resize(w);
+  undo_arena_.resize(arena_w);
+  live_.resize(w);
+  for (uint32_t i = 0; i < static_cast<uint32_t>(w); ++i) {
+    live_[i] = i;
+  }
 }
 
 }  // namespace linefs::pmem

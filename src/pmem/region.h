@@ -9,6 +9,16 @@
 //
 // Backing storage is allocated lazily in 2MB slabs so multi-GB simulated
 // regions only consume host memory where touched. Untouched bytes read as 0.
+// Slabs are recycled through a process-wide free pool: benchmarks construct
+// hundreds of Regions back to back, and reusing slabs avoids re-paying the
+// mmap/munmap + page-fault cost on every experiment.
+//
+// Undo capture is the hottest path in the whole simulator (every simulated
+// log append lands here), so it is allocation-free in steady state: old data
+// goes into a shared append-only arena, entries are fixed-size records, and
+// the set of live (unpersisted) entries is a small flat vector — the file
+// system persists what it writes almost immediately, so scanning the live set
+// beats maintaining an ordered index.
 //
 // Timing is NOT modelled here: PM latency/bandwidth costs are charged by the
 // hardware layer (hw::Node's PM links); a Region is pure state.
@@ -18,7 +28,6 @@
 
 #include <cstdint>
 #include <cstring>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -29,6 +38,7 @@ namespace linefs::pmem {
 class Region {
  public:
   explicit Region(uint64_t size);
+  ~Region();
   Region(const Region&) = delete;
   Region& operator=(const Region&) = delete;
 
@@ -81,9 +91,11 @@ class Region {
   static constexpr uint64_t kSlabShift = 21;  // 2 MB slabs.
   static constexpr uint64_t kSlabSize = 1ULL << kSlabShift;
 
+  // One captured write: `arena_off/len` locate the old bytes in undo_arena_.
   struct UndoEntry {
     uint64_t offset = 0;
-    std::vector<uint8_t> old_data;
+    uint64_t arena_off = 0;
+    uint32_t len = 0;
     bool dead = false;
   };
 
@@ -94,9 +106,12 @@ class Region {
 
   uint64_t size_;
   std::vector<std::unique_ptr<uint8_t[]>> slabs_;
+  // Append-ordered undo records (Crash unwinds newest first) + their data.
   std::vector<UndoEntry> undo_log_;
-  std::map<uint64_t, std::vector<size_t>> by_offset_;
-  uint64_t live_undo_ = 0;
+  std::vector<uint8_t> undo_arena_;
+  // Indices into undo_log_ of not-yet-persisted entries, unordered. Persist
+  // scans this (small) set and swap-removes what it kills.
+  std::vector<uint32_t> live_;
   uint64_t total_bytes_written_ = 0;
 };
 

@@ -66,15 +66,16 @@ sim::Task<> Network::MoveAlongPath(MemAddr src, MemAddr dst, uint64_t bytes) {
 
 sim::Task<> Network::Write(const Initiator& initiator, MemAddr local, MemAddr remote,
                            uint64_t bytes) {
-  if (initiator.cpu != nullptr) {
+  if (initiator.cpu != nullptr && !initiator.batched) {
     co_await initiator.cpu->RunCycles(costs_.post_cycles, initiator.priority, initiator.account);
   }
-  if (initiator.extra_latency > 0) {
+  if (initiator.extra_latency > 0 && !initiator.batched) {
     co_await engine_->SleepFor(initiator.extra_latency);
   }
   co_await MoveAlongPath(local, remote, bytes);
   // Completion (ACK) propagates back; polling initiators see it immediately.
-  if (initiator.cpu != nullptr) {
+  // Batched verbs are swept by the batch leader's CQ poll.
+  if (initiator.cpu != nullptr && !initiator.batched) {
     if (!initiator.polls) {
       co_await engine_->SleepFor(costs_.event_wakeup);
     }

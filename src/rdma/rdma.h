@@ -48,6 +48,12 @@ struct Initiator {
   // Fixed additional latency per verb. SmartNIC-initiated verbs pay the
   // SoC-internal PCIe crossing to the ConnectX transport (§5.2.5).
   sim::Time extra_latency = 0;
+  // Doorbell/CQ batching (DfsConfig::doorbell_batch): this verb rides a
+  // doorbell rung by an earlier post on the same QP, so it skips the posting
+  // cycles and the doorbell crossing (`extra_latency`), and its completion is
+  // consumed by the batch leader's CQ sweep (no per-verb completion cycles).
+  // Data-path timing (serialization, propagation) is unaffected.
+  bool batched = false;
 };
 
 class Network {

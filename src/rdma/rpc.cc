@@ -201,8 +201,8 @@ sim::Task<Status> RpcSystem::PostRaw(const Initiator& caller, MemAddr caller_add
                          /*chunk_no=*/method, trace_ctx);
   }
 
-  // Sender posts the send verb.
-  if (caller.cpu != nullptr) {
+  // Sender posts the send verb (skipped when riding a batched doorbell).
+  if (caller.cpu != nullptr && !caller.batched) {
     co_await caller.cpu->RunCycles(costs.post_cycles, caller.priority, caller.account);
   }
 
@@ -241,8 +241,9 @@ sim::Task<Status> RpcSystem::PostRaw(const Initiator& caller, MemAddr caller_add
                               std::move(request), &network_->costs()));
 
   // Sender-side send completion: the message is on the receiver's QP; handler
-  // execution is invisible from here.
-  if (caller.cpu != nullptr) {
+  // execution is invisible from here. Batched sends are swept by the batch
+  // leader's CQ poll.
+  if (caller.cpu != nullptr && !caller.batched) {
     if (!caller.polls) {
       co_await engine->SleepFor(costs.event_wakeup);
     }

@@ -47,15 +47,13 @@ bool Engine::RunOne() {
   if (queue_.empty()) {
     return false;
   }
-  Item item = queue_.top();
-  queue_.pop();
-  now_ = item.t;
+  auto item = queue_.Pop(&now_);
   ++events_processed_;
   // The executing event's label becomes ambient so everything it schedules
   // (sleeps, unlabeled spawns) inherits its attribution.
   current_label_ = item.label;
   if (observer_ == nullptr) {
-    item.handle.resume();
+    item.payload.resume();
   } else {
     // One clock read per event: the delta between consecutive reads is
     // attributed to the event in between. The sliver of harness time between
@@ -67,7 +65,7 @@ bool Engine::RunOne() {
               std::chrono::steady_clock::now().time_since_epoch())
               .count());
     }
-    item.handle.resume();
+    item.payload.resume();
     uint64_t end = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now().time_since_epoch())
@@ -84,7 +82,7 @@ void Engine::Run() {
 }
 
 void Engine::RunUntil(Time t) {
-  while (!queue_.empty() && queue_.top().t <= t) {
+  while (!queue_.empty() && queue_.NextTime(now_) <= t) {
     RunOne();
   }
   if (now_ < t) {

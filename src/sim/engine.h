@@ -14,9 +14,8 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
-#include <vector>
 
+#include "src/sim/event_queue.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
 
@@ -53,7 +52,7 @@ class Engine {
       t = now_;
       ++schedule_clamped_;
     }
-    queue_.push(Item{t, next_seq_++, current_label_, handle});
+    queue_.Push(t, next_seq_++, current_label_, handle, now_);
   }
 
   void ScheduleNow(std::coroutine_handle<> handle) { ScheduleAt(now_, handle); }
@@ -116,19 +115,6 @@ class Engine {
     void await_resume() const noexcept {}
   };
 
-  struct Item {
-    Time t;
-    uint64_t seq;
-    const char* label;  // Self-profiler attribution; may be nullptr.
-    std::coroutine_handle<> handle;
-    bool operator>(const Item& other) const {
-      if (t != other.t) {
-        return t > other.t;
-      }
-      return seq > other.seq;
-    }
-  };
-
   Time now_ = 0;
   uint64_t next_seq_ = 0;
   int64_t live_tasks_ = 0;
@@ -141,7 +127,9 @@ class Engine {
   const char* current_label_ = nullptr;
   EngineObserver* observer_ = nullptr;
   uint64_t observer_last_ts_ = 0;  // steady_clock ns of the previous OnEvent edge.
-  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
+  // Two-tier (ready-ring + 4-ary heap) queue; see event_queue.h for the
+  // ordering-contract proof sketch.
+  EventQueue<std::coroutine_handle<>> queue_;
 };
 
 }  // namespace linefs::sim

@@ -10,11 +10,12 @@
 #ifndef SRC_SIM_QUEUE_H_
 #define SRC_SIM_QUEUE_H_
 
+#include <algorithm>
 #include <coroutine>
 #include <deque>
-#include <map>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "src/sim/engine.h"
 #include "src/sim/sync.h"
@@ -107,13 +108,23 @@ class Queue {
 // popped strictly in sequence order (0, 1, 2, ...). Used by ordered pipeline
 // stages (publication, transfer) that receive work from unordered upstream
 // stages — this is what keeps client-log order without ticket deadlocks.
+//
+// Pops only ever advance `next_`, so the slots are kept in a flat min-heap on
+// (seq, arrival order) instead of a node-based std::map: push is an O(log n)
+// sift over contiguous memory with no per-item allocation, and the "is the
+// next item here yet" check in PopNext is a single look at the heap top.
+// Entries the consumer skipped past (duplicate seqs, stale retransmissions
+// below `next_` after a FastForwardTo) are lazily dropped when they surface at
+// the top; on duplicate seq the earliest-pushed value wins, matching the old
+// map::emplace behaviour.
 template <typename T>
 class ReorderBuffer {
  public:
   explicit ReorderBuffer(Engine* engine) : engine_(engine), cv_(engine) {}
 
   void Push(uint64_t seq, T value) {
-    slots_.emplace(seq, std::move(value));
+    slots_.push_back(Slot{seq, next_tick_++, std::move(value)});
+    std::push_heap(slots_.begin(), slots_.end(), Later);
     cv_.NotifyAll();
   }
 
@@ -124,15 +135,15 @@ class ReorderBuffer {
 
   // Yields item `next` (in submission sequence), or nullopt once closed.
   Task<std::optional<T>> PopNext() {
-    while (!closed_ && !slots_.contains(next_)) {
+    while (!closed_ && !NextReady()) {
       co_await cv_.Wait();
     }
     if (closed_) {
       co_return std::nullopt;
     }
-    auto it = slots_.find(next_);
-    T value = std::move(it->second);
-    slots_.erase(it);
+    std::pop_heap(slots_.begin(), slots_.end(), Later);
+    T value = std::move(slots_.back().value);
+    slots_.pop_back();
     ++next_;
     co_return value;
   }
@@ -148,16 +159,45 @@ class ReorderBuffer {
     if (seq <= next_) {
       return;
     }
-    slots_.erase(slots_.begin(), slots_.lower_bound(seq));
     next_ = seq;
+    DropStale();
     cv_.NotifyAll();
   }
 
  private:
+  struct Slot {
+    uint64_t seq;
+    uint64_t tick;  // Arrival order; tie-breaks duplicate seqs (first wins).
+    T value;
+  };
+
+  // Heap comparator ("a pops later than b"): max-heap on this = min-heap on
+  // (seq, tick).
+  static bool Later(const Slot& a, const Slot& b) {
+    if (a.seq != b.seq) {
+      return a.seq > b.seq;
+    }
+    return a.tick > b.tick;
+  }
+
+  // Discards heap tops that can never be popped (seq below next_).
+  void DropStale() {
+    while (!slots_.empty() && slots_.front().seq < next_) {
+      std::pop_heap(slots_.begin(), slots_.end(), Later);
+      slots_.pop_back();
+    }
+  }
+
+  bool NextReady() {
+    DropStale();
+    return !slots_.empty() && slots_.front().seq == next_;
+  }
+
   Engine* engine_;
   Condition cv_;
-  std::map<uint64_t, T> slots_;
+  std::vector<Slot> slots_;
   uint64_t next_ = 0;
+  uint64_t next_tick_ = 0;
   bool closed_ = false;
 };
 

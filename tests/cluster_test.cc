@@ -334,6 +334,70 @@ TEST(LineFsTest, CompressionRoundTripsThroughReplication) {
   EXPECT_EQ(out, data);
 }
 
+TEST(LineFsTest, AdaptiveReadPathRoutesBySize) {
+  DfsConfig config = SmallConfig(DfsMode::kLineFS);
+  config.read_path = "adaptive";
+  config.read_nic_threshold = 64 << 10;
+  ClusterHarness harness(config);
+  LibFs* fs = harness.cluster().CreateClient(0);
+  std::vector<uint8_t> data = Pattern(1 << 20, 9);
+
+  harness.RunClient([&]() -> sim::Task<> {
+    Result<int> fd = co_await fs->Open("/route.dat", fslib::kOpenCreate | fslib::kOpenWrite);
+    CO_ASSERT_OK(fd);
+    CO_ASSERT_OK((co_await fs->Write(*fd, data)));
+    CO_ASSERT_OK((co_await fs->Fsync(*fd)));
+
+    // Below the threshold: stays on the host route.
+    std::vector<uint8_t> small(16 << 10);
+    CO_ASSERT_OK((co_await fs->Pread(*fd, small, 0)));
+    CO_ASSERT_EQ(fs->stats().reads_nic_routed, 0u);
+
+    // At/above the threshold with an idle NIC: routed through the NIC RPC,
+    // and the bytes still come back correct (the NIC path only changes the
+    // timing model, not the materialized data).
+    std::vector<uint8_t> big(256 << 10);
+    Result<uint64_t> r = co_await fs->Pread(*fd, big, 0);
+    CO_ASSERT_OK(r);
+    CO_ASSERT_EQ(*r, big.size());
+    CO_ASSERT_EQ(fs->stats().reads_nic_routed, 1u);
+    CO_ASSERT_TRUE(std::equal(big.begin(), big.end(), data.begin()));
+    co_await fs->Close(*fd);
+  });
+
+  // The NIC side must have billed the same reads.
+  NicFs* primary = harness.cluster().nicfs(0);
+  EXPECT_EQ(primary->stats().nic_reads, 1u);
+  EXPECT_EQ(primary->stats().nic_read_bytes, 256u << 10);
+}
+
+TEST(LineFsTest, NicRpcReadPathFallsBackWhenNicDown) {
+  DfsConfig config = SmallConfig(DfsMode::kLineFS);
+  config.read_path = "nic_rpc";
+  ClusterHarness harness(config);
+  LibFs* fs = harness.cluster().CreateClient(0);
+  std::vector<uint8_t> data = Pattern(128 << 10, 4);
+
+  harness.RunClient([&]() -> sim::Task<> {
+    Result<int> fd = co_await fs->Open("/fb.dat", fslib::kOpenCreate | fslib::kOpenWrite);
+    CO_ASSERT_OK(fd);
+    CO_ASSERT_OK((co_await fs->Write(*fd, data)));
+    CO_ASSERT_OK((co_await fs->Fsync(*fd)));
+    std::vector<uint8_t> out(data.size());
+    CO_ASSERT_OK((co_await fs->Pread(*fd, out, 0)));
+    CO_ASSERT_EQ(fs->stats().reads_nic_routed, 1u);
+
+    // NIC service down mid-session: reads on the open fd must fall back to
+    // the host route (no new NIC-routed reads) and still return the data.
+    harness.cluster().SetServiceAlive(0, false);
+    Result<uint64_t> r = co_await fs->Pread(*fd, out, 0);
+    CO_ASSERT_OK(r);
+    CO_ASSERT_EQ(*r, data.size());
+    CO_ASSERT_EQ(fs->stats().reads_nic_routed, 1u);  // Unchanged: host route.
+    co_await fs->Close(*fd);
+  });
+}
+
 TEST(LineFsTest, HostCrashSwitchesToIsolatedModeAndBack) {
   DfsConfig config = SmallConfig(DfsMode::kLineFS);
   ClusterHarness harness(config);

@@ -1,0 +1,278 @@
+// Ordering-contract tests for the two-tier event queue (src/sim/event_queue.h)
+// and the flat-heap ReorderBuffer (src/sim/queue.h).
+//
+// The event queue replaced a std::priority_queue ordered by (time, seq); the
+// determinism digests of every bench depend on the replacement popping the
+// EXACT same sequence. The property test here drives the new queue and a
+// reference model implementing the old semantics through seeded random
+// push/pop interleavings (including same-instant pushes during drains, the
+// case the ready-ring optimises) and requires bit-identical pop streams; a
+// rolling digest of (t, seq) doubles as a cross-implementation determinism
+// check on each torture seed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/queue.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace linefs::sim {
+namespace {
+
+// Reference model of the old scheduler: linear scan for min (t, seq).
+struct RefItem {
+  Time t;
+  uint64_t seq;
+  int payload;
+};
+
+class RefQueue {
+ public:
+  void Push(Time t, uint64_t seq, int payload) { items_.push_back({t, seq, payload}); }
+  RefItem Pop(Time* now) {
+    auto it = std::min_element(items_.begin(), items_.end(),
+                               [](const RefItem& a, const RefItem& b) {
+                                 return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+                               });
+    RefItem item = *it;
+    items_.erase(it);
+    *now = item.t;
+    return item;
+  }
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+
+ private:
+  std::vector<RefItem> items_;
+};
+
+TEST(EventQueue, SameInstantFifo) {
+  EventQueue<int> q;
+  Time now = 0;
+  uint64_t seq = 0;
+  for (int i = 0; i < 100; ++i) {
+    q.Push(now, seq++, "t", i, now);
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto item = q.Pop(&now);
+    EXPECT_EQ(item.payload, i);
+    EXPECT_EQ(now, 0);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DrainsWholeInstantInSeqOrder) {
+  // Heap inserts of one future instant, pushed out of seq order relative to
+  // nothing (seq always increases, but interleaved with other instants), must
+  // pop in seq order once time reaches the instant.
+  EventQueue<int> q;
+  Time now = 0;
+  uint64_t seq = 0;
+  // Interleave two future instants.
+  for (int i = 0; i < 10; ++i) {
+    q.Push(20, seq++, "b", 100 + i, now);
+    q.Push(10, seq++, "a", i, now);
+  }
+  std::vector<int> order;
+  while (!q.empty()) {
+    order.push_back(q.Pop(&now).payload);
+  }
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);            // Instant 10 first, seq order.
+    EXPECT_EQ(order[10 + i], 100 + i);  // Then instant 20, seq order.
+  }
+  EXPECT_EQ(now, 20);
+}
+
+TEST(EventQueue, SameInstantPushDuringDrainGoesLast) {
+  // A push at t == now while the ring is draining must come after every event
+  // already queued for that instant — its seq is globally larger.
+  EventQueue<int> q;
+  Time now = 0;
+  uint64_t seq = 0;
+  q.Push(5, seq++, "x", 0, now);
+  q.Push(5, seq++, "x", 1, now);
+  auto first = q.Pop(&now);
+  EXPECT_EQ(first.payload, 0);
+  EXPECT_EQ(now, 5);
+  q.Push(now, seq++, "x", 2, now);  // Rescheduled at the same instant.
+  EXPECT_EQ(q.Pop(&now).payload, 1);
+  EXPECT_EQ(q.Pop(&now).payload, 2);
+  EXPECT_EQ(now, 5);
+}
+
+// Property test: seeded random interleavings against the reference model.
+// Every pop must match (t, seq, payload) exactly, and the rolling digest —
+// the determinism fingerprint — must agree at the end.
+TEST(EventQueue, MatchesOldSemanticsOnTortureSeeds) {
+  constexpr uint64_t kTortureSeeds[] = {1, 7, 42, 0xC0FFEE, 0xDEADBEEF};
+  for (uint64_t seed : kTortureSeeds) {
+    std::mt19937_64 rng(seed);
+    EventQueue<int> q;
+    RefQueue ref;
+    Time now = 0;
+    Time ref_now = 0;
+    uint64_t seq = 0;
+    uint64_t digest = 14695981039346656037ULL;       // FNV-1a.
+    uint64_t ref_digest = 14695981039346656037ULL;
+    auto fold = [](uint64_t& d, Time t, uint64_t s) {
+      d = (d ^ static_cast<uint64_t>(t)) * 1099511628211ULL;
+      d = (d ^ s) * 1099511628211ULL;
+    };
+    for (int op = 0; op < 20000; ++op) {
+      bool do_push = q.empty() || (rng() % 100) < 55;
+      if (do_push) {
+        // 40% same-instant (ready-ring), else near-future (heap), with
+        // frequent collisions so multi-event instants are common.
+        Time dt = (rng() % 100) < 40 ? 0 : static_cast<Time>(1 + rng() % 16);
+        int payload = static_cast<int>(rng() % 1000);
+        q.Push(now + dt, seq, "p", payload, now);
+        ref.Push(now + dt, seq, payload);
+        ++seq;
+      } else {
+        auto item = q.Pop(&now);
+        RefItem ref_item = ref.Pop(&ref_now);
+        ASSERT_EQ(item.t, ref_item.t) << "seed " << seed << " op " << op;
+        ASSERT_EQ(item.seq, ref_item.seq) << "seed " << seed << " op " << op;
+        ASSERT_EQ(item.payload, ref_item.payload) << "seed " << seed << " op " << op;
+        ASSERT_EQ(now, ref_now);
+        fold(digest, item.t, item.seq);
+        fold(ref_digest, ref_item.t, ref_item.seq);
+      }
+      ASSERT_EQ(q.size(), ref.size());
+    }
+    // Drain what's left.
+    while (!q.empty()) {
+      auto item = q.Pop(&now);
+      RefItem ref_item = ref.Pop(&ref_now);
+      ASSERT_EQ(item.t, ref_item.t);
+      ASSERT_EQ(item.seq, ref_item.seq);
+      fold(digest, item.t, item.seq);
+      fold(ref_digest, ref_item.t, ref_item.seq);
+    }
+    EXPECT_EQ(digest, ref_digest) << "determinism digest diverged on seed " << seed;
+  }
+}
+
+TEST(EventQueue, NextTimeReflectsEarliestEvent) {
+  EventQueue<int> q;
+  Time now = 0;
+  uint64_t seq = 0;
+  q.Push(30, seq++, "x", 0, now);
+  EXPECT_EQ(q.NextTime(now), 30);
+  q.Push(now, seq++, "x", 1, now);
+  EXPECT_EQ(q.NextTime(now), now);  // Ring beats heap.
+  EXPECT_EQ(q.Pop(&now).payload, 1);
+  EXPECT_EQ(q.NextTime(now), 30);
+}
+
+// --- ReorderBuffer ------------------------------------------------------------
+
+TEST(ReorderBuffer, PopsInSequenceAcrossOutOfOrderPushes) {
+  Engine engine;
+  ReorderBuffer<int> rb(&engine);
+  std::vector<int> popped;
+  engine.Spawn([](ReorderBuffer<int>* rb, std::vector<int>* out) -> Task<> {
+    for (int i = 0; i < 5; ++i) {
+      std::optional<int> v = co_await rb->PopNext();
+      if (!v.has_value()) {
+        co_return;
+      }
+      out->push_back(*v);
+    }
+  }(&rb, &popped));
+  rb.Push(3, 30);
+  rb.Push(1, 10);
+  rb.Push(4, 40);
+  rb.Push(0, 0);
+  rb.Push(2, 20);
+  engine.Run();
+  ASSERT_EQ(popped.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(popped[i], i * 10);
+  }
+}
+
+TEST(ReorderBuffer, DuplicateSeqFirstPushWins) {
+  Engine engine;
+  ReorderBuffer<int> rb(&engine);
+  rb.Push(0, 111);
+  rb.Push(0, 222);  // Duplicate: must lose to the first push.
+  rb.Push(1, 333);
+  std::vector<int> popped;
+  engine.Spawn([](ReorderBuffer<int>* rb, std::vector<int>* out) -> Task<> {
+    for (int i = 0; i < 2; ++i) {
+      std::optional<int> v = co_await rb->PopNext();
+      if (v.has_value()) {
+        out->push_back(*v);
+      }
+    }
+  }(&rb, &popped));
+  engine.Run();
+  ASSERT_EQ(popped.size(), 2u);
+  EXPECT_EQ(popped[0], 111);
+  EXPECT_EQ(popped[1], 333);
+}
+
+TEST(ReorderBuffer, FastForwardSkipsAbandonedRange) {
+  Engine engine;
+  ReorderBuffer<int> rb(&engine);
+  rb.Push(0, 0);
+  rb.Push(1, 1);
+  rb.Push(5, 50);
+  rb.FastForwardTo(5);
+  std::optional<int> got;
+  engine.Spawn([](ReorderBuffer<int>* rb, std::optional<int>* out) -> Task<> {
+    *out = co_await rb->PopNext();
+  }(&rb, &got));
+  engine.Run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 50);
+  EXPECT_EQ(rb.next_seq(), 6u);
+  EXPECT_EQ(rb.size(), 0u);  // Seqs 0 and 1 were dropped, not leaked.
+}
+
+TEST(ReorderBuffer, StalePushBelowNextIsDropped) {
+  Engine engine;
+  ReorderBuffer<int> rb(&engine);
+  rb.FastForwardTo(10);
+  rb.Push(3, 30);   // Stale retransmission: arrives below next_.
+  rb.Push(10, 100);
+  std::optional<int> got;
+  engine.Spawn([](ReorderBuffer<int>* rb, std::optional<int>* out) -> Task<> {
+    *out = co_await rb->PopNext();
+  }(&rb, &got));
+  engine.Run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 100);
+  EXPECT_EQ(rb.size(), 0u);  // The stale slot did not accumulate.
+}
+
+TEST(ReorderBuffer, CloseWakesBlockedConsumer) {
+  Engine engine;
+  ReorderBuffer<int> rb(&engine);
+  bool done = false;
+  engine.Spawn([](ReorderBuffer<int>* rb, bool* done) -> Task<> {
+    std::optional<int> v = co_await rb->PopNext();
+    EXPECT_FALSE(v.has_value());
+    *done = true;
+  }(&rb, &done));
+  engine.Spawn([](Engine* e, ReorderBuffer<int>* rb) -> Task<> {
+    co_await e->SleepFor(kMillisecond);
+    rb->Close();
+  }(&engine, &rb));
+  engine.Run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace linefs::sim
